@@ -1,0 +1,66 @@
+"""A2 — ablation: clustering parameters M, N and Hamming radius.
+
+The paper found (M, N) empirically and fixed the radius at 1 to bound
+the introduced error.  This sweep shows the ratio/perturbation trade-off:
+larger N and radius compress more but flip more weight bits.
+"""
+
+from conftest import run_once
+from repro.analysis.report import format_ratio, render_table
+from repro.core.clustering import ClusteringConfig, cluster_sequences
+from repro.core.frequency import FrequencyTable
+from repro.core.simplified import SimplifiedTree
+
+CONFIGS = [
+    ("no clustering", None),
+    ("M=64 N=128 r=1", ClusteringConfig(64, 128, 1)),
+    ("M=64 N=256 r=1 (paper)", ClusteringConfig(64, 256, 1)),
+    ("M=64 N=448 r=1", ClusteringConfig(64, 448, 1)),
+    ("M=32 N=256 r=1", ClusteringConfig(32, 256, 1)),
+    ("M=128 N=256 r=1", ClusteringConfig(128, 256, 1)),
+    ("M=64 N=256 r=2", ClusteringConfig(64, 256, 2)),
+    ("M=64 N=448 r=2", ClusteringConfig(64, 448, 2)),
+]
+
+
+def sweep(kernels):
+    table = FrequencyTable.from_kernels([kernels[7]])  # mid-network block
+    rows = []
+    results = {}
+    for name, config in CONFIGS:
+        if config is None:
+            effective = table
+            replaced = 0
+            flips = 0
+        else:
+            clustering = cluster_sequences(table, config)
+            effective = clustering.apply_to_table(table)
+            replaced = clustering.num_replaced
+            flips = clustering.total_bit_flips(table)
+        tree = SimplifiedTree(effective)
+        ratio = tree.compression_ratio(effective)
+        rows.append((name, format_ratio(ratio), replaced, flips))
+        results[name] = ratio
+    return rows, results
+
+
+def test_clustering_ablation(benchmark, reactnet_kernels):
+    rows, results = run_once(benchmark, sweep, reactnet_kernels)
+    print()
+    print(
+        render_table(
+            ("Configuration", "Ratio", "Replaced", "Bit flips"),
+            rows,
+            title="A2 — clustering ablation (block 7)",
+        )
+    )
+
+    baseline = results["no clustering"]
+    paper = results["M=64 N=256 r=1 (paper)"]
+    assert paper > baseline
+    # more rare sequences folded -> at least as good
+    assert results["M=64 N=448 r=1"] >= paper - 1e-9
+    # a wider radius can only help the ratio (it relaxes matching)
+    assert results["M=64 N=256 r=2"] >= paper - 1e-9
+    # monotone in N
+    assert results["M=64 N=128 r=1"] <= paper + 1e-9

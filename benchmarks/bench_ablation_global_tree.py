@@ -1,0 +1,69 @@
+"""A4 — ablation: per-block trees (the paper's choice) vs one global tree.
+
+The paper builds one Huffman tree per group of kernels and ships it in
+the decoding-unit configuration (Table III).  A single network-wide tree
+would remove the per-block table reloads but must serve every block's
+distribution at once; this sweep quantifies the ratio cost of that
+simplification.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.report import format_ratio, render_table
+from repro.core.frequency import FrequencyTable, merge_tables
+from repro.core.simplified import SimplifiedTree
+
+
+def measure(kernels):
+    tables = {
+        block: FrequencyTable.from_kernels([kernel])
+        for block, kernel in kernels.items()
+    }
+    global_table = merge_tables(list(tables.values()))
+    global_tree = SimplifiedTree(global_table)
+
+    rows = []
+    per_block_bits = 0
+    global_bits = 0
+    raw_bits = 0
+    for block in sorted(tables):
+        table = tables[block]
+        own_tree = SimplifiedTree(table)
+        own_ratio = own_tree.compression_ratio(table)
+        shared_ratio = global_tree.compression_ratio(table)
+        per_block_bits += own_tree.compressed_bits(table)
+        global_bits += global_tree.compressed_bits(table)
+        raw_bits += table.total * 9
+        rows.append(
+            (f"Block {block}", format_ratio(own_ratio),
+             format_ratio(shared_ratio))
+        )
+    rows.append(
+        (
+            "Overall",
+            format_ratio(raw_bits / per_block_bits),
+            format_ratio(raw_bits / global_bits),
+        )
+    )
+    return rows, raw_bits / per_block_bits, raw_bits / global_bits
+
+
+def test_global_tree_ablation(benchmark, reactnet_kernels):
+    rows, per_block, global_ratio = run_once(
+        benchmark, measure, reactnet_kernels
+    )
+    print()
+    print(
+        render_table(
+            ("Layer", "Per-block tree", "Global tree"),
+            rows,
+            title="A4 — per-block trees vs one network-wide tree",
+        )
+    )
+
+    # per-block trees can only be at least as good in aggregate
+    assert per_block >= global_ratio - 1e-9
+    # but a single tree stays usable (the distributions are similar),
+    # quantifying what the Table III per-kernel configuration buys
+    assert global_ratio > 0.95 * per_block

@@ -1,0 +1,58 @@
+"""A3 — ablation: speedup sensitivity to memory latency and L2 size.
+
+The decoding unit's benefit comes from removing weight-load stalls, so
+the speedup must grow with DRAM latency and shrink when the L2 is large
+enough to hold the working set — the implied motivation of Sec. IV.
+"""
+
+from conftest import run_once
+from repro.analysis.report import format_ratio, render_table
+from repro.hw.config import SystemConfig
+from repro.hw.perf import PerfModel
+
+RATIOS = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+LATENCIES = (40, 100, 200, 400)
+L2_SIZES = (128 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024)
+
+
+def sweep():
+    latency_rows = []
+    for latency in LATENCIES:
+        model = PerfModel(
+            SystemConfig.paper_default().with_memory_latency(latency)
+        )
+        latency_rows.append((f"{latency} cycles", model.speedup(RATIOS)))
+    l2_rows = []
+    for size in L2_SIZES:
+        model = PerfModel(SystemConfig.paper_default().with_l2_size(size))
+        l2_rows.append((f"{size // 1024} KB", model.speedup(RATIOS)))
+    return latency_rows, l2_rows
+
+
+def test_memory_sensitivity(benchmark):
+    latency_rows, l2_rows = run_once(benchmark, sweep)
+    print()
+    print(
+        render_table(
+            ("DRAM latency", "HW speedup"),
+            [(n, format_ratio(s)) for n, s in latency_rows],
+            title="A3 — speedup vs DRAM latency (L2 = 256 KB)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ("L2 size", "HW speedup"),
+            [(n, format_ratio(s)) for n, s in l2_rows],
+            title="A3 — speedup vs L2 size (DRAM latency = 100 cycles)",
+        )
+    )
+
+    latencies = [s for _, s in latency_rows]
+    assert all(b >= a - 1e-6 for a, b in zip(latencies, latencies[1:])), (
+        "speedup must not decrease with memory latency"
+    )
+    l2 = [s for _, s in l2_rows]
+    assert l2[0] > l2[-1], "a huge L2 must shrink the benefit"
+    # at the paper's configuration the benefit is material
+    assert latency_rows[1][1] > 1.2

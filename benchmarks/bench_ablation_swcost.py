@@ -1,0 +1,53 @@
+"""A5 — ablation: sensitivity of the software slowdown to decode cost.
+
+The paper measures a single software implementation (1.47x slower); our
+model charges ``sw_decode_cycles_per_seq`` per sequence.  This sweep
+shows how the slowdown scales with that cost and locates the break-even
+point — the budget below which a software-only implementation would
+stop losing, which bounds how much the decoding unit is really worth.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+from repro.analysis.report import format_ratio, render_table
+from repro.hw.config import SystemConfig
+from repro.hw.perf import PerfModel
+
+RATIOS = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+COSTS = (2.0, 4.0, 8.0, 12.0, 16.0, 24.0)
+
+
+def sweep():
+    rows = []
+    for cost in COSTS:
+        config = SystemConfig.paper_default()
+        config = replace(config, cpu=replace(
+            config.cpu, sw_decode_cycles_per_seq=cost
+        ))
+        model = PerfModel(config)
+        base = model.simulate_model("baseline")
+        sw = model.simulate_model("sw_compressed", RATIOS)
+        rows.append((cost, sw.total_cycles / base.total_cycles))
+    return rows
+
+
+def test_sw_cost_sensitivity(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        render_table(
+            ("Decode cost (cycles/seq)", "SW slowdown"),
+            [(f"{cost:.0f}", format_ratio(slowdown)) for cost, slowdown in rows],
+            title="A5 — software slowdown vs per-sequence decode cost",
+        )
+    )
+
+    slowdowns = [s for _, s in rows]
+    # strictly increasing in decode cost
+    assert all(b > a for a, b in zip(slowdowns, slowdowns[1:]))
+    # the paper's 12-cycle-class implementation loses badly...
+    by_cost = dict(rows)
+    assert by_cost[12.0] > 1.3
+    # ...and even a highly optimised 2-cycle loop never wins
+    assert by_cost[2.0] > 1.0

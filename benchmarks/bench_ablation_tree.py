@@ -1,0 +1,68 @@
+"""A1 — ablation: simplified-tree size vs compression vs decoder cost.
+
+Sec. III-B argues four nodes are "a good trade-off between simplicity and
+compression rate".  This sweep quantifies the trade-off: more/larger
+nodes approach the unrestricted Huffman bound but grow the decoder's
+uncompressed table.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.report import format_ratio, render_table
+from repro.core.frequency import FrequencyTable, merge_tables
+from repro.core.huffman import HuffmanEncoder
+from repro.core.simplified import SimplifiedTree
+
+LAYOUTS = {
+    "2 nodes (64/512)": (64, 512),
+    "2 nodes (256/256)": (256, 256),
+    "3 nodes (32/64/512)": (32, 64, 512),
+    "4 nodes (paper)": (32, 64, 64, 512),
+    "4 nodes (16/32/64/512)": (16, 32, 64, 512),
+    "8 nodes (8..512)": (8, 16, 32, 32, 64, 64, 128, 512),
+}
+
+
+def sweep(kernels):
+    table = merge_tables(
+        [FrequencyTable.from_kernels([k]) for k in kernels.values()]
+    )
+    huffman = HuffmanEncoder.from_table(table).compression_ratio(table)
+    rows = []
+    for name, capacities in LAYOUTS.items():
+        tree = SimplifiedTree(table, capacities)
+        rows.append(
+            (
+                name,
+                format_ratio(tree.compression_ratio()),
+                f"{tree.layout.decoder_table_bytes()} B",
+                tree.layout.code_lengths,
+            )
+        )
+    return rows, huffman, table
+
+
+def test_tree_size_ablation(benchmark, reactnet_kernels):
+    rows, huffman, table = run_once(benchmark, sweep, reactnet_kernels)
+    print()
+    print(
+        render_table(
+            ("Layout", "Ratio", "Table size", "Code lengths"),
+            rows,
+            title="A1 — tree-size ablation (whole-network distribution)",
+        )
+    )
+    print(f"unrestricted Huffman bound: {huffman:.2f}x")
+    print(f"entropy bound: {9.0 / table.entropy_bits():.2f}x")
+
+    ratios = {
+        name: float(ratio.rstrip("x")) for (name, ratio, _, _) in rows
+    }
+    paper = ratios["4 nodes (paper)"]
+    # the paper's layout must be competitive with the richest layout...
+    assert paper > 0.93 * max(ratios.values())
+    # ...and clearly better than the crudest 2-node split
+    assert paper > ratios["2 nodes (256/256)"]
+    # nothing may beat unrestricted Huffman
+    assert max(ratios.values()) <= huffman + 1e-9

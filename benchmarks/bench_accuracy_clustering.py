@@ -1,0 +1,23 @@
+"""E9 — clustering vs accuracy (Sec. III-C claim).
+
+Trains a small BNN with STE on a synthetic pattern task, rewrites the
+trained 3x3 kernels through the Hamming-1 clustering pass and re-measures
+test accuracy.  The paper's claim is that accuracy is not negatively
+affected.
+"""
+
+from conftest import run_once
+from repro.analysis.accuracy import render_accuracy, run_accuracy_experiment
+
+
+def test_accuracy_after_clustering(benchmark):
+    result = run_once(benchmark, run_accuracy_experiment, seed=0)
+    print()
+    print(render_accuracy(result))
+
+    # the model must have actually learnt the task...
+    assert result.baseline_accuracy > 0.7
+    # ...the pass must have actually rewritten kernels...
+    assert result.sequences_replaced > 50
+    # ...and accuracy must be preserved (within noise)
+    assert result.accuracy_drop < 0.05

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the codec itself: encode / decode / pack throughput.
+
+Not a paper table — these keep the library's own hot paths honest (the
+repro band notes bit-packing is the usual Python bottleneck) and give
+pytest-benchmark something with enough rounds for stable statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnn.packing import pack_bits, packed_dot, unpack_bits
+from repro.core.bitseq import kernel_to_sequences
+from repro.core.frequency import FrequencyTable
+from repro.core.simplified import SimplifiedTree
+
+
+@pytest.fixture(scope="module")
+def block7_sequences(reactnet_kernels):
+    return kernel_to_sequences(reactnet_kernels[7])  # 262k sequences
+
+
+@pytest.fixture(scope="module")
+def block7_tree(block7_sequences):
+    return SimplifiedTree(FrequencyTable.from_sequences(block7_sequences))
+
+
+def test_encode_throughput(benchmark, block7_tree, block7_sequences):
+    payload, bits = benchmark(block7_tree.encode, block7_sequences)
+    assert bits > 0
+    rate = block7_sequences.size / benchmark.stats["mean"]
+    print(f"\nencode: {rate / 1e6:.2f} M sequences/s")
+
+
+def test_decode_throughput(benchmark, block7_tree, block7_sequences):
+    payload, bits = block7_tree.encode(block7_sequences)
+    decoded = benchmark(
+        block7_tree.decode, payload, block7_sequences.size, bits
+    )
+    assert np.array_equal(decoded, block7_sequences)
+    rate = block7_sequences.size / benchmark.stats["mean"]
+    print(f"\ndecode: {rate / 1e6:.2f} M sequences/s")
+
+
+def test_channel_pack_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, (512, 512 * 9)).astype(np.uint8)
+    words = benchmark(pack_bits, bits)
+    assert words.shape == (512, 72)
+
+
+def test_packed_dot_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    w = pack_bits(rng.integers(0, 2, (64, 4608)).astype(np.uint8))
+    x = pack_bits(rng.integers(0, 2, (196, 1, 4608)).astype(np.uint8))
+    dots = benchmark(packed_dot, w, x, 4608)
+    assert dots.shape == (196, 64)
+
+
+def test_frequency_table_throughput(benchmark, block7_sequences):
+    table = benchmark(FrequencyTable.from_sequences, block7_sequences)
+    assert table.total == block7_sequences.size

@@ -1,0 +1,23 @@
+"""E8 — share of channels per code length (Sec. VI prose).
+
+Paper: encoding-only puts ~46/24/23/5% of channels on 6/8/9/12-bit codes;
+clustering shifts the mix to ~65/25/8/0.6%.  The bench asserts the
+direction and rough magnitude of that shift.
+"""
+
+from conftest import run_once
+from repro.analysis.compression import measure_codelength_mix
+
+
+def test_codelength_mix(benchmark, reactnet_kernels):
+    mix = run_once(benchmark, measure_codelength_mix, reactnet_kernels)
+    print()
+    print(mix.render())
+
+    assert mix.code_lengths == (6, 8, 9, 12)
+    # clustering moves mass from the 12-bit tail into the 6-bit head
+    assert mix.after[0] > mix.before[0] + 0.02
+    assert mix.after[3] < mix.before[3] - 0.02
+    # magnitudes: head covers ~half, tail under 20%
+    assert 0.40 < mix.before[0] < 0.60
+    assert mix.after[3] < 0.15

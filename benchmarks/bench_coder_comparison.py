@@ -1,0 +1,32 @@
+"""Baseline comparison — the simplified tree among alternative coders.
+
+Quantifies Sec. III-B's trade-off claim: the 4-node tree must track full
+Huffman (Deep Compression's coder, related work [11]) closely while the
+parameter-free rank-gamma strawman falls behind, and nothing may beat the
+entropy bound.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.coders import compare_coders, render_coders
+
+
+def test_coder_comparison(benchmark, reactnet_kernels):
+    rows = run_once(benchmark, compare_coders, reactnet_kernels)
+    print()
+    print(render_coders(rows))
+
+    for row in rows:
+        # ordering: fixed <= simplified <= huffman <= entropy bound
+        assert row.fixed <= row.simplified + 1e-9
+        assert row.simplified <= row.huffman + 1e-9
+        assert row.huffman <= row.entropy_bound + 1e-9
+
+    mean_simplified = float(np.mean([r.simplified for r in rows]))
+    mean_huffman = float(np.mean([r.huffman for r in rows]))
+    # the paper's trade-off: within ~15% of full Huffman on average
+    assert mean_simplified > 0.85 * mean_huffman
+    # and clearly ahead of the table-free universal code
+    mean_gamma = float(np.mean([r.rank_gamma for r in rows]))
+    assert mean_simplified > mean_gamma

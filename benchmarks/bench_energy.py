@@ -1,0 +1,56 @@
+"""Extension — energy per inference, baseline vs decoding unit.
+
+The paper's mechanism (fewer DRAM bytes, decode in a small dedicated
+unit) is an energy optimisation as much as a performance one; this bench
+prices the simulated activity with standard per-component energies and
+checks the decoder's own cost does not eat the DRAM saving.
+"""
+
+from conftest import run_once
+from repro.analysis.compression import measure_table5
+from repro.analysis.performance import ratios_from_table5
+from repro.analysis.report import render_table
+from repro.hw.energy import EnergyModel
+
+
+def measure(kernels):
+    ratios = ratios_from_table5(measure_table5(kernels))
+    model = EnergyModel()
+    return model.compare(ratios)
+
+
+def test_energy_per_inference(benchmark, reactnet_kernels):
+    reports = run_once(benchmark, measure, reactnet_kernels)
+    base = reports["baseline"]
+    compressed = reports["hw_compressed"]
+
+    rows = []
+    for component in ("dram", "compute", "decoder", "static"):
+        rows.append(
+            (
+                component,
+                f"{base.breakdown()[component]:.1f} uJ",
+                f"{compressed.breakdown()[component]:.1f} uJ",
+            )
+        )
+    rows.append(
+        ("total", f"{base.total_uj:.1f} uJ", f"{compressed.total_uj:.1f} uJ")
+    )
+    print()
+    print(
+        render_table(
+            ("Component", "Baseline", "HW compressed"),
+            rows,
+            title="Extension — energy per inference",
+        )
+    )
+    saving = base.total_uj / compressed.total_uj
+    print(f"energy reduction: {saving:.2f}x")
+
+    # compression must save DRAM energy...
+    assert compressed.dram_uj < base.dram_uj
+    # ...the decoder must cost something (honesty check)...
+    assert compressed.decoder_uj > 0
+    assert base.decoder_uj == 0
+    # ...and the net effect must still be a saving
+    assert compressed.total_uj < base.total_uj

@@ -1,0 +1,28 @@
+"""Consistency check — LP upper bound on Table V given Table II.
+
+Documents the internal inconsistency of the paper's numbers: for most
+blocks no monotone distribution matching Table II's top-64/top-256 shares
+can reach the encoding ratio Table V claims under the 32/64/64/rest tree.
+Our measured ratios must respect the bound.
+"""
+
+from conftest import run_once
+from repro.analysis.compression import measure_table5
+from repro.analysis.feasibility import analyze_feasibility, render_feasibility
+
+
+def test_feasibility_bounds(benchmark, reactnet_kernels):
+    rows = run_once(benchmark, analyze_feasibility)
+    print()
+    print(render_feasibility(rows))
+
+    infeasible = [row for row in rows if not row.paper_is_feasible]
+    print(f"\nblocks whose Table V claim exceeds the bound: "
+          f"{len(infeasible)} / {len(rows)}")
+
+    # the inconsistency is systematic, not a single outlier
+    assert len(infeasible) >= 6
+    # our own measured ratios never exceed the bound
+    bounds = {row.block: row.max_ratio for row in rows}
+    for measured in measure_table5(reactnet_kernels):
+        assert measured.encoding_ratio <= bounds[measured.block] + 0.03

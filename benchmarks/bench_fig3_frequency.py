@@ -1,0 +1,28 @@
+"""E2 — Fig. 3: frequency of use of the top-16 bit sequences.
+
+Regenerates the figure's data series: the two uniform sequences hold
+~25%, the top 16 hold ~46%, and the head is the paper's published
+sequence list in decaying order.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.distribution import measure_fig3, render_fig3
+from repro.synth.ranking import FIG3_TOP16
+
+
+def test_fig3_top16_frequency(benchmark):
+    result = run_once(benchmark, measure_fig3, seed=0)
+    print()
+    print(render_fig3(result))
+
+    assert result.uniform_share == pytest.approx(0.255, abs=0.01)
+    assert result.top16_share == pytest.approx(0.46, abs=0.02)
+    # head sequences and their order match the figure's x-axis
+    assert result.sequences[:8] == FIG3_TOP16[:8]
+    # bars decay after the two uniform sequences
+    shares = result.shares
+    assert all(
+        shares[i] >= shares[i + 1] - 1e-9 for i in range(2, len(shares) - 1)
+    )

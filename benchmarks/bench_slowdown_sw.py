@@ -1,0 +1,37 @@
+"""E7 — software-only decompression slowdown (Sec. IV-B: 1.47x).
+
+Same compressed kernels, but decoded by plain CPU instructions into a
+scratch buffer before each layer: the decode loop lands on the critical
+path and the network gets slower than the uncompressed baseline.
+"""
+
+from conftest import run_once
+from repro.analysis.compression import measure_table5
+from repro.analysis.performance import (
+    ratios_from_table5,
+    run_performance_experiment,
+)
+
+
+def test_sw_slowdown(benchmark, reactnet_kernels):
+    ratios = ratios_from_table5(measure_table5(reactnet_kernels))
+    result = run_once(
+        benchmark, run_performance_experiment, compression_ratios=ratios
+    )
+    print()
+    print(f"software-decode slowdown: {result.sw_slowdown:.2f}x "
+          "(paper 1.47x)")
+    decode_cycles = sum(
+        l.decode_cycles for l in result.sw_compressed.layers
+    )
+    print(f"decode cycles on the critical path: {decode_cycles:.3e} "
+          f"({decode_cycles / result.sw_compressed.total_cycles:.0%} of total)")
+
+    # paper: 1.47x slower; assert the neighbourhood and the mechanism
+    assert 1.2 < result.sw_slowdown < 1.8
+    assert decode_cycles > 0.2 * result.baseline.total_cycles
+    # hardware support must beat the software route by a wide margin
+    assert (
+        result.sw_compressed.total_cycles
+        > 1.5 * result.hw_compressed.total_cycles
+    )

@@ -1,0 +1,42 @@
+"""E6 — end-to-end speedup with the decoding unit (Sec. VI: 1.35x).
+
+Runs the trace-driven simulator over the full network in baseline and
+hardware-compressed modes, using the per-block clustering ratios measured
+by the Table V experiment.
+"""
+
+from conftest import run_once
+from repro.analysis.compression import measure_table5
+from repro.analysis.performance import (
+    ratios_from_table5,
+    render_speedup,
+    run_performance_experiment,
+)
+
+
+def test_hw_speedup(benchmark, reactnet_kernels):
+    ratios = ratios_from_table5(measure_table5(reactnet_kernels))
+    result = run_once(
+        benchmark, run_performance_experiment, compression_ratios=ratios
+    )
+    print()
+    print(render_speedup(result))
+
+    # paper: 1.35x; our simulator should land in the same neighbourhood
+    assert 1.2 < result.hw_speedup < 1.7
+    # the win comes from the memory-bound conv3x3 layers
+    conv3x3_base = sum(
+        l.total_cycles
+        for l in result.baseline.layers
+        if l.workload.kind == "conv3x3"
+    )
+    conv3x3_hw = sum(
+        l.total_cycles
+        for l in result.hw_compressed.layers
+        if l.workload.kind == "conv3x3"
+    )
+    assert conv3x3_base / conv3x3_hw > result.hw_speedup
+    # DRAM weight traffic drops by roughly the compression ratio
+    dram_base = sum(l.dram_bytes for l in result.baseline.layers)
+    dram_hw = sum(l.dram_bytes for l in result.hw_compressed.layers)
+    assert dram_hw < dram_base

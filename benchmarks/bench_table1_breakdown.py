@@ -1,0 +1,30 @@
+"""E1 — Table I: ReActNet storage and execution-time breakdown.
+
+Regenerates the storage shares analytically from the topology and the
+time shares from the baseline performance model, printed next to the
+paper's values.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.storage import compute_storage_breakdown
+
+
+def test_table1_breakdown(benchmark):
+    breakdown = run_once(benchmark, compute_storage_breakdown)
+    print()
+    print(breakdown.render())
+
+    total = breakdown.total_bits
+    # paper: conv 3x3 dominates both storage (~68%) and time (~67%)
+    assert breakdown.row("Conv 3x3").storage_share(total) == pytest.approx(
+        0.68, abs=0.02
+    )
+    assert breakdown.row("Conv 3x3").time_share > 0.5
+    assert breakdown.row("Output Layer").storage_share(total) == pytest.approx(
+        0.22, abs=0.02
+    )
+    assert breakdown.row("Conv 1x1").storage_share(total) == pytest.approx(
+        0.085, abs=0.01
+    )

@@ -1,0 +1,19 @@
+"""E3 — Table II: top-64 / top-256 bit-sequence shares per basic block."""
+
+from conftest import run_once
+from repro.analysis.distribution import measure_table2, render_table2
+
+
+def test_table2_distribution(benchmark, reactnet_kernels):
+    rows = run_once(benchmark, measure_table2, reactnet_kernels)
+    print()
+    print(render_table2(rows))
+
+    assert len(rows) == 13
+    for row in rows:
+        assert row.top64_error < 0.03, f"block {row.block}"
+        assert row.top256_error < 0.03, f"block {row.block}"
+    # the paper's qualitative claims hold in every block
+    for row in rows:
+        assert row.top64 > 0.5, "top 64 cover more than half (Sec. III-A)"
+        assert row.top256 > 0.85, "top 256 cover ~90% (Sec. III-A)"

@@ -1,0 +1,35 @@
+"""E4 — Table V: per-block compression ratio, encoding vs clustering.
+
+The headline experiment.  Absolute ratios sit slightly below the paper's
+(see EXPERIMENTS.md: the paper's Table II and Table V are mutually
+inconsistent, and our distributions match Table II exactly); the shape —
+clustering strictly beating encoding-only in every block, ratios rising
+for the later, more skewed blocks — is asserted here.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.compression import measure_table5, render_table5
+
+
+def test_table5_compression(benchmark, reactnet_kernels):
+    rows = run_once(benchmark, measure_table5, reactnet_kernels)
+    print()
+    print(render_table5(rows))
+
+    assert len(rows) == 13
+    for row in rows:
+        assert row.encoding_ratio > 1.05, f"block {row.block}"
+        assert row.clustering_ratio > row.encoding_ratio, f"block {row.block}"
+        assert row.replaced > 0, f"block {row.block}"
+
+    mean_encoding = float(np.mean([r.encoding_ratio for r in rows]))
+    mean_clustering = float(np.mean([r.clustering_ratio for r in rows]))
+    # paper: ~1.20x encoding, 1.32x clustering; shape check with headroom
+    assert 1.08 < mean_encoding < 1.30
+    assert 1.15 < mean_clustering < 1.40
+    assert mean_clustering - mean_encoding > 0.03
+    # block 12 (most skewed per Table II) compresses best, as in the paper
+    best = max(rows, key=lambda r: r.clustering_ratio)
+    assert best.block == 12

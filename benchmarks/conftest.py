@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper; expensive
+inputs (calibration, kernel generation) are shared session-wide so the
+timed region is the experiment itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth.weights import generate_reactnet_kernels
+
+
+@pytest.fixture(scope="session")
+def reactnet_kernels():
+    """Calibrated synthetic per-block kernels (seed 0)."""
+    return generate_reactnet_kernels(seed=0)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a multi-second experiment with a single round."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,64 @@
+"""Deployment flow: train -> compress -> save -> load -> run.
+
+The downstream-user path: a trained BNN is serialised into a single
+artifact with compressed 3x3 kernels (the paper's scheme), bit-packed
+1x1 kernels and 8-bit stem/head weights, then reloaded through the real
+stream decoder and evaluated.
+
+Run:  python examples/deploy_model.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import format_ratio
+from repro.bnn import (
+    build_small_bnn,
+    evaluate_accuracy,
+    make_pattern_dataset,
+    train_model,
+)
+from repro.core import ClusteringConfig
+from repro.deploy import (
+    artifact_report,
+    load_compressed_model,
+    save_compressed_model,
+)
+
+
+def main() -> None:
+    dataset = make_pattern_dataset(
+        noise=0.12, train_per_class=160, test_per_class=40, seed=0
+    )
+    model = build_small_bnn(
+        in_channels=1, num_classes=dataset.num_classes, image_size=16, seed=0
+    )
+    report = train_model(model, dataset, epochs=20, seed=0)
+    model.eval()
+    print(f"trained model: test accuracy {report.test_accuracy:.1%}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bnn_compressed.npz"
+        save_compressed_model(
+            model, path,
+            clustering=ClusteringConfig(num_common=64, num_rare=400),
+        )
+        size_kib = path.stat().st_size / 1024
+        print(f"artifact written: {path.name} ({size_kib:.1f} KiB)")
+
+        stats = artifact_report(path)
+        print(f"3x3 payload: {stats.uncompressed_payload_bits} -> "
+              f"{stats.compressed_payload_bits} bits "
+              f"({format_ratio(stats.payload_ratio)}, incl. node tables)")
+        print("note: at this toy scale the node tables dominate — the "
+              "scheme pays off at ReActNet channel counts (see "
+              "benchmarks/bench_model_compression.py)")
+
+        loaded = load_compressed_model(path)
+        accuracy = evaluate_accuracy(loaded, dataset.test_x, dataset.test_y)
+        print(f"reloaded model: test accuracy {accuracy:.1%} "
+              "(kernels decoded from the compressed streams)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Run a BNN forward pass through the bit-packed xnor+popcount engine.
+
+The daBNN-style execution model (Sec. IV-B): binarised activations and
+channel-packed kernels, convolution as xor + popcount on 64-bit words
+(Eq. 2).  The example verifies the packed path against the float
+reference and reports the bit-level arithmetic intensity.
+
+Run:  python examples/packed_inference.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.bnn import (
+    binarize_bits,
+    binary_conv2d_packed,
+    binary_conv2d_reference,
+    pack_kernel_channels,
+)
+from repro.synth import generate_reactnet_kernels
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    kernel_bits = generate_reactnet_kernels(seed=0)[2]  # 64x64 channels
+    out_ch, in_ch = kernel_bits.shape[:2]
+
+    activations = rng.standard_normal((1, in_ch, 28, 28)).astype(np.float32)
+    x_bits = binarize_bits(activations)
+    x_signs = np.where(x_bits.astype(bool), 1.0, -1.0).astype(np.float32)
+    k_signs = np.where(kernel_bits.astype(bool), 1.0, -1.0).astype(np.float32)
+
+    words, num_bits = pack_kernel_channels(kernel_bits)
+    print(f"kernel: {out_ch}x{in_ch}x3x3 -> channel-packed into "
+          f"{words.shape[1]} 64-bit words per output channel "
+          f"({num_bits} bits each)")
+
+    t0 = time.perf_counter()
+    packed_out = binary_conv2d_packed(x_bits, kernel_bits, stride=1, padding=1)
+    t_packed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reference_out = binary_conv2d_reference(x_signs, k_signs, 1, 1)
+    t_reference = time.perf_counter() - t0
+
+    assert np.array_equal(packed_out, reference_out.astype(np.int32))
+    macs = packed_out.size * in_ch * 9
+    print(f"output: {packed_out.shape}, {macs / 1e6:.1f}M binary MACs")
+    print(f"packed xnor+popcount path: {t_packed * 1e3:.1f} ms")
+    print(f"float reference path:      {t_reference * 1e3:.1f} ms")
+    print("outputs identical: packed path verified against Eq. 2 reference")
+
+
+if __name__ == "__main__":
+    main()

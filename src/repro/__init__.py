@@ -1,0 +1,21 @@
+"""repro — reproduction of "Exploiting Kernel Compression on BNNs" (DATE 2023).
+
+Subpackages:
+
+* :mod:`repro.core` — kernel compression (bit sequences, Huffman,
+  simplified tree, clustering): the paper's contribution.
+* :mod:`repro.bnn` — BNN substrate (ReActNet-like model, xnor+popcount
+  engine, channel packing, STE training).
+* :mod:`repro.synth` — synthetic kernels calibrated to the paper's
+  published distributions.
+* :mod:`repro.hw` — cycle-approximate hardware model (caches, memory,
+  decoding unit) standing in for the paper's Gem5 + ARM A53 platform.
+* :mod:`repro.analysis` — experiment drivers reproducing every table and
+  figure of the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, bnn, core, deploy, hw, synth
+
+__all__ = ["analysis", "bnn", "core", "deploy", "hw", "synth", "__version__"]

@@ -1,0 +1,97 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+One module per experiment family; each pairs a ``measure_*`` function
+(returning structured results) with a ``render_*`` function (the aligned
+text table quoted in EXPERIMENTS.md).
+"""
+
+from .accuracy import (
+    AccuracyResult,
+    apply_clustering_to_model,
+    render_accuracy,
+    run_accuracy_experiment,
+)
+from .coders import CoderComparison, compare_coders, render_coders
+from .compression import (
+    CodeLengthMix,
+    ModelCompressionResult,
+    PAPER_CLUSTERING,
+    PAPER_TABLE5,
+    Table5Row,
+    measure_codelength_mix,
+    measure_model_compression,
+    measure_table5,
+    render_table5,
+)
+from .export import EXPORTERS, export_all
+from .distribution import (
+    Fig3Result,
+    Table2Row,
+    measure_fig3,
+    measure_table2,
+    render_fig3,
+    render_table2,
+)
+from .feasibility import (
+    FeasibilityRow,
+    analyze_feasibility,
+    max_encoding_ratio,
+    render_feasibility,
+)
+from .performance import (
+    PAPER_HW_SPEEDUP,
+    PAPER_SW_SLOWDOWN,
+    SpeedupResult,
+    ratios_from_table5,
+    render_speedup,
+    run_performance_experiment,
+)
+from .report import format_percent, format_ratio, render_table
+from .storage import (
+    StorageBreakdown,
+    StorageRow,
+    compute_storage_breakdown,
+)
+
+__all__ = [
+    "AccuracyResult",
+    "CodeLengthMix",
+    "CoderComparison",
+    "EXPORTERS",
+    "FeasibilityRow",
+    "Fig3Result",
+    "ModelCompressionResult",
+    "PAPER_CLUSTERING",
+    "PAPER_HW_SPEEDUP",
+    "PAPER_SW_SLOWDOWN",
+    "PAPER_TABLE5",
+    "SpeedupResult",
+    "StorageBreakdown",
+    "StorageRow",
+    "Table2Row",
+    "Table5Row",
+    "analyze_feasibility",
+    "apply_clustering_to_model",
+    "compare_coders",
+    "export_all",
+    "compute_storage_breakdown",
+    "format_percent",
+    "format_ratio",
+    "max_encoding_ratio",
+    "measure_codelength_mix",
+    "measure_fig3",
+    "measure_model_compression",
+    "measure_table2",
+    "measure_table5",
+    "ratios_from_table5",
+    "render_accuracy",
+    "render_feasibility",
+    "render_coders",
+    "render_fig3",
+    "render_speedup",
+    "render_table",
+    "render_table2",
+    "render_table5",
+    "run_accuracy_experiment",
+    "run_performance_experiment",
+]

@@ -1,0 +1,207 @@
+"""Machine-readable export of every experiment's data series.
+
+Plot regeneration needs data, not rendered text: this module runs the
+experiment drivers and writes their results as JSON and CSV under an
+output directory, one file per table/figure.  ``python -m repro export
+--out results/`` produces the full set; downstream plotting scripts
+(matplotlib, pgfplots, spreadsheets) consume them directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .accuracy import run_accuracy_experiment
+from .compression import (
+    measure_codelength_mix,
+    measure_model_compression,
+    measure_table5,
+)
+from .distribution import measure_fig3, measure_table2
+from .feasibility import analyze_feasibility
+from .performance import run_performance_experiment
+from .storage import compute_storage_breakdown
+
+__all__ = ["export_all", "EXPORTERS"]
+
+
+def _write_csv(path: Path, headers: Sequence[str], rows: List[Sequence]) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def _write_json(path: Path, payload) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def _export_table1(out: Path, seed: int) -> None:
+    breakdown = compute_storage_breakdown()
+    total = breakdown.total_bits
+    rows = [
+        (
+            row.operation,
+            row.storage_bits,
+            round(row.storage_share(total), 6),
+            row.precision_bits,
+            round(row.time_share, 6),
+        )
+        for row in breakdown.rows
+    ]
+    _write_csv(
+        out / "table1_breakdown.csv",
+        ("operation", "storage_bits", "storage_share", "precision_bits",
+         "time_share"),
+        rows,
+    )
+
+
+def _export_fig3(out: Path, seed: int) -> None:
+    result = measure_fig3(seed=seed)
+    _write_json(
+        out / "fig3_frequency.json",
+        {
+            "block": result.block,
+            "sequences": list(result.sequences),
+            "shares": list(result.shares),
+            "uniform_share": result.uniform_share,
+            "top16_share": result.top16_share,
+        },
+    )
+
+
+def _export_table2(out: Path, seed: int) -> None:
+    rows = measure_table2(seed=seed)
+    _write_csv(
+        out / "table2_distribution.csv",
+        ("block", "top64", "top64_paper", "top256", "top256_paper"),
+        [
+            (r.block, round(r.top64, 6), r.paper_top64,
+             round(r.top256, 6), r.paper_top256)
+            for r in rows
+        ],
+    )
+
+
+def _export_table5(out: Path, seed: int) -> None:
+    rows = measure_table5(seed=seed)
+    _write_csv(
+        out / "table5_compression.csv",
+        ("block", "encoding", "encoding_paper", "clustering",
+         "clustering_paper", "replaced"),
+        [
+            (r.block, round(r.encoding_ratio, 4), r.paper_encoding,
+             round(r.clustering_ratio, 4), r.paper_clustering, r.replaced)
+            for r in rows
+        ],
+    )
+
+
+def _export_mix(out: Path, seed: int) -> None:
+    mix = measure_codelength_mix(seed=seed)
+    _write_json(
+        out / "codelength_mix.json",
+        {
+            "code_lengths": list(mix.code_lengths),
+            "before": list(mix.before),
+            "after": list(mix.after),
+            "paper_before": list(mix.PAPER_BEFORE),
+            "paper_after": list(mix.PAPER_AFTER),
+        },
+    )
+
+
+def _export_model(out: Path, seed: int) -> None:
+    result = measure_model_compression(seed=seed)
+    _write_json(
+        out / "model_compression.json",
+        {
+            "baseline_bits": result.baseline_bits,
+            "compressed_bits": result.compressed_bits,
+            "model_ratio": result.model_ratio,
+            "conv3x3_ratio": result.conv3x3_ratio,
+        },
+    )
+
+
+def _export_speedup(out: Path, seed: int) -> None:
+    result = run_performance_experiment(seed=seed)
+    _write_json(
+        out / "speedup.json",
+        {
+            "baseline_cycles": result.baseline.total_cycles,
+            "hw_cycles": result.hw_compressed.total_cycles,
+            "sw_cycles": result.sw_compressed.total_cycles,
+            "hw_speedup": result.hw_speedup,
+            "sw_slowdown": result.sw_slowdown,
+            "per_layer_baseline": {
+                layer.workload.name: layer.total_cycles
+                for layer in result.baseline.layers
+            },
+        },
+    )
+
+
+def _export_feasibility(out: Path, seed: int) -> None:
+    rows = analyze_feasibility()
+    _write_csv(
+        out / "feasibility.csv",
+        ("block", "max_ratio", "paper_ratio", "feasible"),
+        [
+            (r.block, round(r.max_ratio, 4), r.paper_ratio,
+             r.paper_is_feasible)
+            for r in rows
+        ],
+    )
+
+
+def _export_accuracy(out: Path, seed: int) -> None:
+    result = run_accuracy_experiment(seed=seed)
+    _write_json(
+        out / "accuracy_clustering.json",
+        {
+            "baseline_accuracy": result.baseline_accuracy,
+            "clustered_accuracy": result.clustered_accuracy,
+            "accuracy_drop": result.accuracy_drop,
+            "sequences_replaced": result.sequences_replaced,
+            "bit_flips": result.total_bit_flips,
+        },
+    )
+
+
+EXPORTERS = {
+    "table1": _export_table1,
+    "fig3": _export_fig3,
+    "table2": _export_table2,
+    "table5": _export_table5,
+    "mix": _export_mix,
+    "model": _export_model,
+    "speedup": _export_speedup,
+    "feasibility": _export_feasibility,
+    "accuracy": _export_accuracy,
+}
+
+
+def export_all(
+    output_dir, seed: int = 0, only: Sequence[str] = ()
+) -> List[Path]:
+    """Write every experiment's data files into ``output_dir``.
+
+    ``only`` restricts to a subset of exporter names.  Returns the list
+    of files written.
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    selected = list(only) if only else list(EXPORTERS)
+    unknown = set(selected) - set(EXPORTERS)
+    if unknown:
+        raise ValueError(f"unknown exporters: {sorted(unknown)}")
+    before = set(out.iterdir())
+    for name in selected:
+        EXPORTERS[name](out, seed)
+    return sorted(set(out.iterdir()) - before)

@@ -1,0 +1,149 @@
+"""Consistency analysis of the paper's published numbers.
+
+Table II (top-64 / top-256 shares) and the "Encoding" column of Table V
+(compression ratios) are both functions of the same per-block frequency
+distribution, so they can be checked against each other: for a given pair
+of Table II shares there is a *maximum* compression ratio any distribution
+can achieve under the 32/64/64/rest simplified tree, because the tree
+assigns codes by frequency rank and probabilities are necessarily
+non-increasing in rank.
+
+``max_encoding_ratio`` computes that bound exactly with a linear program:
+
+    minimise   sum_g length(g) * mass(g)
+    subject to p_0 >= p_1 >= ... >= p_511 >= 0
+               sum p = 1,  sum p[:64] = top64,  sum p[:256] = top256
+
+This is the analysis behind the EXPERIMENTS.md discussion of why our
+measured encoding ratios sit below Table V's while matching Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core.bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
+from ..core.simplified import DEFAULT_CAPACITIES, TreeLayout
+from ..synth.calibration import BlockTarget, TABLE2_TARGETS
+from .compression import PAPER_TABLE5
+from .report import format_ratio, render_table
+
+__all__ = [
+    "FeasibilityRow",
+    "max_encoding_ratio",
+    "analyze_feasibility",
+    "render_feasibility",
+]
+
+
+@dataclass(frozen=True)
+class FeasibilityRow:
+    """Per-block bound vs. the paper's claimed encoding ratio."""
+
+    block: int
+    max_ratio: float
+    paper_ratio: float
+
+    @property
+    def paper_is_feasible(self) -> bool:
+        """Whether the claimed ratio is achievable given Table II."""
+        return self.paper_ratio <= self.max_ratio + 1e-9
+
+
+def _code_length_per_rank(layout: TreeLayout) -> np.ndarray:
+    """Code length assigned to each frequency rank under ``layout``."""
+    lengths = np.empty(NUM_SEQUENCES)
+    cursor = 0
+    for node in range(layout.num_nodes):
+        take = min(layout.capacities[node], NUM_SEQUENCES - cursor)
+        lengths[cursor:cursor + take] = layout.code_length(node)
+        cursor += take
+    return lengths
+
+
+def max_encoding_ratio(
+    top64: float,
+    top256: float,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+) -> float:
+    """Maximum encoding-only compression ratio consistent with Table II.
+
+    Solves the LP described in the module docstring and returns
+    ``9 / minimal_average_code_length``.
+    """
+    if not 0 < top64 <= top256 <= 1:
+        raise ValueError(
+            f"need 0 < top64 <= top256 <= 1, got {top64}, {top256}"
+        )
+    layout = TreeLayout(tuple(int(c) for c in capacities))
+    costs = _code_length_per_rank(layout)
+
+    n = NUM_SEQUENCES
+    # Monotonicity: p_i - p_{i+1} >= 0  ->  -p_i + p_{i+1} <= 0
+    monotone = np.zeros((n - 1, n))
+    rows = np.arange(n - 1)
+    monotone[rows, rows] = -1.0
+    monotone[rows, rows + 1] = 1.0
+
+    equality = np.zeros((3, n))
+    equality[0, :] = 1.0
+    equality[1, :64] = 1.0
+    equality[2, :256] = 1.0
+    targets = np.asarray([1.0, top64, top256])
+
+    solution = linprog(
+        c=costs,
+        A_ub=monotone,
+        b_ub=np.zeros(n - 1),
+        A_eq=equality,
+        b_eq=targets,
+        bounds=[(0, None)] * n,
+        method="highs",
+    )
+    if not solution.success:
+        raise RuntimeError(f"LP failed: {solution.message}")
+    minimal_average = float(solution.fun)
+    return BITS_PER_SEQUENCE / minimal_average
+
+
+def analyze_feasibility(
+    targets: Optional[Sequence[BlockTarget]] = None,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+) -> List[FeasibilityRow]:
+    """Bound every block of Table II against its Table V encoding claim."""
+    targets = list(targets) if targets is not None else list(TABLE2_TARGETS)
+    rows = []
+    for target in targets:
+        bound = max_encoding_ratio(target.top64, target.top256, capacities)
+        paper = PAPER_TABLE5.get(target.block, (float("nan"),))[0]
+        rows.append(
+            FeasibilityRow(
+                block=target.block, max_ratio=bound, paper_ratio=paper
+            )
+        )
+    return rows
+
+
+def render_feasibility(rows: Sequence[FeasibilityRow]) -> str:
+    """Aligned table of per-block bounds vs. claims."""
+    table_rows = [
+        (
+            f"Block {row.block}",
+            format_ratio(row.max_ratio),
+            format_ratio(row.paper_ratio),
+            "yes" if row.paper_is_feasible else "NO",
+        )
+        for row in rows
+    ]
+    return render_table(
+        ("Layer", "Max ratio (LP bound)", "Paper claims", "Feasible"),
+        table_rows,
+        title=(
+            "Consistency check — maximum encoding ratio any distribution\n"
+            "matching Table II can achieve vs. Table V's claims"
+        ),
+    )

@@ -1,0 +1,117 @@
+"""Performance experiments: the 1.35x hw speedup and 1.47x sw slowdown.
+
+The drivers wire the measured per-block compression ratios (Table V) into
+the trace-driven performance model, compare the three execution modes and
+print the end-to-end results next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..hw.config import SystemConfig
+from ..hw.perf import ModelTiming, PerfModel
+from .compression import Table5Row, measure_table5
+from .report import format_percent, format_ratio, render_table
+
+__all__ = [
+    "SpeedupResult",
+    "ratios_from_table5",
+    "run_performance_experiment",
+    "render_speedup",
+]
+
+PAPER_HW_SPEEDUP = 1.35
+PAPER_SW_SLOWDOWN = 1.47
+
+
+@dataclass
+class SpeedupResult:
+    """End-to-end timing of the three execution modes."""
+
+    baseline: ModelTiming
+    hw_compressed: ModelTiming
+    sw_compressed: ModelTiming
+    compression_ratios: Dict[str, float]
+
+    @property
+    def hw_speedup(self) -> float:
+        """Baseline cycles over hardware-compressed cycles (paper 1.35x)."""
+        return self.baseline.total_cycles / self.hw_compressed.total_cycles
+
+    @property
+    def sw_slowdown(self) -> float:
+        """Software-compressed cycles over baseline (paper 1.47x)."""
+        return self.sw_compressed.total_cycles / self.baseline.total_cycles
+
+
+def ratios_from_table5(rows: List[Table5Row]) -> Dict[str, float]:
+    """Map Table V clustering ratios onto layer names for the perf model."""
+    return {
+        f"block{row.block}_conv3x3": row.clustering_ratio for row in rows
+    }
+
+
+def run_performance_experiment(
+    config: Optional[SystemConfig] = None,
+    compression_ratios: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+) -> SpeedupResult:
+    """Run baseline / hw / sw simulations with measured compression ratios."""
+    if compression_ratios is None:
+        compression_ratios = ratios_from_table5(measure_table5(seed=seed))
+    model = PerfModel(config)
+    return SpeedupResult(
+        baseline=model.simulate_model("baseline"),
+        hw_compressed=model.simulate_model("hw_compressed", compression_ratios),
+        sw_compressed=model.simulate_model("sw_compressed", compression_ratios),
+        compression_ratios=compression_ratios,
+    )
+
+
+def render_speedup(result: SpeedupResult) -> str:
+    """Aligned summary of the performance experiment."""
+    rows = [
+        (
+            "baseline (daBNN-style)",
+            f"{result.baseline.total_cycles:.3e}",
+            "1.00x",
+            "-",
+        ),
+        (
+            "hw compressed (decoding unit)",
+            f"{result.hw_compressed.total_cycles:.3e}",
+            format_ratio(result.hw_speedup),
+            format_ratio(PAPER_HW_SPEEDUP),
+        ),
+        (
+            "sw compressed (software decode)",
+            f"{result.sw_compressed.total_cycles:.3e}",
+            format_ratio(
+                result.baseline.total_cycles
+                / result.sw_compressed.total_cycles
+            ),
+            format_ratio(1.0 / PAPER_SW_SLOWDOWN),
+        ),
+    ]
+    table = render_table(
+        ("Mode", "Cycles", "Speedup", "(paper)"),
+        rows,
+        title="Sec. VI — end-to-end performance",
+    )
+    memory_bound = [
+        layer
+        for layer in result.baseline.layers
+        if layer.workload.kind == "conv3x3"
+    ]
+    stall_share = sum(
+        l.weight_stall_cycles for l in memory_bound
+    ) / max(sum(l.total_cycles for l in memory_bound), 1)
+    footer = (
+        f"\nconv3x3 weight-stall share of baseline: "
+        f"{format_percent(stall_share)}"
+        f"\nsw slowdown: {format_ratio(result.sw_slowdown)} "
+        f"(paper {format_ratio(PAPER_SW_SLOWDOWN)})"
+    )
+    return table + footer

@@ -1,0 +1,59 @@
+"""Plain-text table rendering shared by benches and examples.
+
+Keeps every experiment's output in the same aligned, diff-friendly format
+so EXPERIMENTS.md can quote bench output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_ratio", "format_percent"]
+
+
+def format_ratio(value: float) -> str:
+    """Compression ratios / speedups with two decimals, e.g. ``1.32x``."""
+    return f"{value:.2f}x"
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """A fraction as a percentage string, e.g. ``53.4%``."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Cells are stringified; the first column is left-aligned, the rest
+    right-aligned (numeric convention).
+    """
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in string_rows)
+    return "\n".join(lines)

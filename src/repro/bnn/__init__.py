@@ -1,0 +1,121 @@
+"""BNN substrate: binarisation, packing, ops, layers, ReActNet, training.
+
+This package stands in for the paper's PyTorch-ReActNet + daBNN stack: it
+provides a complete numpy BNN inference and training engine whose 3x3
+binary kernels feed the compression pipeline of :mod:`repro.core`.
+"""
+
+from .activations import (
+    ActivationCompressibility,
+    activation_compressibility,
+    activation_sequences,
+)
+from .binarize import binarize, binarize_bits, clip_latent_weights, ste_grad_mask
+from .datasets import Dataset, make_blob_dataset, make_pattern_dataset
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    BinaryConv2d,
+    Flatten,
+    Layer,
+    QuantConv2d,
+    QuantDense,
+    RPReLU,
+    RSign,
+)
+from .model import Sequential
+from .ops import (
+    binary_conv2d_packed,
+    binary_conv2d_reference,
+    binary_dense_packed,
+    binary_dense_reference,
+    conv_output_size,
+    im2col,
+    im2col_bits,
+)
+from .packing import (
+    WORD_BITS,
+    pack_bits,
+    pack_kernel_channels,
+    packed_dot,
+    packed_words,
+    popcount64,
+    unpack_bits,
+)
+from .quantize import QuantizedTensor, dequantize_tensor, quantize_tensor
+from .residual import ResidualBranch, average_pool_2x2, duplicate_channels
+from .reactnet import (
+    REACTNET_BLOCK_SPECS,
+    REACTNET_INPUT_SIZE,
+    REACTNET_NUM_CLASSES,
+    REACTNET_STEM_CHANNELS,
+    BlockSpec,
+    block_spatial_sizes,
+    build_reactnet,
+    build_small_bnn,
+)
+from .training import (
+    Adam,
+    TrainingReport,
+    cross_entropy,
+    evaluate_accuracy,
+    softmax,
+    train_model,
+)
+
+__all__ = [
+    "ActivationCompressibility",
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "BinaryConv2d",
+    "BlockSpec",
+    "Dataset",
+    "Flatten",
+    "Layer",
+    "QuantConv2d",
+    "QuantDense",
+    "QuantizedTensor",
+    "REACTNET_BLOCK_SPECS",
+    "REACTNET_INPUT_SIZE",
+    "REACTNET_NUM_CLASSES",
+    "REACTNET_STEM_CHANNELS",
+    "RPReLU",
+    "ResidualBranch",
+    "RSign",
+    "Sequential",
+    "TrainingReport",
+    "WORD_BITS",
+    "activation_compressibility",
+    "activation_sequences",
+    "average_pool_2x2",
+    "binarize",
+    "binarize_bits",
+    "binary_conv2d_packed",
+    "binary_conv2d_reference",
+    "binary_dense_packed",
+    "binary_dense_reference",
+    "block_spatial_sizes",
+    "build_reactnet",
+    "build_small_bnn",
+    "clip_latent_weights",
+    "conv_output_size",
+    "cross_entropy",
+    "duplicate_channels",
+    "dequantize_tensor",
+    "evaluate_accuracy",
+    "im2col",
+    "im2col_bits",
+    "make_blob_dataset",
+    "make_pattern_dataset",
+    "pack_bits",
+    "pack_kernel_channels",
+    "packed_dot",
+    "packed_words",
+    "popcount64",
+    "quantize_tensor",
+    "softmax",
+    "ste_grad_mask",
+    "train_model",
+    "unpack_bits",
+]

@@ -1,0 +1,57 @@
+"""Binarisation primitives (Eq. 1 of the paper) and the STE surrogate.
+
+Weights and activations of a BNN take values in {+1, -1}; Eq. 1 binarises
+a real value ``x`` to +1 when ``x >= 0`` and -1 otherwise.  In memory the
+two values are stored as bits 1 and 0 (Sec. II-A).
+
+Training uses the straight-through estimator (STE): the sign function's
+gradient is approximated by the gradient of a clipped identity, i.e. the
+incoming gradient passes through wherever ``|x| <= 1`` and is zeroed
+elsewhere.  This is the standard BNN training recipe used by ReActNet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "binarize",
+    "binarize_bits",
+    "ste_grad_mask",
+    "clip_latent_weights",
+]
+
+
+def binarize(x: np.ndarray) -> np.ndarray:
+    """Eq. 1: map real values to {+1, -1} (``>= 0`` maps to +1).
+
+    Returns ``float32`` so the result can flow through the numpy training
+    graph without dtype churn.
+    """
+    x = np.asarray(x)
+    return np.where(x >= 0, 1.0, -1.0).astype(np.float32)
+
+
+def binarize_bits(x: np.ndarray) -> np.ndarray:
+    """Binarise straight to the storage representation {1, 0} (``uint8``)."""
+    x = np.asarray(x)
+    return (x >= 0).astype(np.uint8)
+
+
+def ste_grad_mask(x: np.ndarray, clip: float = 1.0) -> np.ndarray:
+    """Straight-through gradient mask: 1 where ``|x| <= clip`` else 0."""
+    x = np.asarray(x)
+    if clip <= 0:
+        raise ValueError(f"clip must be positive, got {clip}")
+    return (np.abs(x) <= clip).astype(np.float32)
+
+
+def clip_latent_weights(w: np.ndarray, bound: float = 1.5) -> np.ndarray:
+    """Clip latent (real-valued) weights to keep the STE region alive.
+
+    Without clipping, latent weights drift far from zero and the STE mask
+    kills their gradients permanently.
+    """
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    return np.clip(w, -bound, bound)

@@ -1,0 +1,137 @@
+"""Synthetic classification datasets for the training experiments.
+
+The paper's accuracy check runs ReActNet on ImageNet, which is not
+available offline.  The substitution (see DESIGN.md) trains a small BNN on
+a synthetic task that exercises the same code path: real trained binary
+kernels whose accuracy can be re-measured after the clustering pass.
+
+Two generators are provided:
+
+* :func:`make_pattern_dataset` — each class is a fixed binary template
+  pattern; samples are noisy, shifted renditions.  Convolutional structure
+  is required to solve it, so it is a meaningful test for conv BNNs.
+* :func:`make_blob_dataset` — Gaussian blobs in pixel space, a fast
+  smoke-level task for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "make_pattern_dataset", "make_blob_dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Train/test split of images and integer labels."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels."""
+        return int(self.train_y.max()) + 1
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """(channels, height, width) of one sample."""
+        return self.train_x.shape[1:]
+
+
+def _class_templates(
+    num_classes: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random but well-separated binary templates, one per class."""
+    templates = rng.random((num_classes, size, size)) < 0.5
+    # Re-draw templates that collide too closely (keeps classes separable).
+    for i in range(1, num_classes):
+        for _ in range(100):
+            distances = [
+                np.count_nonzero(templates[i] != templates[j])
+                for j in range(i)
+            ]
+            if min(distances) >= size * size // 4:
+                break
+            templates[i] = rng.random((size, size)) < 0.5
+    return templates.astype(np.float32) * 2 - 1  # {-1, +1}
+
+
+def make_pattern_dataset(
+    num_classes: int = 4,
+    image_size: int = 16,
+    train_per_class: int = 64,
+    test_per_class: int = 32,
+    noise: float = 0.25,
+    max_shift: int = 1,
+    seed: int = 0,
+) -> Dataset:
+    """Noisy, shifted binary template patterns; one template per class.
+
+    ``noise`` is the per-pixel flip probability applied on top of additive
+    Gaussian jitter; ``max_shift`` bounds the random circular shift in each
+    direction.
+    """
+    if not 0 <= noise < 0.5:
+        raise ValueError(f"noise must be in [0, 0.5), got {noise}")
+    rng = np.random.default_rng(seed)
+    templates = _class_templates(num_classes, image_size, rng)
+
+    def sample(count_per_class: int) -> Tuple[np.ndarray, np.ndarray]:
+        images = []
+        labels = []
+        for label in range(num_classes):
+            for _ in range(count_per_class):
+                image = templates[label].copy()
+                shift_r = rng.integers(-max_shift, max_shift + 1)
+                shift_c = rng.integers(-max_shift, max_shift + 1)
+                image = np.roll(image, (shift_r, shift_c), axis=(0, 1))
+                flips = rng.random(image.shape) < noise
+                image = np.where(flips, -image, image)
+                image = image + rng.normal(0, 0.3, image.shape)
+                images.append(image[None].astype(np.float32))
+                labels.append(label)
+        x = np.stack(images)
+        y = np.asarray(labels, dtype=np.int64)
+        order = rng.permutation(len(y))
+        return x[order], y[order]
+
+    train_x, train_y = sample(train_per_class)
+    test_x, test_y = sample(test_per_class)
+    return Dataset(train_x, train_y, test_x, test_y)
+
+
+def make_blob_dataset(
+    num_classes: int = 3,
+    image_size: int = 8,
+    train_per_class: int = 48,
+    test_per_class: int = 16,
+    separation: float = 2.0,
+    seed: int = 0,
+) -> Dataset:
+    """Gaussian class means in pixel space — fast smoke-test data."""
+    rng = np.random.default_rng(seed)
+    means = rng.normal(0, separation, (num_classes, 1, image_size, image_size))
+
+    def sample(count_per_class: int) -> Tuple[np.ndarray, np.ndarray]:
+        images = []
+        labels = []
+        for label in range(num_classes):
+            noise = rng.normal(
+                0, 1.0, (count_per_class, 1, image_size, image_size)
+            )
+            images.append(means[label][None] + noise)
+            labels.extend([label] * count_per_class)
+        x = np.concatenate(images).astype(np.float32)
+        y = np.asarray(labels, dtype=np.int64)
+        order = rng.permutation(len(y))
+        return x[order], y[order]
+
+    train_x, train_y = sample(train_per_class)
+    test_x, test_y = sample(test_per_class)
+    return Dataset(train_x, train_y, test_x, test_y)

@@ -1,0 +1,492 @@
+"""Trainable layers of the BNN substrate.
+
+A tiny numpy autodiff-free layer stack: every layer implements ``forward``
+and ``backward`` explicitly (the classic im2col formulation), which is all
+that is needed to train the small BNNs of the accuracy experiment and to
+run the ReActNet-like topology forward.
+
+Layer zoo (mirroring Fig. 1's basic block):
+
+* :class:`RSign` — ReActNet's shifted sign activation (learnable shift),
+  trained with the straight-through estimator.
+* :class:`BinaryConv2d` — 1-bit convolution; latent float weights are
+  binarised on the forward pass (Eq. 1/2), gradients flow via STE.
+* :class:`QuantConv2d` / :class:`QuantDense` — 8-bit layers for the stem
+  and classifier head (Sec. II-B).
+* :class:`BatchNorm2d`, :class:`RPReLU`, :class:`AvgPool2d`,
+  :class:`Flatten` — the full-precision glue of the basic block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .binarize import binarize, binarize_bits, clip_latent_weights, ste_grad_mask
+from .ops import binary_conv2d_reference, conv_output_size, im2col
+from .quantize import quantize_tensor
+
+__all__ = [
+    "Layer",
+    "RSign",
+    "BinaryConv2d",
+    "QuantConv2d",
+    "QuantDense",
+    "BatchNorm2d",
+    "RPReLU",
+    "AvgPool2d",
+    "Flatten",
+]
+
+
+class Layer:
+    """Base class: parameter registry plus forward/backward contract."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output; caches whatever backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), fill ``self.grads`` and return dL/d(input)."""
+        raise NotImplementedError
+
+    def train(self) -> None:
+        """Switch to training mode (affects batch-norm statistics)."""
+        self.training = True
+
+    def eval(self) -> None:
+        """Switch to inference mode."""
+        self.training = False
+
+    @property
+    def num_params(self) -> int:
+        """Total trainable parameter count."""
+        return sum(p.size for p in self.params.values())
+
+    def storage_bits(self) -> int:
+        """Model storage in bits; full precision (32-bit) by default."""
+        return self.num_params * 32
+
+
+class RSign(Layer):
+    """ReActNet's RSign: ``sign(x - shift)`` with a learnable per-channel shift.
+
+    The channel-wise shift is the "biased" activation the ReActNet paper
+    credits for much of its accuracy; gradients use the STE clip mask.
+    """
+
+    def __init__(self, channels: int) -> None:
+        super().__init__()
+        self.channels = channels
+        self.params["shift"] = np.zeros(channels, dtype=np.float32)
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - self.params["shift"][None, :, None, None]
+        self._cache = shifted
+        return binarize(shifted)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        shifted = self._cache
+        mask = ste_grad_mask(shifted)
+        grad_in = grad * mask
+        self.grads["shift"] = -grad_in.sum(axis=(0, 2, 3)).astype(np.float32)
+        return grad_in
+
+    def output_bits(self, x: np.ndarray) -> np.ndarray:
+        """Binarised output in storage form {1, 0} (for packed inference)."""
+        shifted = x - self.params["shift"][None, :, None, None]
+        return binarize_bits(shifted)
+
+
+class BinaryConv2d(Layer):
+    """1-bit 2-D convolution with latent float weights (Eq. 1 + Eq. 2).
+
+    Forward binarises the latent weights with Eq. 1; backward applies the
+    STE mask to the weight gradient and clips the latent weights so they
+    stay inside the STE's active region.  Inputs are expected to already
+    be in {+1, -1} (produced by :class:`RSign`).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = 1.0 / np.sqrt(fan_in)
+        self.params["weight"] = rng.uniform(
+            -scale, scale, size=(out_channels, in_channels, kernel_size, kernel_size)
+        ).astype(np.float32)
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, Tuple[int, ...]]] = None
+
+    # ------------------------------------------------------------------
+    def binary_weight_signs(self) -> np.ndarray:
+        """Current binarised weights in {+1, -1}."""
+        return binarize(self.params["weight"])
+
+    def binary_weight_bits(self) -> np.ndarray:
+        """Current binarised weights in storage form {1, 0}."""
+        return binarize_bits(self.params["weight"])
+
+    def set_weight_bits(self, bits: np.ndarray) -> None:
+        """Overwrite latent weights from a bit tensor (used after clustering).
+
+        The latent values are set to ±0.5 so subsequent binarisation
+        reproduces exactly these bits.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != self.params["weight"].shape:
+            raise ValueError(
+                f"bit tensor shape {bits.shape} does not match weight shape "
+                f"{self.params['weight'].shape}"
+            )
+        self.params["weight"] = np.where(bits.astype(bool), 0.5, -0.5).astype(
+            np.float32
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        weight_signs = self.binary_weight_signs()
+        patches = im2col(x, self.kernel_size, self.stride, self.padding, -1.0)
+        self._cache = (x, patches, x.shape)
+        flat_w = weight_signs.transpose(0, 2, 3, 1).reshape(self.out_channels, -1)
+        out = patches @ flat_w.T
+        return out.transpose(0, 3, 1, 2).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, patches, x_shape = self._cache
+        batch, _, out_h, out_w = grad.shape
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        patches_flat = patches.reshape(-1, patches.shape[-1])
+
+        # dL/d(binary weight), then STE through Eq. 1
+        grad_w_flat = grad_flat.T @ patches_flat  # (O, khkwC)
+        k = self.kernel_size
+        grad_w = grad_w_flat.reshape(
+            self.out_channels, k, k, self.in_channels
+        ).transpose(0, 3, 1, 2)
+        ste = ste_grad_mask(self.params["weight"])
+        self.grads["weight"] = (grad_w * ste).astype(np.float32)
+
+        # dL/d(input) via col2im of (grad @ binary weight)
+        flat_w = (
+            self.binary_weight_signs()
+            .transpose(0, 2, 3, 1)
+            .reshape(self.out_channels, -1)
+        )
+        grad_patches = (grad_flat @ flat_w).reshape(
+            batch, out_h, out_w, k * k * self.in_channels
+        )
+        return _col2im(
+            grad_patches, x_shape, k, self.stride, self.padding
+        )
+
+    def apply_weight_update(self) -> None:
+        """Post-optimiser hook: clip latent weights into the STE region."""
+        self.params["weight"] = clip_latent_weights(self.params["weight"])
+
+    def storage_bits(self) -> int:
+        """1 bit per weight when deployed."""
+        return self.params["weight"].size
+
+    def run_packed(self, x_bits: np.ndarray) -> np.ndarray:
+        """Inference through the bit-packed xnor+popcount path."""
+        from .ops import binary_conv2d_packed
+
+        return binary_conv2d_packed(
+            x_bits, self.binary_weight_bits(), self.stride, self.padding
+        )
+
+
+def _col2im(
+    grad_patches: np.ndarray,
+    x_shape: Tuple[int, ...],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add patch gradients back to the input tensor."""
+    batch, channels, height, width = x_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=np.float32,
+    )
+    grads = grad_patches.reshape(batch, out_h, out_w, kernel, kernel, channels)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            patch = grads[:, :, :, ki, kj, :].transpose(0, 3, 1, 2)
+            padded[
+                :,
+                :,
+                ki:ki + stride * out_h:stride,
+                kj:kj + stride * out_w:stride,
+            ] += patch
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class QuantConv2d(Layer):
+    """Full-precision conv trained normally, deployed with 8-bit weights.
+
+    Used for ReActNet's input layer; ``storage_bits`` reports the 8-bit
+    deployed footprint and :meth:`quantized_forward` runs inference through
+    actually-quantised weights.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 2,
+        padding: int = 1,
+        weight_bits: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight_bits = weight_bits
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.params["weight"] = (
+            rng.standard_normal((out_channels, in_channels, kernel_size, kernel_size))
+            * scale
+        ).astype(np.float32)
+        self.params["bias"] = np.zeros(out_channels, dtype=np.float32)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        patches = im2col(x, self.kernel_size, self.stride, self.padding, 0.0)
+        self._cache = (patches, x.shape)
+        flat_w = (
+            self.params["weight"].transpose(0, 2, 3, 1).reshape(self.out_channels, -1)
+        )
+        out = patches @ flat_w.T + self.params["bias"]
+        return out.transpose(0, 3, 1, 2).astype(np.float32)
+
+    def quantized_forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward using weights round-tripped through 8-bit quantisation."""
+        quantized = quantize_tensor(self.params["weight"], self.weight_bits)
+        patches = im2col(x, self.kernel_size, self.stride, self.padding, 0.0)
+        flat_w = (
+            quantized.dequantize()
+            .transpose(0, 2, 3, 1)
+            .reshape(self.out_channels, -1)
+        )
+        out = patches @ flat_w.T + self.params["bias"]
+        return out.transpose(0, 3, 1, 2).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        patches, x_shape = self._cache
+        batch, _, out_h, out_w = grad.shape
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        patches_flat = patches.reshape(-1, patches.shape[-1])
+        k = self.kernel_size
+        grad_w = (grad_flat.T @ patches_flat).reshape(
+            self.out_channels, k, k, self.in_channels
+        ).transpose(0, 3, 1, 2)
+        self.grads["weight"] = grad_w.astype(np.float32)
+        self.grads["bias"] = grad_flat.sum(axis=0).astype(np.float32)
+        flat_w = (
+            self.params["weight"].transpose(0, 2, 3, 1).reshape(self.out_channels, -1)
+        )
+        grad_patches = (grad_flat @ flat_w).reshape(
+            batch, out_h, out_w, k * k * self.in_channels
+        )
+        return _col2im(grad_patches, x_shape, k, self.stride, self.padding)
+
+    def storage_bits(self) -> int:
+        """8-bit weights + 32-bit biases when deployed."""
+        return (
+            self.params["weight"].size * self.weight_bits
+            + self.params["bias"].size * 32
+        )
+
+
+class QuantDense(Layer):
+    """Fully-connected layer deployed with 8-bit weights (output layer)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight_bits: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_bits = weight_bits
+        scale = np.sqrt(2.0 / in_features)
+        self.params["weight"] = (
+            rng.standard_normal((out_features, in_features)) * scale
+        ).astype(np.float32)
+        self.params["bias"] = np.zeros(out_features, dtype=np.float32)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x
+        return (x @ self.params["weight"].T + self.params["bias"]).astype(
+            np.float32
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._cache
+        self.grads["weight"] = (grad.T @ x).astype(np.float32)
+        self.grads["bias"] = grad.sum(axis=0).astype(np.float32)
+        return (grad @ self.params["weight"]).astype(np.float32)
+
+    def storage_bits(self) -> int:
+        """8-bit weights + 32-bit biases when deployed."""
+        return (
+            self.params["weight"].size * self.weight_bits
+            + self.params["bias"].size * 32
+        )
+
+
+class BatchNorm2d(Layer):
+    """Standard 2-D batch normalisation with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(channels, dtype=np.float32)
+        self.params["beta"] = np.zeros(channels, dtype=np.float32)
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        normed = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        self._cache = (normed, std)
+        gamma = self.params["gamma"][None, :, None, None]
+        beta = self.params["beta"][None, :, None, None]
+        return (gamma * normed + beta).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        normed, std = self._cache
+        batch, _, height, width = grad.shape
+        count = batch * height * width
+        self.grads["gamma"] = (grad * normed).sum(axis=(0, 2, 3)).astype(np.float32)
+        self.grads["beta"] = grad.sum(axis=(0, 2, 3)).astype(np.float32)
+        gamma = self.params["gamma"][None, :, None, None]
+        grad_normed = grad * gamma
+        mean_grad = grad_normed.mean(axis=(0, 2, 3), keepdims=True)
+        mean_grad_normed = (grad_normed * normed).mean(
+            axis=(0, 2, 3), keepdims=True
+        )
+        grad_in = (
+            grad_normed - mean_grad - normed * mean_grad_normed
+        ) / std[None, :, None, None]
+        return grad_in.astype(np.float32)
+
+
+class RPReLU(Layer):
+    """ReActNet's RPReLU: shifted PReLU, ``prelu(x - s1) + s2`` per channel."""
+
+    def __init__(self, channels: int) -> None:
+        super().__init__()
+        self.channels = channels
+        self.params["slope"] = np.full(channels, 0.25, dtype=np.float32)
+        self.params["shift_in"] = np.zeros(channels, dtype=np.float32)
+        self.params["shift_out"] = np.zeros(channels, dtype=np.float32)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - self.params["shift_in"][None, :, None, None]
+        slope = self.params["slope"][None, :, None, None]
+        out = np.where(shifted >= 0, shifted, slope * shifted)
+        self._cache = shifted
+        return (out + self.params["shift_out"][None, :, None, None]).astype(
+            np.float32
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        shifted = self._cache
+        slope = self.params["slope"][None, :, None, None]
+        negative = shifted < 0
+        self.grads["shift_out"] = grad.sum(axis=(0, 2, 3)).astype(np.float32)
+        self.grads["slope"] = (
+            (grad * np.where(negative, shifted, 0.0)).sum(axis=(0, 2, 3))
+        ).astype(np.float32)
+        grad_shifted = grad * np.where(negative, slope, 1.0)
+        self.grads["shift_in"] = (-grad_shifted.sum(axis=(0, 2, 3))).astype(
+            np.float32
+        )
+        return grad_shifted.astype(np.float32)
+
+
+class AvgPool2d(Layer):
+    """Global average pooling over the spatial dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x.shape
+        return x.mean(axis=(2, 3)).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._cache
+        spread = grad[:, :, None, None] / (height * width)
+        return np.broadcast_to(spread, (batch, channels, height, width)).astype(
+            np.float32
+        )
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._cache)

@@ -1,0 +1,189 @@
+"""Binary convolution and dense kernels (Eq. 2: popcount(xnor(w, x))).
+
+Two interchangeable implementations are provided:
+
+* ``*_reference`` — float matrix multiply over {+1, -1} values.  Slow but
+  obviously correct; the ground truth in tests.
+* ``*_packed`` — the daBNN-style bit-packed path: channel-packed operands,
+  xor + popcount, ``dot = bits - 2 * popcount``.  This is the layout whose
+  memory traffic the hardware model simulates.
+
+Padding semantics: spatial padding inserts 0 bits, which decode to -1 —
+the exact "padding BNN kernels is challenging" situation of Sec. IV-B.
+Both implementations apply the same convention (pad contributes as -1), so
+they agree bit-for-bit; like the paper, the ReActNet-like model chooses
+channel counts so that channel padding is never needed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .packing import pack_bits, pack_kernel_channels, packed_dot
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "im2col_bits",
+    "binary_conv2d_reference",
+    "binary_conv2d_packed",
+    "binary_dense_reference",
+    "binary_dense_packed",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    if size <= 0 or kernel <= 0 or stride <= 0 or padding < 0:
+        raise ValueError(
+            f"invalid conv geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"empty output: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int, pad_value: float = 0.0
+) -> np.ndarray:
+    """Extract convolution patches in (kh, kw, channel) position-major order.
+
+    ``x`` has shape ``(batch, channels, height, width)``; the result has
+    shape ``(batch, out_h, out_w, kernel * kernel * channels)``, matching
+    the layout of :func:`repro.bnn.packing.pack_kernel_channels`.
+    """
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) input, got {x.ndim} dims")
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            constant_values=pad_value,
+        )
+    # gather windows: (N, C, out_h, out_w, kh, kw)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    # -> (N, out_h, out_w, kh, kw, C) -> flatten position-major
+    patches = windows.transpose(0, 2, 3, 4, 5, 1)
+    return patches.reshape(batch, out_h, out_w, kernel * kernel * channels)
+
+
+def im2col_bits(
+    x_bits: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Bit-domain im2col; spatial padding inserts 0 bits (logical -1)."""
+    x_bits = np.asarray(x_bits, dtype=np.uint8)
+    return im2col(x_bits, kernel, stride, padding, pad_value=0).astype(np.uint8)
+
+
+def binary_conv2d_reference(
+    x_signs: np.ndarray,
+    kernel_signs: np.ndarray,
+    stride: int = 1,
+    padding: int = 1,
+) -> np.ndarray:
+    """Float reference of Eq. 2 over {+1, -1} operands.
+
+    ``x_signs``: ``(N, C, H, W)``, ``kernel_signs``: ``(O, C, kh, kw)``;
+    spatial padding contributes -1.  Returns ``(N, O, out_h, out_w)``
+    ``float32``.
+    """
+    x_signs = np.asarray(x_signs, dtype=np.float32)
+    kernel_signs = np.asarray(kernel_signs, dtype=np.float32)
+    out_ch, in_ch, kh, kw = kernel_signs.shape
+    if kh != kw:
+        raise ValueError(f"only square kernels supported, got {kh}x{kw}")
+    if x_signs.shape[1] != in_ch:
+        raise ValueError(
+            f"channel mismatch: input {x_signs.shape[1]} vs kernel {in_ch}"
+        )
+    patches = im2col(x_signs, kh, stride, padding, pad_value=-1.0)
+    weights = kernel_signs.transpose(0, 2, 3, 1).reshape(out_ch, -1)
+    out = patches @ weights.T
+    return out.transpose(0, 3, 1, 2).astype(np.float32)
+
+
+def binary_conv2d_packed(
+    x_bits: np.ndarray,
+    kernel_bits: np.ndarray,
+    stride: int = 1,
+    padding: int = 1,
+    out_channel_chunk: int = 64,
+) -> np.ndarray:
+    """Bit-packed xnor+popcount convolution (the daBNN execution model).
+
+    ``x_bits``: ``(N, C, H, W)`` in {0, 1}; ``kernel_bits``:
+    ``(O, C, kh, kw)`` in {0, 1}.  Output is the integer dot product over
+    {+1, -1} semantics, identical to :func:`binary_conv2d_reference`.
+
+    ``out_channel_chunk`` bounds the xor intermediate's memory footprint,
+    mirroring how a real kernel tiles over output channels.
+    """
+    kernel_bits = np.asarray(kernel_bits, dtype=np.uint8)
+    out_ch, in_ch, kh, kw = kernel_bits.shape
+    if kh != kw:
+        raise ValueError(f"only square kernels supported, got {kh}x{kw}")
+    x_bits = np.asarray(x_bits, dtype=np.uint8)
+    if x_bits.shape[1] != in_ch:
+        raise ValueError(
+            f"channel mismatch: input {x_bits.shape[1]} vs kernel {in_ch}"
+        )
+    patches = im2col_bits(x_bits, kh, stride, padding)
+    batch, out_h, out_w, num_bits = patches.shape
+    x_words = pack_bits(patches)  # (N, oh, ow, words)
+    w_words, kernel_num_bits = pack_kernel_channels(kernel_bits)
+    if kernel_num_bits != num_bits:
+        raise AssertionError("kernel/patch bit count mismatch")
+
+    if out_channel_chunk <= 0:
+        raise ValueError(
+            f"out_channel_chunk must be positive, got {out_channel_chunk}"
+        )
+    out = np.empty((batch, out_ch, out_h, out_w), dtype=np.int32)
+    x_expanded = x_words[:, :, :, None, :]  # (N, oh, ow, 1, words)
+    for start in range(0, out_ch, out_channel_chunk):
+        stop = min(start + out_channel_chunk, out_ch)
+        dots = packed_dot(w_words[start:stop], x_expanded, num_bits)
+        out[:, start:stop] = dots.transpose(0, 3, 1, 2)
+    return out
+
+
+def binary_dense_reference(
+    x_signs: np.ndarray, weight_signs: np.ndarray
+) -> np.ndarray:
+    """Binary fully-connected layer over {+1, -1}: ``x @ w.T``."""
+    x_signs = np.asarray(x_signs, dtype=np.float32)
+    weight_signs = np.asarray(weight_signs, dtype=np.float32)
+    if x_signs.shape[-1] != weight_signs.shape[-1]:
+        raise ValueError(
+            f"feature mismatch: {x_signs.shape[-1]} vs {weight_signs.shape[-1]}"
+        )
+    return (x_signs @ weight_signs.T).astype(np.float32)
+
+
+def binary_dense_packed(
+    x_bits: np.ndarray, weight_bits: np.ndarray
+) -> np.ndarray:
+    """Bit-packed binary dense layer; same semantics as the reference."""
+    x_bits = np.asarray(x_bits, dtype=np.uint8)
+    weight_bits = np.asarray(weight_bits, dtype=np.uint8)
+    num_bits = x_bits.shape[-1]
+    if num_bits != weight_bits.shape[-1]:
+        raise ValueError(
+            f"feature mismatch: {num_bits} vs {weight_bits.shape[-1]}"
+        )
+    x_words = pack_bits(x_bits)[..., None, :]
+    w_words = pack_bits(weight_bits)
+    return packed_dot(w_words, x_words, num_bits).astype(np.int32)

@@ -1,0 +1,73 @@
+"""8-bit affine quantisation for the non-binary ends of the network.
+
+ReActNet's input convolution and output fully-connected layer stay in
+higher precision; the paper quantises both to 8 bits (Sec. II-B).  This
+module provides the symmetric-range affine scheme used for those layers
+and for the storage accounting of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizedTensor", "quantize_tensor", "dequantize_tensor"]
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An 8-bit quantised tensor with its affine parameters."""
+
+    values: np.ndarray  # int8
+    scale: float
+    zero_point: int
+
+    @property
+    def storage_bits(self) -> int:
+        """Payload bits: 8 per element (parameters excluded)."""
+        return self.values.size * 8
+
+    def dequantize(self) -> np.ndarray:
+        """Recover the real-valued approximation."""
+        return dequantize_tensor(self)
+
+
+def quantize_tensor(
+    x: np.ndarray, num_bits: int = 8, symmetric: bool = True
+) -> QuantizedTensor:
+    """Quantise ``x`` to ``num_bits`` with an affine (scale, zero-point) map.
+
+    Symmetric mode (the default, used for weights) forces a zero
+    zero-point so the stored range is ``[-2^(b-1)+1, 2^(b-1)-1]``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not 2 <= num_bits <= 8:
+        raise ValueError(f"num_bits must be in [2, 8], got {num_bits}")
+    qmax = (1 << (num_bits - 1)) - 1
+    qmin = -qmax if symmetric else -(qmax + 1)
+
+    if symmetric:
+        max_abs = float(np.abs(x).max()) if x.size else 0.0
+        scale = max_abs / qmax if max_abs > 0 else 1.0
+        zero_point = 0
+    else:
+        lo = float(x.min()) if x.size else 0.0
+        hi = float(x.max()) if x.size else 0.0
+        if hi == lo:
+            scale = 1.0
+            zero_point = 0
+        else:
+            scale = (hi - lo) / (qmax - qmin)
+            zero_point = int(round(qmin - lo / scale))
+    q = np.clip(np.round(x / scale) + zero_point, qmin, qmax)
+    return QuantizedTensor(
+        values=q.astype(np.int8), scale=float(scale), zero_point=zero_point
+    )
+
+
+def dequantize_tensor(q: QuantizedTensor) -> np.ndarray:
+    """Map int8 values back to reals: ``(q - zero_point) * scale``."""
+    return (
+        (q.values.astype(np.float64) - q.zero_point) * q.scale
+    ).astype(np.float32)

@@ -1,0 +1,236 @@
+"""ReActNet-like topology (Sec. II-B, Fig. 1).
+
+ReActNet follows the MobileNetV1 skeleton: an 8-bit convolutional stem,
+13 *basic blocks* and an 8-bit fully-connected classifier.  Each basic
+block is ``RSign -> 1-bit 3x3 conv -> BN -> RPReLU`` followed by
+``RSign -> 1-bit 1x1 conv -> BN -> RPReLU`` (Fig. 1).
+
+With the standard MobileNet channel schedule below, the storage breakdown
+computed from this topology matches Table I of the paper almost exactly
+(3x3 convs ~68%, 1x1 ~8.5%, 8-bit output layer ~22%, 8-bit input layer
+~0.02%).
+
+The module also provides :func:`build_small_bnn`, a scaled-down model of
+the same block structure used by the training-based accuracy experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    BinaryConv2d,
+    Flatten,
+    Layer,
+    QuantConv2d,
+    QuantDense,
+    RPReLU,
+    RSign,
+)
+from .model import Sequential
+
+__all__ = [
+    "BlockSpec",
+    "REACTNET_BLOCK_SPECS",
+    "REACTNET_STEM_CHANNELS",
+    "REACTNET_NUM_CLASSES",
+    "REACTNET_INPUT_SIZE",
+    "block_spatial_sizes",
+    "build_reactnet",
+    "build_small_bnn",
+]
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One basic block: 3x3 conv keeps ``in_channels``, 1x1 expands."""
+
+    in_channels: int
+    out_channels: int
+    stride: int
+
+    @property
+    def conv3x3_shape(self) -> Tuple[int, int]:
+        """(out, in) channels of the block's 3x3 binary conv."""
+        return (self.in_channels, self.in_channels)
+
+    @property
+    def conv1x1_shape(self) -> Tuple[int, int]:
+        """(out, in) channels of the block's 1x1 binary conv."""
+        return (self.out_channels, self.in_channels)
+
+    @property
+    def conv3x3_bits(self) -> int:
+        """Storage of the 3x3 kernel at 1 bit/weight."""
+        return self.in_channels * self.in_channels * 9
+
+    @property
+    def conv1x1_bits(self) -> int:
+        """Storage of the 1x1 kernel at 1 bit/weight."""
+        return self.in_channels * self.out_channels
+
+
+#: MobileNetV1 channel/stride schedule, 13 blocks (Sec. II-B).
+REACTNET_BLOCK_SPECS: Tuple[BlockSpec, ...] = (
+    BlockSpec(32, 64, 1),
+    BlockSpec(64, 128, 2),
+    BlockSpec(128, 128, 1),
+    BlockSpec(128, 256, 2),
+    BlockSpec(256, 256, 1),
+    BlockSpec(256, 512, 2),
+    BlockSpec(512, 512, 1),
+    BlockSpec(512, 512, 1),
+    BlockSpec(512, 512, 1),
+    BlockSpec(512, 512, 1),
+    BlockSpec(512, 512, 1),
+    BlockSpec(512, 1024, 2),
+    BlockSpec(1024, 1024, 1),
+)
+
+REACTNET_STEM_CHANNELS = 32
+REACTNET_NUM_CLASSES = 1000
+REACTNET_INPUT_SIZE = 224
+
+
+def block_spatial_sizes(
+    input_size: int = REACTNET_INPUT_SIZE,
+) -> List[int]:
+    """Feature-map side length *entering* each basic block.
+
+    The stem convolution has stride 2, then each block's 3x3 conv applies
+    its own stride.
+    """
+    size = input_size // 2  # stem stride 2
+    sizes = []
+    for spec in REACTNET_BLOCK_SPECS:
+        sizes.append(size)
+        size = size // spec.stride
+    return sizes
+
+
+def _basic_block(
+    spec: BlockSpec, rng: np.random.Generator, residual: bool = False
+) -> List[Layer]:
+    """Fig. 1: sign -> 3x3 binary conv -> BN -> RPReLU, then the 1x1 half.
+
+    With ``residual=True`` each conv half gets the Bi-RealNet-style
+    shortcut the real ReActNet uses (see :mod:`repro.bnn.residual`).
+    """
+    conv3_half: List[Layer] = [
+        RSign(spec.in_channels),
+        BinaryConv2d(
+            spec.in_channels,
+            spec.in_channels,
+            kernel_size=3,
+            stride=spec.stride,
+            padding=1,
+            rng=rng,
+        ),
+        BatchNorm2d(spec.in_channels),
+    ]
+    conv1_half: List[Layer] = [
+        RSign(spec.in_channels),
+        BinaryConv2d(
+            spec.in_channels,
+            spec.out_channels,
+            kernel_size=1,
+            stride=1,
+            padding=0,
+            rng=rng,
+        ),
+        BatchNorm2d(spec.out_channels),
+    ]
+    if residual:
+        from .residual import ResidualBranch
+
+        return [
+            ResidualBranch(
+                conv3_half, spec.in_channels, spec.in_channels, spec.stride
+            ),
+            RPReLU(spec.in_channels),
+            ResidualBranch(
+                conv1_half, spec.in_channels, spec.out_channels, stride=1
+            ),
+            RPReLU(spec.out_channels),
+        ]
+    return (
+        conv3_half
+        + [RPReLU(spec.in_channels)]
+        + conv1_half
+        + [RPReLU(spec.out_channels)]
+    )
+
+
+def build_reactnet(
+    num_classes: int = REACTNET_NUM_CLASSES,
+    seed: int = 0,
+    residual: bool = False,
+) -> Sequential:
+    """Construct the full 15-layer ReActNet-like model.
+
+    One 8-bit input conv, 13 basic blocks, global pooling and an 8-bit
+    fully-connected output layer.  Weights are randomly initialised; the
+    calibrated synthetic kernels of :mod:`repro.synth` are installed on top
+    when paper-matched statistics are required.
+    """
+    rng = np.random.default_rng(seed)
+    layers: List[Layer] = [
+        QuantConv2d(3, REACTNET_STEM_CHANNELS, kernel_size=3, stride=2,
+                    padding=1, rng=rng),
+        BatchNorm2d(REACTNET_STEM_CHANNELS),
+        RPReLU(REACTNET_STEM_CHANNELS),
+    ]
+    for spec in REACTNET_BLOCK_SPECS:
+        layers.extend(_basic_block(spec, rng, residual=residual))
+    layers.extend(
+        [
+            AvgPool2d(),
+            Flatten(),
+            QuantDense(REACTNET_BLOCK_SPECS[-1].out_channels, num_classes, rng=rng),
+        ]
+    )
+    return Sequential(layers, name="reactnet")
+
+
+def build_small_bnn(
+    in_channels: int = 1,
+    num_classes: int = 4,
+    channels: Tuple[int, ...] = (16, 32),
+    image_size: int = 16,
+    seed: int = 0,
+    residual: bool = False,
+) -> Sequential:
+    """A small ReActNet-style BNN for trainable experiments.
+
+    Same basic-block structure as the full model but sized to train in
+    seconds on a CPU; used by the clustering-vs-accuracy experiment and
+    the training tests.
+    """
+    if image_size % 4 != 0:
+        raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+    rng = np.random.default_rng(seed)
+    stem = channels[0]
+    layers: List[Layer] = [
+        QuantConv2d(in_channels, stem, kernel_size=3, stride=2, padding=1,
+                    rng=rng),
+        BatchNorm2d(stem),
+        RPReLU(stem),
+    ]
+    previous = stem
+    for width in channels:
+        spec = BlockSpec(previous, width, stride=2 if width != previous else 1)
+        layers.extend(_basic_block(spec, rng, residual=residual))
+        previous = width
+    layers.extend(
+        [
+            AvgPool2d(),
+            Flatten(),
+            QuantDense(previous, num_classes, rng=rng),
+        ]
+    )
+    return Sequential(layers, name="small_bnn")

@@ -1,0 +1,149 @@
+"""Residual (shortcut) support for the ReActNet topology.
+
+ReActNet inherits Bi-RealNet's per-convolution shortcuts: the output of
+every binary convolution's BN is added to the block input, which keeps a
+full-precision information path through the binarised network and is a
+large part of why BNNs of this family train to competitive accuracy.
+
+Fig. 1 of the kernel-compression paper draws the plain block; the
+underlying model has the shortcuts.  They are orthogonal to kernel
+compression (the 3x3 kernels are identical either way) but matter for
+the accuracy-preservation experiment, so the builder exposes them via
+``build_small_bnn(..., residual=True)`` equivalents here.
+
+Shortcut shape handling follows the ReActNet/Bi-RealNet recipe:
+
+* stride 2: 2x2 average pooling on the shortcut path;
+* channel increase by an integer factor ``k``: duplicate (tile) the
+  shortcut channels ``k`` times.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["ResidualBranch", "average_pool_2x2", "duplicate_channels"]
+
+
+def average_pool_2x2(x: np.ndarray) -> np.ndarray:
+    """2x2 average pooling with stride 2 (shortcut downsampling)."""
+    batch, channels, height, width = x.shape
+    if height % 2 or width % 2:
+        raise ValueError(
+            f"spatial dims must be even for 2x2 pooling, got {height}x{width}"
+        )
+    reshaped = x.reshape(batch, channels, height // 2, 2, width // 2, 2)
+    return reshaped.mean(axis=(3, 5)).astype(np.float32)
+
+
+def _unpool_grad_2x2(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Backward of :func:`average_pool_2x2`: spread gradients evenly."""
+    spread = np.repeat(np.repeat(grad, 2, axis=2), 2, axis=3) / 4.0
+    return spread.astype(np.float32)
+
+
+def duplicate_channels(x: np.ndarray, factor: int) -> np.ndarray:
+    """Tile the channel axis ``factor`` times (shortcut channel expansion)."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return np.tile(x, (1, factor, 1, 1)).astype(np.float32)
+
+
+class ResidualBranch(Layer):
+    """Wraps a list of layers with a shortcut around them.
+
+    ``forward(x) = body(x) + shortcut(x)`` where the shortcut applies
+    average pooling when ``stride == 2`` and channel duplication when the
+    body expands channels by an integer factor.
+    """
+
+    def __init__(
+        self,
+        body: List[Layer],
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+    ) -> None:
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError(f"stride must be 1 or 2, got {stride}")
+        if out_channels % in_channels:
+            raise ValueError(
+                "shortcut needs out_channels to be a multiple of "
+                f"in_channels, got {in_channels} -> {out_channels}"
+            )
+        self.body = body
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self._factor = out_channels // in_channels
+        self._cache: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.body:
+            out = layer.forward(out)
+        shortcut = x
+        if self.stride == 2:
+            shortcut = average_pool_2x2(shortcut)
+        if self._factor > 1:
+            shortcut = duplicate_channels(shortcut, self._factor)
+        if shortcut.shape != out.shape:
+            raise ValueError(
+                f"shortcut shape {shortcut.shape} does not match body "
+                f"output {out.shape}"
+            )
+        self._cache = (x.shape, shortcut.shape)
+        return (out + shortcut).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, _ = self._cache
+        body_grad = grad
+        for layer in reversed(self.body):
+            body_grad = layer.backward(body_grad)
+
+        shortcut_grad = grad
+        if self._factor > 1:
+            batch, _, height, width = grad.shape
+            shortcut_grad = (
+                grad.reshape(batch, self._factor, self.in_channels, height, width)
+                .sum(axis=1)
+            )
+        if self.stride == 2:
+            shortcut_grad = _unpool_grad_2x2(shortcut_grad, x_shape)
+        return (body_grad + shortcut_grad).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # delegate the Layer protocol to the body
+    # ------------------------------------------------------------------
+    def train(self) -> None:
+        self.training = True
+        for layer in self.body:
+            layer.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for layer in self.body:
+            layer.eval()
+
+    @property
+    def num_params(self) -> int:
+        return sum(layer.num_params for layer in self.body)
+
+    def storage_bits(self) -> int:
+        return sum(layer.storage_bits() for layer in self.body)
+
+    def apply_weight_update(self) -> None:
+        for layer in self.body:
+            hook = getattr(layer, "apply_weight_update", None)
+            if hook is not None:
+                hook()
+
+    def inner_layers(self) -> List[Layer]:
+        """Flat view of the wrapped layers (for parameter traversal)."""
+        return list(self.body)

@@ -1,0 +1,171 @@
+"""STE training loop for the BNN substrate.
+
+Implements softmax cross-entropy, the Adam optimiser and a mini-batch
+training driver.  Binary layers receive gradients through the
+straight-through estimator implemented inside the layers themselves; the
+trainer only needs to call ``model.post_update()`` so latent weights stay
+clipped inside the STE's active region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .datasets import Dataset
+from .model import Sequential
+
+__all__ = [
+    "softmax",
+    "cross_entropy",
+    "Adam",
+    "TrainingReport",
+    "train_model",
+    "evaluate_accuracy",
+]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return (exp / exp.sum(axis=-1, keepdims=True)).astype(np.float32)
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits."""
+    labels = np.asarray(labels, dtype=np.int64)
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(batch), labels] + eps).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, (grad / batch).astype(np.float32)
+
+
+class Adam:
+    """Adam optimiser over a model's named parameters."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.model = model
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step = 0
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update using the gradients stored in each layer."""
+        self._step += 1
+        correction1 = 1 - self.beta1 ** self._step
+        correction2 = 1 - self.beta2 ** self._step
+        for name, layer, key in self.model.named_params():
+            grad = layer.grads.get(key)
+            if grad is None:
+                continue
+            if name not in self._m:
+                self._m[name] = np.zeros_like(layer.params[key])
+                self._v[name] = np.zeros_like(layer.params[key])
+            self._m[name] = self.beta1 * self._m[name] + (1 - self.beta1) * grad
+            self._v[name] = (
+                self.beta2 * self._v[name] + (1 - self.beta2) * grad * grad
+            )
+            m_hat = self._m[name] / correction1
+            v_hat = self._v[name] / correction2
+            layer.params[key] = (
+                layer.params[key] - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            ).astype(np.float32)
+        self.model.post_update()
+
+
+@dataclass
+class TrainingReport:
+    """Loss/accuracy trajectory of one training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch (inf if training never ran)."""
+        return self.epoch_losses[-1] if self.epoch_losses else float("inf")
+
+
+def evaluate_accuracy(
+    model: Sequential, x: np.ndarray, y: np.ndarray, batch_size: int = 64
+) -> float:
+    """Top-1 accuracy of ``model`` on ``(x, y)``."""
+    model.eval()
+    correct = 0
+    for start in range(0, len(y), batch_size):
+        logits = model.forward(x[start:start + batch_size])
+        predictions = logits.argmax(axis=-1)
+        correct += int((predictions == y[start:start + batch_size]).sum())
+    return correct / len(y)
+
+
+def train_model(
+    model: Sequential,
+    dataset: Dataset,
+    epochs: int = 10,
+    batch_size: int = 32,
+    lr: float = 1e-2,
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainingReport:
+    """Train ``model`` on ``dataset`` with Adam + STE.
+
+    Returns a :class:`TrainingReport` with per-epoch loss/accuracy and the
+    final test accuracy.
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model, lr=lr)
+    report = TrainingReport()
+    n = len(dataset.train_y)
+    for epoch in range(epochs):
+        model.train()
+        order = rng.permutation(n)
+        losses = []
+        correct = 0
+        for start in range(0, n, batch_size):
+            batch_idx = order[start:start + batch_size]
+            x = dataset.train_x[batch_idx]
+            y = dataset.train_y[batch_idx]
+            logits = model.forward(x)
+            loss, grad = cross_entropy(logits, y)
+            model.backward(grad)
+            optimizer.step()
+            losses.append(loss)
+            correct += int((logits.argmax(axis=-1) == y).sum())
+        report.epoch_losses.append(float(np.mean(losses)))
+        report.epoch_train_accuracy.append(correct / n)
+        if verbose:
+            print(
+                f"epoch {epoch + 1}/{epochs}: "
+                f"loss={report.epoch_losses[-1]:.4f} "
+                f"train_acc={report.epoch_train_accuracy[-1]:.3f}"
+            )
+    report.test_accuracy = evaluate_accuracy(
+        model, dataset.test_x, dataset.test_y, batch_size
+    )
+    return report

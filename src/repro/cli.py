@@ -1,0 +1,181 @@
+"""Command-line interface: run any experiment from the shell.
+
+Each subcommand regenerates one table/figure of the paper and prints the
+aligned text report used in EXPERIMENTS.md:
+
+.. code-block:: console
+
+   python -m repro table1          # storage / time breakdown
+   python -m repro table2          # per-block distribution
+   python -m repro table5          # compression ratios
+   python -m repro fig3            # top-16 frequency head
+   python -m repro mix             # code-length mix (Sec. VI)
+   python -m repro model           # whole-model ratio
+   python -m repro speedup         # 1.35x / 1.47x experiments
+   python -m repro accuracy        # clustering-vs-accuracy run
+   python -m repro feasibility     # LP consistency check
+   python -m repro export --out r/ # all data series as CSV/JSON
+   python -m repro all             # everything, in order
+
+Every subcommand accepts ``--seed`` for the synthetic kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from .analysis.storage import compute_storage_breakdown
+
+    return compute_storage_breakdown().render()
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from .analysis.distribution import measure_table2, render_table2
+
+    return render_table2(measure_table2(seed=args.seed))
+
+
+def _cmd_table5(args: argparse.Namespace) -> str:
+    from .analysis.compression import measure_table5, render_table5
+
+    return render_table5(measure_table5(seed=args.seed))
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    from .analysis.distribution import measure_fig3, render_fig3
+
+    return render_fig3(measure_fig3(seed=args.seed))
+
+
+def _cmd_mix(args: argparse.Namespace) -> str:
+    from .analysis.compression import measure_codelength_mix
+
+    return measure_codelength_mix(seed=args.seed).render()
+
+
+def _cmd_model(args: argparse.Namespace) -> str:
+    from .analysis.compression import measure_model_compression
+
+    result = measure_model_compression(seed=args.seed)
+    return (
+        f"baseline model bits:   {result.baseline_bits}\n"
+        f"compressed model bits: {result.compressed_bits}\n"
+        f"whole-model ratio:     {result.model_ratio:.2f}x (paper 1.2x)\n"
+        f"3x3 payload ratio:     {result.conv3x3_ratio:.2f}x (paper 1.32x)"
+    )
+
+
+def _cmd_speedup(args: argparse.Namespace) -> str:
+    from .analysis.performance import render_speedup, run_performance_experiment
+
+    return render_speedup(run_performance_experiment(seed=args.seed))
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> str:
+    from .analysis.accuracy import render_accuracy, run_accuracy_experiment
+
+    return render_accuracy(
+        run_accuracy_experiment(epochs=args.epochs, seed=args.seed)
+    )
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> str:
+    from .analysis.feasibility import analyze_feasibility, render_feasibility
+
+    return render_feasibility(analyze_feasibility())
+
+
+def _cmd_export(args: argparse.Namespace) -> str:
+    from .analysis.export import export_all
+
+    written = export_all(args.out, seed=args.seed, only=args.only or ())
+    lines = [f"wrote {len(written)} files to {args.out}:"]
+    lines.extend(f"  {path.name}" for path in written)
+    return "\n".join(lines)
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table5": _cmd_table5,
+    "fig3": _cmd_fig3,
+    "mix": _cmd_mix,
+    "model": _cmd_model,
+    "speedup": _cmd_speedup,
+    "accuracy": _cmd_accuracy,
+    "feasibility": _cmd_feasibility,
+    "export": _cmd_export,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for shell-completion tooling and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Exploiting Kernel Compression on BNNs' "
+            "(DATE 2023): regenerate any table or figure."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("table1", "Table I: storage and execution-time breakdown"),
+        ("table2", "Table II: per-block bit-sequence distribution"),
+        ("table5", "Table V: per-block compression ratios"),
+        ("fig3", "Fig. 3: top-16 bit-sequence frequencies"),
+        ("mix", "Sec. VI: share of channels per code length"),
+        ("model", "Sec. VI: whole-model compression ratio"),
+        ("speedup", "Sec. VI: hw speedup and sw slowdown"),
+        ("accuracy", "Sec. III-C: clustering vs accuracy"),
+        ("feasibility", "LP consistency check of Tables II vs V"),
+        ("export", "write all experiment data as CSV/JSON"),
+        ("all", "run every experiment in order"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--seed", type=int, default=0,
+            help="seed for the synthetic kernels (default 0)",
+        )
+        if name in ("accuracy", "all"):
+            sub.add_argument(
+                "--epochs", type=int, default=25,
+                help="training epochs for the accuracy run (default 25)",
+            )
+        if name == "export":
+            sub.add_argument(
+                "--out", default="results",
+                help="output directory (default ./results)",
+            )
+            sub.add_argument(
+                "--only", nargs="*", default=None,
+                help="restrict to a subset of exporters",
+            )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        order = (
+            "table1", "fig3", "table2", "table5", "mix",
+            "model", "speedup", "accuracy", "feasibility",
+        )
+        for name in order:
+            print(f"==== {name} " + "=" * (60 - len(name)))
+            print(_COMMANDS[name](args))
+            print()
+        return 0
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

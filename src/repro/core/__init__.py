@@ -1,0 +1,74 @@
+"""Core kernel-compression library: the paper's primary contribution.
+
+Public surface:
+
+* :mod:`~repro.core.bitseq` — natural mapping of 3x3 channels to 9-bit ids
+* :class:`~repro.core.frequency.FrequencyTable` — per-block histograms
+* :class:`~repro.core.huffman.HuffmanEncoder` — reference full Huffman coder
+* :class:`~repro.core.simplified.SimplifiedTree` — bounded 4-node tree
+* :func:`~repro.core.clustering.cluster_sequences` — Hamming-1 replacement
+* :class:`~repro.core.compressor.KernelCompressor` — end-to-end pipeline
+"""
+
+from .bitseq import (
+    ALL_MINUS_ONE,
+    ALL_PLUS_ONE,
+    BITS_PER_SEQUENCE,
+    KERNEL_SIDE,
+    NUM_SEQUENCES,
+    bits_to_signs,
+    channels_to_sequences,
+    hamming_distance,
+    hamming_neighbours,
+    kernel_to_sequences,
+    popcount,
+    sequences_to_channels,
+    sequences_to_kernel,
+    signs_to_bits,
+)
+from .bitstream import BitReader, BitWriter
+from .clustering import ClusteringConfig, ClusteringResult, cluster_sequences
+from .compressor import BlockCompressionResult, KernelCompressor
+from .frequency import FrequencyTable, merge_tables
+from .huffman import HuffmanCode, HuffmanEncoder, build_huffman_code
+from .simplified import (
+    DEFAULT_CAPACITIES,
+    NodeAssignment,
+    SimplifiedTree,
+    TreeLayout,
+)
+from .streams import CompressedKernel
+
+__all__ = [
+    "ALL_MINUS_ONE",
+    "ALL_PLUS_ONE",
+    "BITS_PER_SEQUENCE",
+    "KERNEL_SIDE",
+    "NUM_SEQUENCES",
+    "BitReader",
+    "BitWriter",
+    "BlockCompressionResult",
+    "ClusteringConfig",
+    "ClusteringResult",
+    "CompressedKernel",
+    "DEFAULT_CAPACITIES",
+    "FrequencyTable",
+    "HuffmanCode",
+    "HuffmanEncoder",
+    "KernelCompressor",
+    "NodeAssignment",
+    "SimplifiedTree",
+    "TreeLayout",
+    "bits_to_signs",
+    "build_huffman_code",
+    "channels_to_sequences",
+    "cluster_sequences",
+    "hamming_distance",
+    "hamming_neighbours",
+    "kernel_to_sequences",
+    "merge_tables",
+    "popcount",
+    "sequences_to_channels",
+    "sequences_to_kernel",
+    "signs_to_bits",
+]

@@ -1,0 +1,167 @@
+"""Natural mapping between 3x3 binary channels and 9-bit *bit sequences*.
+
+Section III / Fig. 2 of the paper: each channel of a 3x3 binary kernel is
+nine values in {+1, -1}, stored as bits (1 for +1, 0 for -1).  The *natural
+mapping* assigns the value at position (0, 0) to the most significant bit
+and the value at (2, 2) to the least significant bit, so a channel maps to
+an integer in [0, 512).  An all -1 channel maps to 0, an all +1 channel to
+511.
+
+These helpers are vectorised over arbitrary batches of channels and are the
+foundation for frequency analysis, encoding and clustering.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_SIDE",
+    "BITS_PER_SEQUENCE",
+    "NUM_SEQUENCES",
+    "ALL_MINUS_ONE",
+    "ALL_PLUS_ONE",
+    "channels_to_sequences",
+    "sequences_to_channels",
+    "kernel_to_sequences",
+    "sequences_to_kernel",
+    "signs_to_bits",
+    "bits_to_signs",
+    "popcount",
+    "hamming_distance",
+    "hamming_neighbours",
+]
+
+KERNEL_SIDE = 3
+BITS_PER_SEQUENCE = KERNEL_SIDE * KERNEL_SIDE
+NUM_SEQUENCES = 1 << BITS_PER_SEQUENCE
+ALL_MINUS_ONE = 0
+ALL_PLUS_ONE = NUM_SEQUENCES - 1
+
+# Weight of each kernel position under the natural mapping: (0,0) -> 256,
+# (0,1) -> 128, ..., (2,2) -> 1.
+_PLACE_VALUES = (1 << np.arange(BITS_PER_SEQUENCE - 1, -1, -1)).astype(np.int64)
+
+# Precomputed popcount of every 9-bit value, used by hamming_distance.
+_POPCOUNT_TABLE = np.array(
+    [bin(value).count("1") for value in range(NUM_SEQUENCES)], dtype=np.int64
+)
+
+
+def signs_to_bits(values: np.ndarray) -> np.ndarray:
+    """Map {+1, -1} weights to their bit representation {1, 0} (Eq. 1).
+
+    Zero is mapped to 1 (i.e. +1), matching the ``x >= 0`` convention of
+    the binarisation equation.
+    """
+    values = np.asarray(values)
+    return (values >= 0).astype(np.uint8)
+
+
+def bits_to_signs(bits: np.ndarray) -> np.ndarray:
+    """Map bits {1, 0} back to weights {+1, -1} as ``int8``."""
+    bits = np.asarray(bits)
+    if bits.size and (bits.min() < 0 or bits.max() > 1):
+        raise ValueError("bits must contain only 0 and 1")
+    return np.where(bits.astype(bool), 1, -1).astype(np.int8)
+
+
+def channels_to_sequences(channels: np.ndarray) -> np.ndarray:
+    """Convert an array of 3x3 bit channels to their natural-mapping ids.
+
+    ``channels`` must have shape ``(..., 3, 3)`` with values in {0, 1}.
+    Returns an ``int64`` array of shape ``(...,)`` with values in [0, 512).
+    """
+    channels = np.asarray(channels)
+    if channels.shape[-2:] != (KERNEL_SIDE, KERNEL_SIDE):
+        raise ValueError(
+            f"expected trailing shape (3, 3), got {channels.shape[-2:]}"
+        )
+    if channels.size and (channels.min() < 0 or channels.max() > 1):
+        raise ValueError("channels must contain only 0 and 1 bits")
+    flat = channels.reshape(*channels.shape[:-2], BITS_PER_SEQUENCE)
+    return flat.astype(np.int64) @ _PLACE_VALUES
+
+
+def sequences_to_channels(sequences: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`channels_to_sequences`.
+
+    Returns ``uint8`` bit channels of shape ``(..., 3, 3)``.
+    """
+    sequences = np.asarray(sequences, dtype=np.int64)
+    if sequences.size and (
+        sequences.min() < 0 or sequences.max() >= NUM_SEQUENCES
+    ):
+        raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+    shifts = np.arange(BITS_PER_SEQUENCE - 1, -1, -1)
+    bits = (sequences[..., None] >> shifts) & 1
+    return bits.astype(np.uint8).reshape(
+        *sequences.shape, KERNEL_SIDE, KERNEL_SIDE
+    )
+
+
+def kernel_to_sequences(kernel_bits: np.ndarray) -> np.ndarray:
+    """Flatten a 4-D kernel bit tensor into one sequence id per channel.
+
+    ``kernel_bits`` has shape ``(out_channels, in_channels, 3, 3)`` with
+    values in {0, 1}; the result has shape
+    ``(out_channels * in_channels,)`` ordered row-major, which matches the
+    streaming order used by the decoding unit.
+    """
+    kernel_bits = np.asarray(kernel_bits)
+    if kernel_bits.ndim != 4:
+        raise ValueError(
+            f"expected a 4-D kernel tensor, got {kernel_bits.ndim} dims"
+        )
+    return channels_to_sequences(kernel_bits).reshape(-1)
+
+
+def sequences_to_kernel(
+    sequences: np.ndarray, shape: Tuple[int, int]
+) -> np.ndarray:
+    """Rebuild a kernel bit tensor from flat sequence ids.
+
+    ``shape`` is ``(out_channels, in_channels)``.
+    """
+    out_channels, in_channels = shape
+    sequences = np.asarray(sequences, dtype=np.int64)
+    if sequences.size != out_channels * in_channels:
+        raise ValueError(
+            f"{sequences.size} sequences cannot fill a "
+            f"{out_channels}x{in_channels} kernel"
+        )
+    channels = sequences_to_channels(sequences)
+    return channels.reshape(out_channels, in_channels, KERNEL_SIDE, KERNEL_SIDE)
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Number of set bits of each 9-bit sequence id."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and (values.min() < 0 or values.max() >= NUM_SEQUENCES):
+        raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+    return _POPCOUNT_TABLE[values]
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise Hamming distance between two arrays of sequence ids."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    return popcount(np.bitwise_xor(a, b))
+
+
+def hamming_neighbours(sequence: int, radius: int = 1) -> np.ndarray:
+    """All sequence ids within ``radius`` bit flips of ``sequence``.
+
+    The clustering pass (Sec. III-C) uses radius 1; the ablation sweeps
+    larger radii.  The sequence itself is excluded.
+    """
+    if not 0 <= sequence < NUM_SEQUENCES:
+        raise ValueError(f"sequence id {sequence} outside [0, {NUM_SEQUENCES})")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    all_ids = np.arange(NUM_SEQUENCES, dtype=np.int64)
+    distances = hamming_distance(all_ids, np.int64(sequence))
+    mask = (distances >= 1) & (distances <= radius)
+    return all_ids[mask]

@@ -1,0 +1,166 @@
+"""MSB-first bit stream primitives shared by every coder in the package.
+
+The paper stores compressed kernels "consecutively in memory as a sequence
+of encoded words" (Sec. IV-B).  Both the reference Huffman coder and the
+simplified four-node tree emit variable-length codes, so they share these
+two small classes: :class:`BitWriter` appends codes most-significant-bit
+first and :class:`BitReader` consumes them in the same order.
+
+Bit order matters for the hardware model: the stream parser of the decoding
+unit (Fig. 6) reads the *first* bits of each encoded sequence to find the
+tree node, so the writer must emit the prefix before the table index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader", "bits_to_bytes", "bytes_to_bits"]
+
+
+class BitWriter:
+    """Accumulates variable-length codes MSB-first into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far (alias of ``len``)."""
+        return len(self._bits)
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits holding ``value`` (MSB first).
+
+        Raises ``ValueError`` if ``value`` does not fit in ``width`` bits
+        or either argument is negative.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        if value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bits(self, bits: Iterable[int]) -> None:
+        """Append an iterable of individual bits (each 0 or 1)."""
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"bit must be 0 or 1, got {bit}")
+            self._bits.append(bit)
+
+    def getvalue(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary."""
+        return bits_to_bytes(self._bits)
+
+    def to_array(self) -> np.ndarray:
+        """Return the raw bits as a ``uint8`` numpy array (no padding)."""
+        return np.asarray(self._bits, dtype=np.uint8)
+
+
+class BitReader:
+    """Reads MSB-first bit fields from a byte buffer.
+
+    ``bit_length`` bounds the stream so zero padding added by
+    :meth:`BitWriter.getvalue` is never mistaken for data.
+    """
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        max_bits = len(data) * 8
+        if bit_length is None:
+            bit_length = max_bits
+        if bit_length > max_bits:
+            raise ValueError(
+                f"bit_length {bit_length} exceeds buffer capacity {max_bits}"
+            )
+        self._data = data
+        self._bit_length = bit_length
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read offset in bits from the start of the stream."""
+        return self._pos
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of readable bits in the stream."""
+        return self._bit_length
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._bit_length - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit; raises ``EOFError`` past the end."""
+        if self._pos >= self._bit_length:
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits MSB-first and return them as an integer."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if self._pos + width > self._bit_length:
+            raise EOFError(
+                f"requested {width} bits but only {self.remaining} remain"
+            )
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def peek(self, width: int) -> Tuple[int, int]:
+        """Return up to ``width`` bits without consuming them.
+
+        Returns ``(value, bits_available)`` where ``bits_available`` may be
+        smaller than ``width`` near the end of the stream.  The hardware
+        stream parser uses this to inspect code prefixes.
+        """
+        available = min(width, self.remaining)
+        saved = self._pos
+        value = self.read(available)
+        self._pos = saved
+        return value, available
+
+    def seek(self, bit_position: int) -> None:
+        """Move the read cursor to an absolute bit offset."""
+        if not 0 <= bit_position <= self._bit_length:
+            raise ValueError(
+                f"position {bit_position} outside [0, {self._bit_length}]"
+            )
+        self._pos = bit_position
+
+
+def bits_to_bytes(bits: Iterable[int]) -> bytes:
+    """Pack a sequence of bits (MSB first) into bytes, zero padded."""
+    arr = np.asarray(list(bits), dtype=np.uint8)
+    if arr.size == 0:
+        return b""
+    if arr.max(initial=0) > 1:
+        raise ValueError("bits must be 0 or 1")
+    return np.packbits(arr).tobytes()
+
+
+def bytes_to_bits(data: bytes, bit_length: int | None = None) -> np.ndarray:
+    """Unpack bytes into a ``uint8`` bit array, optionally truncated."""
+    arr = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    if bit_length is not None:
+        if bit_length > arr.size:
+            raise ValueError(
+                f"bit_length {bit_length} exceeds available {arr.size}"
+            )
+        arr = arr[:bit_length]
+    return arr

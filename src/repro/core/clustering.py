@@ -1,0 +1,146 @@
+"""Rare-sequence replacement ("clustering") from Sec. III-C.
+
+Some rarely used bit sequences can be replaced by a frequently used
+neighbour at Hamming distance 1 without hurting network accuracy.  Doing so
+concentrates probability mass in the head of the distribution, which lets
+the simplified tree spend its short codes on a larger share of channels.
+
+Algorithm (verbatim from the paper):
+
+1. Build ``st``, the ``M`` most commonly used sequences of a block.
+2. Build ``su``, the ``N`` least commonly used sequences.
+3. For each ``sa`` in ``su``: among sequences in ``st`` at Hamming distance
+   1 from ``sa``, pick the one with the highest frequency and replace
+   ``sa`` with it; if none qualifies, ``sa`` is kept.
+
+The paper searched ``M``/``N`` empirically; the evaluation removes the 256
+most uncommon sequences.  Both parameters — and the Hamming radius, for the
+ablation — are explicit here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .bitseq import NUM_SEQUENCES, hamming_distance
+from .frequency import FrequencyTable
+
+__all__ = ["ClusteringConfig", "ClusteringResult", "cluster_sequences"]
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Parameters of the replacement pass.
+
+    ``num_common`` is the paper's ``M`` (size of the donor set ``st``),
+    ``num_rare`` is ``N`` (size of the replaced set ``su``) and
+    ``max_distance`` is the Hamming radius (1 in the paper).
+    """
+
+    num_common: int = 64
+    num_rare: int = 256
+    max_distance: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.num_common <= NUM_SEQUENCES:
+            raise ValueError(
+                f"num_common must be in (0, {NUM_SEQUENCES}], "
+                f"got {self.num_common}"
+            )
+        if not 0 <= self.num_rare < NUM_SEQUENCES:
+            raise ValueError(
+                f"num_rare must be in [0, {NUM_SEQUENCES}), got {self.num_rare}"
+            )
+        if self.num_common + self.num_rare > NUM_SEQUENCES:
+            raise ValueError(
+                "common and rare sets overlap: "
+                f"{self.num_common} + {self.num_rare} > {NUM_SEQUENCES}"
+            )
+        if self.max_distance < 1:
+            raise ValueError(
+                f"max_distance must be >= 1, got {self.max_distance}"
+            )
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one clustering pass over a block's statistics."""
+
+    config: ClusteringConfig
+    #: sequence id -> replacement id, only for sequences actually replaced
+    replacements: Dict[int, int]
+    #: rare sequences that had no qualifying neighbour and were kept
+    unmatched: List[int] = field(default_factory=list)
+
+    @property
+    def num_replaced(self) -> int:
+        """How many distinct rare sequences were remapped."""
+        return len(self.replacements)
+
+    def apply_to_sequences(self, sequences: np.ndarray) -> np.ndarray:
+        """Rewrite an array of sequence ids through the replacement map."""
+        sequences = np.asarray(sequences, dtype=np.int64)
+        if not self.replacements:
+            return sequences.copy()
+        lut = np.arange(NUM_SEQUENCES, dtype=np.int64)
+        for source, target in self.replacements.items():
+            lut[source] = target
+        return lut[sequences]
+
+    def apply_to_table(self, table: FrequencyTable) -> FrequencyTable:
+        """Fold replaced sequences' counts into their targets."""
+        counts = table.counts.copy()
+        for source, target in self.replacements.items():
+            counts[target] += counts[source]
+            counts[source] = 0
+        return FrequencyTable(counts)
+
+    def total_bit_flips(self, table: FrequencyTable) -> int:
+        """Number of weight bits changed across all replaced channels.
+
+        Each replacement flips ``hamming(sa, sb)`` bits in every channel
+        that used ``sa``; this quantifies the perturbation whose accuracy
+        impact Sec. III-C argues is negligible.
+        """
+        flips = 0
+        for source, target in self.replacements.items():
+            distance = int(hamming_distance(np.int64(source), np.int64(target)))
+            flips += distance * table.count(source)
+        return flips
+
+
+def cluster_sequences(
+    table: FrequencyTable,
+    config: ClusteringConfig | None = None,
+) -> ClusteringResult:
+    """Run the Sec. III-C replacement algorithm on one block's histogram.
+
+    Rare sequences with zero observed count are skipped — replacing them
+    would change nothing and would pollute the replacement map.
+    """
+    config = config or ClusteringConfig()
+    ranked = table.ranked_sequences()
+    common = ranked[: config.num_common]
+    rare = ranked[NUM_SEQUENCES - config.num_rare:] if config.num_rare else ranked[:0]
+
+    counts = table.counts
+    replacements: Dict[int, int] = {}
+    unmatched: List[int] = []
+    for sa in (int(s) for s in rare):
+        if counts[sa] == 0:
+            continue
+        distances = hamming_distance(common, np.int64(sa))
+        eligible = common[(distances >= 1) & (distances <= config.max_distance)]
+        if eligible.size == 0:
+            unmatched.append(sa)
+            continue
+        # Highest-frequency donor wins; ties break on ascending id because
+        # `common` is already ranked deterministically.
+        best = int(eligible[np.argmax(counts[eligible])])
+        replacements[sa] = best
+    return ClusteringResult(
+        config=config, replacements=replacements, unmatched=unmatched
+    )

@@ -1,0 +1,156 @@
+"""End-to-end kernel compression pipeline (Sec. IV-A "Overview").
+
+The paper's offline flow per group of 3x3 kernels (a basic block):
+
+1. compute bit-sequence frequencies across the block's kernels,
+2. optionally run the clustering pass to fold rare sequences into common
+   neighbours (rewriting the kernels),
+3. build the simplified Huffman tree from the (post-clustering) histogram,
+4. encode every kernel's sequences into a compressed stream.
+
+:class:`KernelCompressor` packages those steps and reports the metrics of
+Table V (per-block compression ratio with and without clustering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bitseq import (
+    BITS_PER_SEQUENCE,
+    kernel_to_sequences,
+    sequences_to_kernel,
+)
+from .clustering import ClusteringConfig, ClusteringResult, cluster_sequences
+from .frequency import FrequencyTable, merge_tables
+from .simplified import DEFAULT_CAPACITIES, SimplifiedTree
+from .streams import CompressedKernel
+
+__all__ = ["BlockCompressionResult", "KernelCompressor"]
+
+
+@dataclass
+class BlockCompressionResult:
+    """Everything produced by compressing one block's 3x3 kernels."""
+
+    #: histogram before any clustering
+    table: FrequencyTable
+    #: histogram actually used to build the tree (post-clustering if any)
+    effective_table: FrequencyTable
+    tree: SimplifiedTree
+    clustering: Optional[ClusteringResult]
+    streams: List[CompressedKernel]
+    #: per-kernel (out_channels, in_channels)
+    kernel_shapes: List[Tuple[int, int]]
+
+    @property
+    def raw_bits(self) -> int:
+        """Uncompressed kernel payload in bits (9 per channel)."""
+        return self.effective_table.total * BITS_PER_SEQUENCE
+
+    @property
+    def compressed_bits(self) -> int:
+        """Compressed payload bits summed over the block's kernels."""
+        return sum(stream.bit_length for stream in self.streams)
+
+    @property
+    def compression_ratio(self) -> float:
+        """The Table V metric for this block."""
+        compressed = self.compressed_bits
+        if compressed == 0:
+            return 1.0
+        return self.raw_bits / compressed
+
+    def decode_kernels(self) -> List[np.ndarray]:
+        """Decode every stream back into kernel bit tensors."""
+        kernels = []
+        for stream, shape in zip(self.streams, self.kernel_shapes):
+            sequences = stream.decode()
+            kernels.append(sequences_to_kernel(sequences, shape))
+        return kernels
+
+
+class KernelCompressor:
+    """Offline compressor for groups of 3x3 binary kernels.
+
+    Parameters
+    ----------
+    capacities:
+        Node capacities of the simplified tree (default 32/64/64/512,
+        giving 6/8/9/12-bit codes).
+    clustering:
+        ``None`` disables the replacement pass ("Encoding" column of
+        Table V); a :class:`ClusteringConfig` enables it ("Clustering"
+        column).
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int] = DEFAULT_CAPACITIES,
+        clustering: Optional[ClusteringConfig] = None,
+    ) -> None:
+        self._capacities = tuple(int(c) for c in capacities)
+        self._clustering = clustering
+
+    @property
+    def capacities(self) -> Tuple[int, ...]:
+        """Simplified-tree node capacities in use."""
+        return self._capacities
+
+    @property
+    def clustering_config(self) -> Optional[ClusteringConfig]:
+        """Clustering parameters, or ``None`` when disabled."""
+        return self._clustering
+
+    def compress_block(
+        self, kernels: Sequence[np.ndarray]
+    ) -> BlockCompressionResult:
+        """Compress all 3x3 kernels of one basic block together.
+
+        Each kernel is a bit tensor of shape ``(out, in, 3, 3)``.  All
+        kernels share one frequency table, one clustering pass and one
+        tree, exactly as the per-block offline step of Sec. IV-A.
+        """
+        if not kernels:
+            raise ValueError("compress_block needs at least one kernel")
+        sequence_arrays = [kernel_to_sequences(kernel) for kernel in kernels]
+        shapes = [
+            (kernel.shape[0], kernel.shape[1]) for kernel in kernels
+        ]
+        table = merge_tables(
+            [FrequencyTable.from_sequences(arr) for arr in sequence_arrays]
+        )
+
+        clustering_result: Optional[ClusteringResult] = None
+        effective_table = table
+        if self._clustering is not None:
+            clustering_result = cluster_sequences(table, self._clustering)
+            sequence_arrays = [
+                clustering_result.apply_to_sequences(arr)
+                for arr in sequence_arrays
+            ]
+            effective_table = clustering_result.apply_to_table(table)
+
+        tree = SimplifiedTree(effective_table, self._capacities)
+        streams = [
+            CompressedKernel.from_sequences(arr, shape, tree)
+            for arr, shape in zip(sequence_arrays, shapes)
+        ]
+        return BlockCompressionResult(
+            table=table,
+            effective_table=effective_table,
+            tree=tree,
+            clustering=clustering_result,
+            streams=streams,
+            kernel_shapes=shapes,
+        )
+
+    def compress_sequences(
+        self, sequences: np.ndarray, shape: Tuple[int, int]
+    ) -> BlockCompressionResult:
+        """Compress a single flat sequence array (convenience for tests)."""
+        kernel = sequences_to_kernel(np.asarray(sequences), shape)
+        return self.compress_block([kernel])

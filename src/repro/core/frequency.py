@@ -1,0 +1,210 @@
+"""Frequency analysis of bit sequences (Sec. III-A, Fig. 3, Table II).
+
+The central observation of the paper is that the 512 possible 9-bit
+sequences of a 3x3 binary channel are used very unevenly: in ReActNet the
+top 64 sequences of every basic block account for more than half of all
+channels and the top 256 for around 90%.  :class:`FrequencyTable` captures
+one block's histogram and exposes the statistics the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .bitseq import ALL_MINUS_ONE, ALL_PLUS_ONE, NUM_SEQUENCES
+
+__all__ = ["FrequencyTable", "merge_tables"]
+
+
+@dataclass(frozen=True)
+class _RankedEntry:
+    """One row of a ranked frequency report."""
+
+    sequence: int
+    count: int
+    share: float
+
+
+class FrequencyTable:
+    """Histogram of bit-sequence usage for one set of binary kernels.
+
+    Ties in frequency are broken by ascending sequence id so rankings are
+    deterministic, which keeps the encoder/decoder tables and all reported
+    statistics reproducible.
+    """
+
+    def __init__(self, counts: np.ndarray) -> None:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (NUM_SEQUENCES,):
+            raise ValueError(
+                f"counts must have shape ({NUM_SEQUENCES},), got {counts.shape}"
+            )
+        if counts.size and counts.min() < 0:
+            raise ValueError("counts must be non-negative")
+        self._counts = counts.copy()
+        self._counts.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sequences(cls, sequences: np.ndarray) -> "FrequencyTable":
+        """Build a table from an array of sequence ids."""
+        sequences = np.asarray(sequences, dtype=np.int64).reshape(-1)
+        if sequences.size and (
+            sequences.min() < 0 or sequences.max() >= NUM_SEQUENCES
+        ):
+            raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+        counts = np.bincount(sequences, minlength=NUM_SEQUENCES)
+        return cls(counts)
+
+    @classmethod
+    def from_kernels(cls, kernels: Iterable[np.ndarray]) -> "FrequencyTable":
+        """Build a table from an iterable of 4-D kernel bit tensors."""
+        from .bitseq import kernel_to_sequences
+
+        counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        for kernel in kernels:
+            sequences = kernel_to_sequences(kernel)
+            counts += np.bincount(sequences, minlength=NUM_SEQUENCES)
+        return cls(counts)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only count per sequence id (length 512)."""
+        return self._counts
+
+    @property
+    def total(self) -> int:
+        """Total number of channels observed."""
+        return int(self._counts.sum())
+
+    def count(self, sequence: int) -> int:
+        """Observed count of one sequence id."""
+        return int(self._counts[sequence])
+
+    def share(self, sequence: int) -> float:
+        """Fraction of all channels using ``sequence`` (0 when empty)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self._counts[sequence] / total
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Normalised histogram; uniform zero when the table is empty."""
+        total = self.total
+        if total == 0:
+            return np.zeros(NUM_SEQUENCES)
+        return self._counts / total
+
+    # ------------------------------------------------------------------
+    # Rankings and paper statistics
+    # ------------------------------------------------------------------
+    def ranked_sequences(self) -> np.ndarray:
+        """All 512 sequence ids sorted by descending count, id ascending."""
+        order = np.lexsort((np.arange(NUM_SEQUENCES), -self._counts))
+        return order.astype(np.int64)
+
+    def top(self, n: int) -> List[_RankedEntry]:
+        """The ``n`` most common sequences with counts and shares."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        total = self.total
+        entries = []
+        for sequence in self.ranked_sequences()[:n]:
+            count = int(self._counts[sequence])
+            share = count / total if total else 0.0
+            entries.append(_RankedEntry(int(sequence), count, share))
+        return entries
+
+    def bottom(self, n: int) -> List[_RankedEntry]:
+        """The ``n`` least common sequences (used by the clustering pass)."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        total = self.total
+        entries = []
+        ranked = self.ranked_sequences()
+        for sequence in ranked[NUM_SEQUENCES - n:][::-1]:
+            count = int(self._counts[sequence])
+            share = count / total if total else 0.0
+            entries.append(_RankedEntry(int(sequence), count, share))
+        return entries
+
+    def top_share(self, n: int) -> float:
+        """Fraction of channels covered by the ``n`` most common sequences.
+
+        ``top_share(64)`` and ``top_share(256)`` are the two columns of
+        Table II.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        ranked = self.ranked_sequences()[:n]
+        return float(self._counts[ranked].sum() / total)
+
+    def uniform_share(self) -> float:
+        """Combined share of the all-zeros and all-ones sequences.
+
+        Fig. 3 reports these two account for ~25% of all channels.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        combined = self._counts[ALL_MINUS_ONE] + self._counts[ALL_PLUS_ONE]
+        return float(combined / total)
+
+    def used_sequences(self) -> np.ndarray:
+        """Sequence ids with non-zero count, most common first."""
+        ranked = self.ranked_sequences()
+        return ranked[self._counts[ranked] > 0]
+
+    def num_used(self) -> int:
+        """Number of distinct sequences observed."""
+        return int(np.count_nonzero(self._counts))
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy of the distribution in bits per sequence.
+
+        Lower bound on the average code length of any prefix code; the
+        simplified tree's average length is compared against it in tests.
+        """
+        probs = self.probabilities
+        nonzero = probs[probs > 0]
+        if nonzero.size == 0:
+            return 0.0
+        return float(-(nonzero * np.log2(nonzero)).sum())
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def merged_with(self, other: "FrequencyTable") -> "FrequencyTable":
+        """Return a new table with counts summed element-wise."""
+        return FrequencyTable(self._counts + other.counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyTable):
+            return NotImplemented
+        return bool(np.array_equal(self._counts, other.counts))
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencyTable(total={self.total}, used={self.num_used()}, "
+            f"top64={self.top_share(64):.3f})"
+        )
+
+
+def merge_tables(tables: Sequence[FrequencyTable]) -> FrequencyTable:
+    """Sum a sequence of tables into one (e.g. whole-network statistics)."""
+    if not tables:
+        return FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+    counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+    for table in tables:
+        counts += table.counts
+    return FrequencyTable(counts)

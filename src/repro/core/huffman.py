@@ -1,0 +1,193 @@
+"""Reference (full) Huffman coder over bit sequences.
+
+The paper proposes Huffman encoding of the 9-bit sequences (Sec. III-B) and
+then replaces the unbounded tree with a simplified four-node variant for
+hardware friendliness.  This module implements the *unrestricted* coder:
+
+* it serves as the upper bound on achievable compression against which the
+  simplified tree is compared (the "good trade-off" claim of Sec. III-B),
+* and as a correctness oracle — both coders must round-trip identically.
+
+Codes are canonical: code lengths come from the Huffman tree, then codes
+are reassigned in (length, symbol) order.  Canonical codes make the
+encoder/decoder tables deterministic and cheap to serialise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
+from .bitstream import BitReader, BitWriter
+from .frequency import FrequencyTable
+
+__all__ = ["HuffmanCode", "build_huffman_code", "HuffmanEncoder"]
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """Canonical Huffman code book: symbol -> (codeword, length)."""
+
+    lengths: Dict[int, int]
+    codewords: Dict[int, int]
+
+    def code_length(self, symbol: int) -> int:
+        """Length in bits of the code assigned to ``symbol``."""
+        return self.lengths[symbol]
+
+    @property
+    def symbols(self) -> List[int]:
+        """All symbols that received a code, ascending."""
+        return sorted(self.lengths)
+
+    def average_length(self, table: FrequencyTable) -> float:
+        """Expected code length in bits under ``table``'s distribution."""
+        total = table.total
+        if total == 0:
+            return 0.0
+        bits = 0
+        for symbol, length in self.lengths.items():
+            bits += table.count(symbol) * length
+        return bits / total
+
+    def is_prefix_free(self) -> bool:
+        """Verify the Kraft property and pairwise prefix freedom."""
+        items = sorted(
+            ((length, code) for code, length in (
+                (self.codewords[s], self.lengths[s]) for s in self.lengths
+            ))
+        )
+        for i, (len_a, code_a) in enumerate(items):
+            for len_b, code_b in items[i + 1:]:
+                if code_b >> (len_b - len_a) == code_a:
+                    return False
+        return True
+
+
+def _huffman_lengths(symbols: List[int], counts: List[int]) -> Dict[int, int]:
+    """Code length per symbol via the classic heap construction."""
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    heap: List[Tuple[int, int, List[int]]] = []
+    for tiebreak, (symbol, count) in enumerate(zip(symbols, counts)):
+        heap.append((count, tiebreak, [symbol]))
+    heapq.heapify(heap)
+    lengths = {symbol: 0 for symbol in symbols}
+    tiebreak = len(heap)
+    while len(heap) > 1:
+        count_a, _, group_a = heapq.heappop(heap)
+        count_b, _, group_b = heapq.heappop(heap)
+        for symbol in group_a + group_b:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (count_a + count_b, tiebreak, group_a + group_b))
+        tiebreak += 1
+    return lengths
+
+
+def build_huffman_code(table: FrequencyTable) -> HuffmanCode:
+    """Build a canonical Huffman code for every *used* sequence.
+
+    Sequences with zero frequency receive no code — they cannot occur in
+    the stream this code was built for.  Raises ``ValueError`` on an empty
+    table.
+    """
+    used = table.used_sequences()
+    if used.size == 0:
+        raise ValueError("cannot build a Huffman code from an empty table")
+    symbols = [int(s) for s in used]
+    counts = [table.count(s) for s in symbols]
+    lengths = _huffman_lengths(symbols, counts)
+
+    # Canonical code assignment: sort by (length, symbol), then count up.
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codewords: Dict[int, int] = {}
+    code = 0
+    previous_length = ordered[0][1]
+    for symbol, length in ordered:
+        code <<= length - previous_length
+        codewords[symbol] = code
+        code += 1
+        previous_length = length
+    return HuffmanCode(lengths=lengths, codewords=codewords)
+
+
+class HuffmanEncoder:
+    """Encode/decode arrays of sequence ids with a canonical Huffman code."""
+
+    def __init__(self, code: HuffmanCode) -> None:
+        self._code = code
+        self._decode_root = self._build_decode_tree()
+
+    @classmethod
+    def from_table(cls, table: FrequencyTable) -> "HuffmanEncoder":
+        """Convenience constructor from a frequency table."""
+        return cls(build_huffman_code(table))
+
+    @property
+    def code(self) -> HuffmanCode:
+        """The underlying code book."""
+        return self._code
+
+    def _build_decode_tree(self):
+        """Binary trie for decoding: nested [left, right, symbol] lists."""
+        root = [None, None, None]
+        for symbol, codeword in self._code.codewords.items():
+            length = self._code.lengths[symbol]
+            node = root
+            for shift in range(length - 1, -1, -1):
+                bit = (codeword >> shift) & 1
+                if node[2] is not None:
+                    raise ValueError("code is not prefix free")
+                if node[bit] is None:
+                    node[bit] = [None, None, None]
+                node = node[bit]
+            if node[0] is not None or node[1] is not None:
+                raise ValueError("code is not prefix free")
+            node[2] = symbol
+        return root
+
+    def encode(self, sequences: np.ndarray) -> Tuple[bytes, int]:
+        """Encode sequence ids; returns ``(payload, bit_length)``."""
+        sequences = np.asarray(sequences, dtype=np.int64).reshape(-1)
+        writer = BitWriter()
+        codewords = self._code.codewords
+        lengths = self._code.lengths
+        for sequence in sequences:
+            symbol = int(sequence)
+            if symbol not in codewords:
+                raise KeyError(
+                    f"sequence {symbol} has no code (zero training frequency)"
+                )
+            writer.write(codewords[symbol], lengths[symbol])
+        return writer.getvalue(), writer.bit_length
+
+    def decode(self, payload: bytes, count: int, bit_length: int) -> np.ndarray:
+        """Decode ``count`` sequence ids from ``payload``."""
+        reader = BitReader(payload, bit_length)
+        out = np.empty(count, dtype=np.int64)
+        for index in range(count):
+            node = self._decode_root
+            while node[2] is None:
+                node = node[reader.read_bit()]
+                if node is None:
+                    raise ValueError("invalid code word in stream")
+            out[index] = node[2]
+        return out
+
+    def compressed_bits(self, table: FrequencyTable) -> int:
+        """Total compressed size in bits of everything ``table`` counted."""
+        bits = 0
+        for symbol, length in self._code.lengths.items():
+            bits += table.count(symbol) * length
+        return bits
+
+    def compression_ratio(self, table: FrequencyTable) -> float:
+        """Raw (9 bits/sequence) over compressed size for ``table``."""
+        compressed = self.compressed_bits(table)
+        if compressed == 0:
+            return 1.0
+        return table.total * BITS_PER_SEQUENCE / compressed

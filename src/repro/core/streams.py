@@ -1,0 +1,164 @@
+"""Container for a compressed kernel stream and its decoder configuration.
+
+Section IV-A / Table III: before evaluating a 3x3 kernel the runtime
+programs the decoding unit with a configuration structure holding the
+number of sequences, a pointer to the compressed stream, the stream length
+and the Huffman tree (node tables).  :class:`CompressedKernel` is the
+software twin of that structure plus the payload itself, with a compact
+binary serialisation so storage numbers can be measured end to end.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
+from .simplified import SimplifiedTree, TreeLayout
+from .frequency import FrequencyTable
+
+__all__ = ["CompressedKernel"]
+
+_MAGIC = b"BNNK"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompressedKernel:
+    """One kernel's compressed bit-sequence stream (Table III fields).
+
+    ``shape`` is ``(out_channels, in_channels)``; the payload holds
+    ``out_channels * in_channels`` encoded sequences in streaming order.
+    """
+
+    shape: Tuple[int, int]
+    capacities: Tuple[int, ...]
+    node_tables: Tuple[Tuple[int, ...], ...]
+    payload: bytes
+    bit_length: int
+
+    @classmethod
+    def from_sequences(
+        cls, sequences: np.ndarray, shape: Tuple[int, int], tree: SimplifiedTree
+    ) -> "CompressedKernel":
+        """Encode ``sequences`` with ``tree`` and wrap the result."""
+        sequences = np.asarray(sequences, dtype=np.int64).reshape(-1)
+        expected = shape[0] * shape[1]
+        if sequences.size != expected:
+            raise ValueError(
+                f"{sequences.size} sequences do not fill shape {shape}"
+            )
+        payload, bit_length = tree.encode(sequences)
+        return cls(
+            shape=tuple(shape),
+            capacities=tree.layout.capacities,
+            node_tables=tree.assignment.node_tables,
+            payload=payload,
+            bit_length=bit_length,
+        )
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of encoded channels."""
+        return self.shape[0] * self.shape[1]
+
+    @property
+    def raw_bits(self) -> int:
+        """Uncompressed size: 9 bits per channel."""
+        return self.num_sequences * BITS_PER_SEQUENCE
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw payload bits over compressed payload bits."""
+        if self.bit_length == 0:
+            return 1.0
+        return self.raw_bits / self.bit_length
+
+    def rebuild_tree(self) -> SimplifiedTree:
+        """Reconstruct a decoder whose node tables match this stream.
+
+        The tree is rebuilt from a synthetic frequency table that ranks the
+        stored node tables in order, so assignment is bit-identical to the
+        encoder's.
+        """
+        counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        rank = NUM_SEQUENCES
+        for table in self.node_tables:
+            for sequence in table:
+                counts[sequence] = rank
+                rank -= 1
+        tree = SimplifiedTree(FrequencyTable(counts), self.capacities)
+        if tree.assignment.node_tables != self.node_tables:
+            raise AssertionError("node table reconstruction mismatch")
+        return tree
+
+    def decode(self) -> np.ndarray:
+        """Decode the payload back to flat sequence ids."""
+        tree = self.rebuild_tree()
+        return tree.decode(self.payload, self.num_sequences, self.bit_length)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise header + node tables + payload to bytes."""
+        parts = [_MAGIC, struct.pack("<BB", _VERSION, len(self.capacities))]
+        parts.append(struct.pack("<HH", *self.shape))
+        parts.append(struct.pack("<I", self.bit_length))
+        for capacity, table in zip(self.capacities, self.node_tables):
+            parts.append(struct.pack("<HH", capacity, len(table)))
+            parts.append(np.asarray(table, dtype="<u2").tobytes())
+        parts.append(struct.pack("<I", len(self.payload)))
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CompressedKernel":
+        """Inverse of :meth:`to_bytes`; validates magic and version."""
+        if data[:4] != _MAGIC:
+            raise ValueError("bad magic: not a CompressedKernel buffer")
+        version, num_nodes = struct.unpack_from("<BB", data, 4)
+        if version != _VERSION:
+            raise ValueError(f"unsupported version {version}")
+        offset = 6
+        shape = struct.unpack_from("<HH", data, offset)
+        offset += 4
+        (bit_length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        capacities = []
+        node_tables = []
+        for _ in range(num_nodes):
+            capacity, size = struct.unpack_from("<HH", data, offset)
+            offset += 4
+            table = np.frombuffer(data, dtype="<u2", count=size, offset=offset)
+            offset += size * 2
+            capacities.append(int(capacity))
+            node_tables.append(tuple(int(s) for s in table))
+        (payload_size,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        payload = data[offset:offset + payload_size]
+        if len(payload) != payload_size:
+            raise ValueError("truncated payload")
+        return cls(
+            shape=tuple(shape),
+            capacities=tuple(capacities),
+            node_tables=tuple(node_tables),
+            payload=payload,
+            bit_length=bit_length,
+        )
+
+    def storage_bytes(self, include_tables: bool = True) -> int:
+        """On-device footprint: payload plus (optionally) node tables.
+
+        The tables live in the decoding unit's 1 KB scratchpad (Table IV)
+        and are shared by every kernel of a block, so model-level storage
+        accounting amortises them; the per-kernel view includes them.
+        """
+        payload_bytes = (self.bit_length + 7) // 8
+        if not include_tables:
+            return payload_bytes
+        table_bytes = sum(len(table) * 2 for table in self.node_tables)
+        return payload_bytes + table_bytes

@@ -1,0 +1,81 @@
+"""Hardware simulation substrate (stands in for Gem5 + ARM A53 + Verilog).
+
+* :mod:`~repro.hw.config` — Table IV platform configuration
+* :mod:`~repro.hw.memory` / :mod:`~repro.hw.cache` — DDR + L1/L2 models
+* :mod:`~repro.hw.decoder` — the decoding unit of Fig. 6
+* :mod:`~repro.hw.isa` — the ``lddu`` / ``ldps`` programming model
+* :mod:`~repro.hw.perf` — end-to-end layer/model performance
+"""
+
+from .cache import Cache, build_hierarchy
+from .config import (
+    CacheConfig,
+    CpuConfig,
+    DecoderConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+from .energy import EnergyConfig, EnergyModel, EnergyReport
+from .decoder import DecoderProgram, DecodeTiming, DecodingUnit
+from .trace import (
+    MemoryTrace,
+    ReplayResult,
+    TraceRecord,
+    conv_input_stream_trace,
+    conv_weight_stream_trace,
+)
+from .isa import lddu, ldps, read_kernel_words
+from .memory import AccessStats, MainMemory
+from .microkernel import (
+    baseline_row_pass,
+    hw_ldps_row_pass,
+    sw_decode_prologue,
+)
+from .pipeline import InOrderPipeline, Instruction, PipelineStats
+from .rtl import RtlDecodeStats, RtlDecodingUnit
+from .perf import (
+    LayerTiming,
+    LayerWorkload,
+    ModelTiming,
+    PerfModel,
+    reactnet_workloads,
+)
+
+__all__ = [
+    "AccessStats",
+    "Cache",
+    "CacheConfig",
+    "CpuConfig",
+    "DecodeTiming",
+    "DecoderConfig",
+    "DecoderProgram",
+    "DecodingUnit",
+    "EnergyConfig",
+    "EnergyModel",
+    "EnergyReport",
+    "InOrderPipeline",
+    "Instruction",
+    "LayerTiming",
+    "LayerWorkload",
+    "MainMemory",
+    "MemoryTrace",
+    "MemoryConfig",
+    "ModelTiming",
+    "ReplayResult",
+    "TraceRecord",
+    "PerfModel",
+    "PipelineStats",
+    "RtlDecodeStats",
+    "RtlDecodingUnit",
+    "SystemConfig",
+    "baseline_row_pass",
+    "build_hierarchy",
+    "conv_input_stream_trace",
+    "conv_weight_stream_trace",
+    "hw_ldps_row_pass",
+    "lddu",
+    "ldps",
+    "read_kernel_words",
+    "reactnet_workloads",
+    "sw_decode_prologue",
+]

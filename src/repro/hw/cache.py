@@ -1,0 +1,118 @@
+"""Set-associative LRU cache model.
+
+Functional timing cache: tracks resident lines per set with LRU
+replacement and charges the configured hit latency or forwards to the
+next level on a miss.  Used at line granularity by the trace-driven
+performance model — the quantity of interest is which fraction of the
+kernel/input stream hits in L1/L2 versus paying DRAM latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Union
+
+from .config import CacheConfig
+from .memory import AccessStats, MainMemory
+
+__all__ = ["Cache", "build_hierarchy"]
+
+
+class Cache:
+    """One cache level backed by either another cache or main memory."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        next_level: Union["Cache", MainMemory],
+        name: str = "cache",
+    ) -> None:
+        self.config = config
+        self.next_level = next_level
+        self.name = name
+        self.stats = AccessStats()
+        self.hits = 0
+        self.misses = 0
+        # per set: OrderedDict of resident line tags (LRU order: oldest first)
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> tuple:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return set_index, tag
+
+    def access_line(self, address: int) -> float:
+        """Access the line containing ``address``; returns cost in cycles."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            cycles = float(self.config.hit_latency)
+            self.stats.record(self.config.line_bytes, cycles)
+            return cycles
+
+        self.misses += 1
+        line_address = (address // self.config.line_bytes) * self.config.line_bytes
+        if isinstance(self.next_level, MainMemory):
+            miss_cycles = self.next_level.access(
+                line_address, self.config.line_bytes
+            )
+        else:
+            miss_cycles = self.next_level.access_line(line_address)
+        ways[tag] = True
+        ways.move_to_end(tag)
+        if len(ways) > self.config.associativity:
+            ways.popitem(last=False)  # evict LRU
+        cycles = self.config.hit_latency + miss_cycles
+        self.stats.record(self.config.line_bytes, cycles)
+        return cycles
+
+    def access_bytes(self, address: int, size: int) -> float:
+        """Access an arbitrary byte range, line by line."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        cycles = 0.0
+        line_bytes = self.config.line_bytes
+        first = address // line_bytes
+        last = (address + size - 1) // line_bytes
+        for line in range(first, last + 1):
+            cycles += self.access_line(line * line_bytes)
+        return cycles
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total accesses (0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is currently resident."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> None:
+        """Drop all resident lines (does not touch statistics)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters at this level only."""
+        self.stats.reset()
+        self.hits = 0
+        self.misses = 0
+
+
+def build_hierarchy(
+    l1: CacheConfig, l2: Optional[CacheConfig], memory: MainMemory
+) -> Cache:
+    """Construct L1 -> (L2 ->) memory and return the L1 front end."""
+    if l2 is not None:
+        l2_cache = Cache(l2, memory, name="L2")
+        return Cache(l1, l2_cache, name="L1")
+    return Cache(l1, memory, name="L1")

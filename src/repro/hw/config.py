@@ -1,0 +1,151 @@
+"""Hardware configuration (Table IV of the paper).
+
+Every knob of the cycle-approximate model lives here so experiments and
+ablations can vary one parameter at a time.  ``SystemConfig.paper_default``
+reproduces Table IV: an ARM A53-class in-order core at 1 GHz with 32 KB L1
+and 256 KB L2 caches, 4 GB of DDR4-like main memory, 128-bit vector
+registers, and a decoding unit with a 4-node tree, 1 KB uncompressed
+table, 256 B register file and 256 B input buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CacheConfig",
+    "MemoryConfig",
+    "CpuConfig",
+    "DecoderConfig",
+    "SystemConfig",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level: geometry plus hit latency in cycles."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+    hit_latency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache size and line size must be positive")
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        num_lines = self.size_bytes // self.line_bytes
+        if self.associativity <= 0 or num_lines % self.associativity:
+            raise ValueError(
+                f"associativity {self.associativity} does not divide "
+                f"{num_lines} lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main memory: fixed access latency plus a bandwidth occupancy term."""
+
+    latency_cycles: int = 100
+    bytes_per_cycle: float = 8.0
+    size_bytes: int = 4 * 1024 * 1024 * 1024  # 4 GB DDR4 (Table IV)
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """In-order A53-class core model.
+
+    ``prefetch_efficiency`` is the fraction of miss latency hidden by the
+    hardware prefetcher on streaming accesses — in-order cores rely on it
+    heavily for the regular loops of a conv kernel.
+    ``sw_decode_cycles_per_seq`` is the software cost of decoding *and*
+    channel-packing one bit sequence without hardware support (prefix
+    extraction, length lookup, table load, nine partial register inserts);
+    it drives the Sec. IV-B software-only slowdown experiment.
+    """
+
+    frequency_hz: float = 1e9
+    vector_bits: int = 128
+    num_vector_registers: int = 32
+    issue_width: int = 2
+    prefetch_efficiency: float = 0.6
+    sw_decode_cycles_per_seq: float = 12.0
+    int8_macs_per_cycle: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.vector_bits % 64:
+            raise ValueError("vector width must be a multiple of 64 bits")
+        if not 0.0 <= self.prefetch_efficiency <= 1.0:
+            raise ValueError("prefetch_efficiency must be in [0, 1]")
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """The decoding unit of Fig. 6 / Table IV."""
+
+    max_nodes: int = 4
+    uncompressed_table_bytes: int = 1024
+    register_file_bytes: int = 256
+    input_buffer_bytes: int = 256
+    fetch_chunk_bytes: int = 64
+    #: decoded sequences per cycle; the banked uncompressed table
+    #: (Sec. IV-C: "partitioned into multiple banks") sustains two
+    #: table lookups per cycle.
+    sequences_per_cycle: float = 2.0
+    ldps_latency: int = 1
+    #: fraction of stream-fetch latency the unit's double-buffered
+    #: prefetch hides; a dedicated streaming engine with in-flight
+    #: requests hides more than the core's stride prefetcher.
+    fetch_overlap_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.fetch_chunk_bytes > self.input_buffer_bytes:
+            raise ValueError(
+                "fetch chunk cannot exceed the input buffer size"
+            )
+        if self.sequences_per_cycle <= 0:
+            raise ValueError("decode throughput must be positive")
+        if not 0.0 <= self.fetch_overlap_efficiency <= 1.0:
+            raise ValueError("fetch_overlap_efficiency must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete platform: core + cache hierarchy + memory + decoding unit."""
+
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 64, 4, 4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(256 * 1024, 64, 8, 12)
+    )
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    decoder: DecoderConfig = field(default_factory=DecoderConfig)
+
+    @classmethod
+    def paper_default(cls) -> "SystemConfig":
+        """Table IV configuration."""
+        return cls()
+
+    def with_memory_latency(self, latency_cycles: int) -> "SystemConfig":
+        """Copy with a different DRAM latency (ablation A3)."""
+        return replace(self, memory=replace(self.memory, latency_cycles=latency_cycles))
+
+    def with_l2_size(self, size_bytes: int) -> "SystemConfig":
+        """Copy with a different L2 capacity (ablation A3)."""
+        return replace(self, l2=replace(self.l2, size_bytes=size_bytes))

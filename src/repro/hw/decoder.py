@@ -1,0 +1,222 @@
+"""Behavioural + timing model of the decoding unit (Fig. 6).
+
+The unit sits next to the CPU load-store unit and has two halves:
+
+* **streaming unit** — fetches the compressed stream from memory in
+  chunks into a small input buffer, parses node prefixes, reads each
+  code's length from the *length table* and its payload from the banked
+  *uncompressed table*, producing one decoded 9-bit sequence per cycle;
+* **packing unit** — channel-packs decoded sequences into ``k = 9``
+  packing registers of ``R`` bits (Fig. 5): register ``j`` collects bit
+  ``j`` of ``R`` consecutive sequences.  Full register groups are exposed
+  to the CPU through the ``ldps`` instruction as 64-bit words.
+
+The behavioural model really decodes and really packs (tests compare its
+output against the software decoder bit-for-bit); the timing model charges
+memory-fetch cycles through the shared cache hierarchy and overlaps them
+with the one-sequence-per-cycle decode pipeline, which is the overlap the
+paper credits for its speedup (Sec. VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.bitseq import BITS_PER_SEQUENCE
+from ..core.streams import CompressedKernel
+from .cache import Cache
+from .config import DecoderConfig
+
+__all__ = ["DecoderProgram", "DecodeTiming", "DecodingUnit"]
+
+
+@dataclass(frozen=True)
+class DecoderProgram:
+    """The configuration structure of Table III.
+
+    ``lddu`` loads one of these into the decoding unit: the number of
+    sequences to produce, where the compressed stream lives, how long it
+    is, and the Huffman tree (node tables).
+    """
+
+    stream: CompressedKernel
+    base_address: int = 0
+
+    @property
+    def num_sequences(self) -> int:
+        """Field 1 of Table III."""
+        return self.stream.num_sequences
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Field 3 of Table III (stream length)."""
+        return (self.stream.bit_length + 7) // 8
+
+
+@dataclass
+class DecodeTiming:
+    """Cycle accounting for one full stream decode."""
+
+    fetch_cycles: float = 0.0
+    decode_cycles: float = 0.0
+    total_cycles: float = 0.0
+    chunks_fetched: int = 0
+
+    @property
+    def overlapped_fraction(self) -> float:
+        """How much of the fetch latency the decode pipeline hid."""
+        serial = self.fetch_cycles + self.decode_cycles
+        if serial == 0:
+            return 0.0
+        return 1.0 - self.total_cycles / serial
+
+
+class DecodingUnit:
+    """The hardware decoder: configure with ``lddu``, drain with ``ldps``."""
+
+    def __init__(
+        self,
+        config: DecoderConfig,
+        register_bits: int = 128,
+    ) -> None:
+        if register_bits % 64:
+            raise ValueError("register width must be a multiple of 64 bits")
+        self.config = config
+        self.register_bits = register_bits
+        self._program: Optional[DecoderProgram] = None
+        self._packed_words: List[int] = []
+        self._read_cursor = 0
+        self.timing = DecodeTiming()
+
+    # ------------------------------------------------------------------
+    # Configuration (the lddu instruction)
+    # ------------------------------------------------------------------
+    def configure(
+        self, program: DecoderProgram, cache: Optional[Cache] = None
+    ) -> DecodeTiming:
+        """Load a program and run the stream to completion (Sec. IV-C).
+
+        The real unit decodes in the background; the model runs it eagerly
+        and returns the cycle accounting so callers can overlap it against
+        CPU compute.  ``cache`` is the shared hierarchy used for stream
+        fetches; ``None`` charges no fetch cycles (pure behavioural mode).
+        """
+        tree_nodes = len(program.stream.capacities)
+        if tree_nodes > self.config.max_nodes:
+            raise ValueError(
+                f"stream uses {tree_nodes} tree nodes; unit supports "
+                f"{self.config.max_nodes}"
+            )
+        table_entries = sum(len(t) for t in program.stream.node_tables)
+        if table_entries * 2 > self.config.uncompressed_table_bytes:
+            raise ValueError(
+                f"node tables need {table_entries * 2} B; the uncompressed "
+                f"table holds {self.config.uncompressed_table_bytes} B"
+            )
+        self._program = program
+        self._packed_words = []
+        self._read_cursor = 0
+        self.timing = self._run(program, cache)
+        return self.timing
+
+    def _run(
+        self, program: DecoderProgram, cache: Optional[Cache]
+    ) -> DecodeTiming:
+        """Decode + pack the whole stream, charging fetch cycles."""
+        timing = DecodeTiming()
+
+        # --- streaming unit: chunked fetches through the hierarchy
+        chunk = self.config.fetch_chunk_bytes
+        total_bytes = program.compressed_bytes
+        chunk_costs: List[float] = []
+        if cache is not None:
+            for offset in range(0, total_bytes, chunk):
+                size = min(chunk, total_bytes - offset)
+                chunk_costs.append(
+                    cache.access_bytes(program.base_address + offset, size)
+                )
+        timing.chunks_fetched = len(chunk_costs)
+        timing.fetch_cycles = float(sum(chunk_costs))
+
+        # --- decode pipeline: one sequence per cycle after the first chunk
+        tree = program.stream.rebuild_tree()
+        sequences = tree.decode(
+            program.stream.payload,
+            program.num_sequences,
+            program.stream.bit_length,
+        )
+        timing.decode_cycles = (
+            program.num_sequences / self.config.sequences_per_cycle
+        )
+
+        # Double buffering: the first chunk's latency is exposed, the rest
+        # overlaps with decoding (fetch-ahead, Sec. IV-C).
+        first = chunk_costs[0] if chunk_costs else 0.0
+        rest = timing.fetch_cycles - first
+        timing.total_cycles = first + max(rest, timing.decode_cycles)
+
+        # --- packing unit
+        self._packed_words = self._pack(sequences)
+        return timing
+
+    # ------------------------------------------------------------------
+    # Packing unit (Fig. 5)
+    # ------------------------------------------------------------------
+    def _pack(self, sequences: np.ndarray) -> List[int]:
+        """Channel-pack sequences into k=9 registers of ``register_bits``.
+
+        Groups of ``R`` sequences fill one register set (Fig. 5: register
+        ``p`` holds kernel position ``p`` of ``R`` consecutive channels);
+        the set is flushed as 64-bit words, register 0 (position (0,0))
+        first.  A final partial group is zero-padded, mirroring the
+        behaviour a compiler would rely on for non-multiple channel
+        counts.  The word layout matches
+        :func:`repro.bnn.packing.pack_bits`.
+        """
+        from ..bnn.packing import pack_bits
+
+        r = self.register_bits
+        n = sequences.size
+        if n == 0:
+            return []
+        groups = (n + r - 1) // r
+        padded = np.zeros(groups * r, dtype=np.int64)
+        padded[:n] = sequences
+        shifts = np.arange(BITS_PER_SEQUENCE - 1, -1, -1)
+        bits = ((padded[:, None] >> shifts) & 1).astype(np.uint8)  # (G*r, 9)
+        # (groups, lanes=r, positions=9) -> registers (groups, 9, r)
+        registers = bits.reshape(groups, r, BITS_PER_SEQUENCE).transpose(0, 2, 1)
+        words = pack_bits(registers.reshape(groups * BITS_PER_SEQUENCE, r))
+        return [int(word) for word in words.reshape(-1)]
+
+    # ------------------------------------------------------------------
+    # The ldps instruction
+    # ------------------------------------------------------------------
+    @property
+    def words_available(self) -> int:
+        """Packed 64-bit words not yet consumed by ``ldps``."""
+        return len(self._packed_words) - self._read_cursor
+
+    def ldps(self) -> int:
+        """Read the oldest packed 64-bit word (Sec. IV-C).
+
+        Raises ``RuntimeError`` when the unit is unconfigured or drained —
+        the programmer contract the paper assigns to software.
+        """
+        if self._program is None:
+            raise RuntimeError("decoding unit is not configured (missing lddu)")
+        if self._read_cursor >= len(self._packed_words):
+            raise RuntimeError("decoding unit drained: no packed words left")
+        word = self._packed_words[self._read_cursor]
+        self._read_cursor += 1
+        return word
+
+    def drain_words(self) -> np.ndarray:
+        """Read every remaining packed word (convenience for tests)."""
+        out = []
+        while self.words_available:
+            out.append(self.ldps())
+        return np.asarray(out, dtype=np.uint64)

@@ -1,0 +1,129 @@
+"""Energy model for the compressed-kernel scheme (extension experiment).
+
+The paper evaluates performance and storage only, but its venue (DATE)
+and target (edge devices) make energy the natural third axis, and the
+mechanism — fewer DRAM bytes per inference — is primarily an energy
+optimisation.  This module prices the simulated activity with standard
+per-component energy figures (45 nm-class, Horowitz ISSCC'14 ballpark,
+configurable) and reports baseline vs. compressed energy per inference.
+
+The decoding unit's own consumption is charged per decoded sequence and
+per table lookup so the net saving is honest: compression must buy more
+DRAM energy than the decoder spends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .config import SystemConfig
+from .perf import LayerTiming, ModelTiming, PerfModel
+
+__all__ = ["EnergyConfig", "EnergyReport", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-event energy costs in picojoules."""
+
+    dram_pj_per_byte: float = 20.0
+    l2_pj_per_access: float = 10.0
+    l1_pj_per_access: float = 2.0
+    vector_op_pj: float = 1.0
+    scalar_op_pj: float = 0.3
+    #: decoding unit: one sequence decode = prefix parse + length lookup +
+    #: banked table read + packing-register insert
+    decode_pj_per_sequence: float = 0.8
+    ldps_pj: float = 0.5
+    static_pj_per_cycle: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dram_pj_per_byte", "l2_pj_per_access", "l1_pj_per_access",
+            "vector_op_pj", "scalar_op_pj", "decode_pj_per_sequence",
+            "ldps_pj", "static_pj_per_cycle",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one whole-network inference, in microjoules."""
+
+    mode: str
+    dram_uj: float
+    compute_uj: float
+    decoder_uj: float
+    static_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        """Sum of all components."""
+        return self.dram_uj + self.compute_uj + self.decoder_uj + self.static_uj
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component name -> microjoules."""
+        return {
+            "dram": self.dram_uj,
+            "compute": self.compute_uj,
+            "decoder": self.decoder_uj,
+            "static": self.static_uj,
+        }
+
+
+class EnergyModel:
+    """Prices a :class:`~repro.hw.perf.ModelTiming` into joules."""
+
+    def __init__(
+        self,
+        energy: Optional[EnergyConfig] = None,
+        system: Optional[SystemConfig] = None,
+    ) -> None:
+        self.energy = energy or EnergyConfig()
+        self.system = system or SystemConfig.paper_default()
+
+    def _layer_compute_pj(self, timing: LayerTiming) -> float:
+        """Price the layer's arithmetic as vector/scalar operations."""
+        ops = timing.compute_cycles * self.system.cpu.issue_width
+        if timing.workload.kind in ("conv3x3", "conv1x1"):
+            return ops * self.energy.vector_op_pj
+        return ops * self.energy.scalar_op_pj
+
+    def price(self, timing: ModelTiming) -> EnergyReport:
+        """Convert a simulated run into an energy report."""
+        dram_pj = 0.0
+        compute_pj = 0.0
+        decoder_pj = 0.0
+        for layer in timing.layers:
+            dram_pj += layer.dram_bytes * self.energy.dram_pj_per_byte
+            compute_pj += self._layer_compute_pj(layer)
+            if timing.mode == "hw_compressed" and layer.workload.kind == "conv3x3":
+                passes = max(layer.workload.out_size, 1)
+                sequences = layer.workload.num_sequences * passes
+                decoder_pj += sequences * self.energy.decode_pj_per_sequence
+                ldps_words = layer.workload.num_sequences * 9 / 64 * passes
+                decoder_pj += ldps_words * self.energy.ldps_pj
+        static_pj = timing.total_cycles * self.energy.static_pj_per_cycle
+        return EnergyReport(
+            mode=timing.mode,
+            dram_uj=dram_pj / 1e6,
+            compute_uj=compute_pj / 1e6,
+            decoder_uj=decoder_pj / 1e6,
+            static_uj=static_pj / 1e6,
+        )
+
+    def compare(
+        self,
+        compression_ratios: Dict[str, float],
+        perf: Optional[PerfModel] = None,
+    ) -> Dict[str, EnergyReport]:
+        """Energy of baseline vs. hardware-compressed inference."""
+        perf = perf or PerfModel(self.system)
+        baseline = perf.simulate_model("baseline")
+        compressed = perf.simulate_model("hw_compressed", compression_ratios)
+        return {
+            "baseline": self.price(baseline),
+            "hw_compressed": self.price(compressed),
+        }

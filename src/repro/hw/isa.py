@@ -1,0 +1,54 @@
+"""Instruction-level wrappers for the two new instructions (Sec. IV-C).
+
+The paper adds ``lddu`` (load decoder-unit configuration) and ``ldps``
+(load packed bit sequence) to the ISA.  These helpers model the software
+view: a configuration structure in memory (Table III), a blocking
+configure step, and destructive register reads.  They exist so example
+code and tests can be written against the *programming model* the paper
+describes rather than against simulator internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.streams import CompressedKernel
+from .cache import Cache
+from .decoder import DecoderProgram, DecodeTiming, DecodingUnit
+
+__all__ = ["lddu", "ldps", "read_kernel_words"]
+
+
+def lddu(
+    unit: DecodingUnit,
+    stream: CompressedKernel,
+    base_address: int = 0,
+    cache: Optional[Cache] = None,
+) -> DecodeTiming:
+    """Execute ``lddu``: program the unit and start background decoding.
+
+    Returns the decode-side cycle accounting; the caller overlaps it with
+    compute (the model's equivalent of "in the background, the decoding
+    unit fetches and decodes", Sec. IV-C).
+    """
+    program = DecoderProgram(stream=stream, base_address=base_address)
+    return unit.configure(program, cache=cache)
+
+
+def ldps(unit: DecodingUnit) -> int:
+    """Execute ``ldps``: read the oldest packed 64-bit word."""
+    return unit.ldps()
+
+
+def read_kernel_words(unit: DecodingUnit, count: int) -> np.ndarray:
+    """Issue ``count`` consecutive ``ldps`` reads (one kernel's worth)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count > unit.words_available:
+        raise RuntimeError(
+            f"requested {count} words but only {unit.words_available} packed"
+        )
+    return np.asarray([unit.ldps() for _ in range(count)], dtype=np.uint64)

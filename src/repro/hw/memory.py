@@ -1,0 +1,61 @@
+"""Main-memory timing model.
+
+A deliberately simple DDR-like backend: every line fetch pays a fixed
+access latency plus a bandwidth occupancy term.  Statistics are kept so
+experiments can report byte traffic — the quantity kernel compression
+reduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import MemoryConfig
+
+__all__ = ["AccessStats", "MainMemory"]
+
+
+@dataclass
+class AccessStats:
+    """Counters shared by memory and cache models."""
+
+    accesses: int = 0
+    bytes_transferred: int = 0
+    cycles: float = 0.0
+
+    def record(self, size: int, cycles: float) -> None:
+        """Account one access of ``size`` bytes costing ``cycles``."""
+        self.accesses += 1
+        self.bytes_transferred += size
+        self.cycles += cycles
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.bytes_transferred = 0
+        self.cycles = 0.0
+
+
+class MainMemory:
+    """Bottom of the hierarchy: fixed latency + bandwidth occupancy."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.stats = AccessStats()
+
+    def access(self, address: int, size: int) -> float:
+        """Fetch ``size`` bytes; returns the access cost in cycles."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if not 0 <= address < self.config.size_bytes:
+            raise ValueError(
+                f"address {address:#x} outside memory of "
+                f"{self.config.size_bytes} bytes"
+            )
+        cycles = self.config.latency_cycles + size / self.config.bytes_per_cycle
+        self.stats.record(size, cycles)
+        return cycles
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters."""
+        self.stats.reset()

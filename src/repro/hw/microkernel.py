@@ -1,0 +1,198 @@
+"""Symbolic daBNN-style microkernels for the pipeline simulator.
+
+The paper rewrote daBNN's assembly conv kernels to use the new
+instructions (Sec. V).  This module generates the equivalent symbolic
+instruction streams for one output-row pass of a binary 3x3 convolution
+in the three execution modes the perf model prices:
+
+* ``baseline``   — load channel-packed weights from memory, xnor+popcount;
+* ``sw_decode``  — decode each sequence with plain ALU instructions
+  (prefix extract, length lookup, table load, nine register inserts),
+  then run the baseline loop from the scratch buffer;
+* ``hw_ldps``    — read ready-packed words from the decoding unit.
+
+Streams are meant for microkernel-scale runs (a few thousand
+instructions) on :class:`~repro.hw.pipeline.InOrderPipeline`, where they
+cross-validate the analytic per-pass cycle estimates of
+:class:`~repro.hw.perf.PerfModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .perf import LayerWorkload
+from .pipeline import Instruction
+
+__all__ = [
+    "baseline_row_pass",
+    "sw_decode_prologue",
+    "hw_ldps_row_pass",
+]
+
+_WEIGHT_BASE = 0x0000_0000
+_INPUT_BASE = 0x4000_0000
+_OUTPUT_BASE = 0x8000_0000
+
+
+def _vector_words(workload: LayerWorkload, vector_bits: int) -> int:
+    """128-bit register loads needed for one output's operand bits."""
+    bits = workload.in_channels * workload.kernel * workload.kernel
+    return math.ceil(bits / vector_bits)
+
+
+def baseline_row_pass(
+    workload: LayerWorkload,
+    vector_bits: int = 128,
+    max_outputs: Optional[int] = None,
+) -> List[Instruction]:
+    """One output row of the daBNN schedule, uncompressed weights.
+
+    Per output element and vector word: load weights, load inputs, xnor,
+    popcount, accumulate; then store the output.  ``max_outputs`` caps
+    the row for tractable simulations.
+
+    Address streams follow the daBNN schedule: the kernel is *streamed*
+    (each work item reads fresh weight words, so the weight footprint of
+    a pass is the whole kernel), while the input row buffer is small and
+    re-read (double-buffered rows), which is why weight loads are the
+    ones on the critical path (Sec. I).
+    """
+    words = _vector_words(workload, vector_bits)
+    word_bytes = vector_bits // 8
+    outputs = workload.out_size if max_outputs is None else min(
+        workload.out_size, max_outputs
+    )
+    program: List[Instruction] = []
+    for out_index in range(outputs):
+        accumulator = f"acc{out_index % 4}"
+        program.append(
+            Instruction("movi", "alu", dst=accumulator)
+        )
+        for word in range(words):
+            weight_register = f"w{word % 8}"
+            input_register = f"x{word % 8}"
+            weight_address = (
+                _WEIGHT_BASE + (out_index * words + word) * word_bytes
+            )
+            input_address = (
+                _INPUT_BASE + ((out_index % 2) * words + word) * word_bytes
+            )
+            program.append(
+                Instruction(
+                    "ld1.w", "load", dst=weight_register,
+                    address=weight_address, size=word_bytes,
+                )
+            )
+            program.append(
+                Instruction(
+                    "ld1.x", "load", dst=input_register,
+                    address=input_address, size=word_bytes,
+                )
+            )
+            program.append(
+                Instruction(
+                    "eor", "vec", dst=f"v{word % 8}",
+                    srcs=(weight_register, input_register),
+                )
+            )
+            program.append(
+                Instruction(
+                    "cnt+add", "vec", dst=accumulator,
+                    srcs=(f"v{word % 8}", accumulator),
+                )
+            )
+        program.append(
+            Instruction(
+                "str", "store", srcs=(accumulator,),
+                address=_OUTPUT_BASE + out_index * 4, size=4,
+            )
+        )
+    return program
+
+
+def sw_decode_prologue(
+    num_sequences: int,
+    instructions_per_sequence: int = 12,
+) -> List[Instruction]:
+    """The software decode loop (Sec. IV-B) for ``num_sequences``.
+
+    Each sequence costs a serial chain of ALU operations: shift/mask the
+    prefix, length-table lookup, uncompressed-table load, and the
+    channel-pack inserts — ``instructions_per_sequence`` in total, with a
+    loop-carried dependency on the stream cursor, which is what makes the
+    software route slow.
+    """
+    program: List[Instruction] = []
+    for sequence in range(num_sequences):
+        cursor = "cursor"
+        for step in range(instructions_per_sequence):
+            program.append(
+                Instruction(
+                    f"dec{step}", "alu",
+                    dst=cursor if step == instructions_per_sequence - 1
+                    else f"t{step % 4}",
+                    srcs=(cursor,) if step == 0 else (f"t{(step - 1) % 4}",),
+                )
+            )
+    return program
+
+
+def hw_ldps_row_pass(
+    workload: LayerWorkload,
+    vector_bits: int = 128,
+    max_outputs: Optional[int] = None,
+) -> List[Instruction]:
+    """One output row with weights arriving via ``ldps`` (Sec. IV-C).
+
+    Weight loads are replaced by decoding-unit register reads; input
+    loads and the compute chain are unchanged.
+    """
+    words = _vector_words(workload, vector_bits)
+    word_bytes = vector_bits // 8
+    outputs = workload.out_size if max_outputs is None else min(
+        workload.out_size, max_outputs
+    )
+    program: List[Instruction] = []
+    fifo_index = 0
+    for out_index in range(outputs):
+        accumulator = f"acc{out_index % 4}"
+        program.append(Instruction("movi", "alu", dst=accumulator))
+        for word in range(words):
+            weight_register = f"w{word % 8}"
+            input_register = f"x{word % 8}"
+            program.append(
+                Instruction(
+                    "ldps", "ldps", dst=weight_register,
+                    fifo_index=fifo_index,
+                )
+            )
+            fifo_index += 1
+            program.append(
+                Instruction(
+                    "ld1.x", "load", dst=input_register,
+                    address=_INPUT_BASE
+                    + ((out_index % 2) * words + word) * word_bytes,
+                    size=word_bytes,
+                )
+            )
+            program.append(
+                Instruction(
+                    "eor", "vec", dst=f"v{word % 8}",
+                    srcs=(weight_register, input_register),
+                )
+            )
+            program.append(
+                Instruction(
+                    "cnt+add", "vec", dst=accumulator,
+                    srcs=(f"v{word % 8}", accumulator),
+                )
+            )
+        program.append(
+            Instruction(
+                "str", "store", srcs=(accumulator,),
+                address=_OUTPUT_BASE + out_index * 4, size=4,
+            )
+        )
+    return program

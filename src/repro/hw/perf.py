@@ -1,0 +1,479 @@
+"""End-to-end performance model: baseline vs. compressed kernels.
+
+This is the substitution for the paper's Gem5 + rewritten-daBNN setup
+(see DESIGN.md).  It is a loop-structured, line-granular trace simulation:
+for every layer the daBNN-style schedule is replayed as a sequence of
+cache-line accesses (kernel stream + input rows per output-row pass)
+against the L1/L2/DRAM hierarchy, and combined with an in-order compute
+model of the xnor+popcount inner loop.
+
+Three execution modes for binary 3x3 convolutions:
+
+* ``baseline`` — uncompressed channel-packed kernels loaded by the CPU
+  (the daBNN software baseline of Sec. IV-B);
+* ``sw_compressed`` — compressed kernels decoded in software: less weight
+  traffic, but per-sequence decode+pack instructions on the critical path
+  (the 1.47x-slowdown experiment of Sec. IV-B);
+* ``hw_compressed`` — compressed kernels decoded by the decoding unit:
+  less weight traffic *and* decode overlapped with compute; the CPU sees
+  only ``ldps`` register reads (Sec. IV-C / Sec. VI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bnn.reactnet import (
+    REACTNET_BLOCK_SPECS,
+    REACTNET_INPUT_SIZE,
+    REACTNET_NUM_CLASSES,
+    REACTNET_STEM_CHANNELS,
+    BlockSpec,
+)
+from .cache import Cache, build_hierarchy
+from .config import SystemConfig
+from .memory import MainMemory
+
+__all__ = [
+    "LayerWorkload",
+    "LayerTiming",
+    "ModelTiming",
+    "reactnet_workloads",
+    "PerfModel",
+]
+
+#: Region base addresses keep weight / input / compressed streams from
+#: aliasing in the cache model.
+_WEIGHT_BASE = 0x0000_0000
+_INPUT_BASE = 0x4000_0000
+_OUTPUT_BASE = 0x8000_0000
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Static description of one layer's work.
+
+    ``kind`` is one of ``conv3x3`` / ``conv1x1`` (binary), ``conv8``
+    (8-bit stem), ``dense8`` (8-bit head) or ``other`` (BN/activation
+    bookkeeping).
+    """
+
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    in_size: int  # input spatial side
+
+    @property
+    def out_size(self) -> int:
+        """Output spatial side (stride-s same-padding convolution)."""
+        if self.kind in ("dense8", "other"):
+            return 1
+        return self.in_size // self.stride
+
+    @property
+    def weight_bits(self) -> int:
+        """Uncompressed deployed weight payload in bits."""
+        per_weight = 8 if self.kind in ("conv8", "dense8") else 1
+        if self.kind == "other":
+            return 0
+        return (
+            self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+            * per_weight
+        )
+
+    @property
+    def weight_bytes(self) -> int:
+        """Uncompressed weight payload in bytes (rounded up)."""
+        return (self.weight_bits + 7) // 8
+
+    @property
+    def num_sequences(self) -> int:
+        """Number of 9-bit bit sequences in a 3x3 binary kernel."""
+        if self.kind != "conv3x3":
+            return 0
+        return self.out_channels * self.in_channels
+
+    @property
+    def output_elements(self) -> int:
+        """Total outputs produced by the layer."""
+        return self.out_channels * self.out_size * self.out_size
+
+
+@dataclass
+class LayerTiming:
+    """Cycle breakdown of one layer under one execution mode."""
+
+    workload: LayerWorkload
+    mode: str
+    compute_cycles: float = 0.0
+    weight_stall_cycles: float = 0.0
+    input_stall_cycles: float = 0.0
+    decode_cycles: float = 0.0
+    total_cycles: float = 0.0
+    dram_bytes: int = 0
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Share of total time spent stalled on memory."""
+        if self.total_cycles == 0:
+            return 0.0
+        stalls = self.weight_stall_cycles + self.input_stall_cycles
+        return min(1.0, stalls / self.total_cycles)
+
+
+@dataclass
+class ModelTiming:
+    """Whole-network timing: per-layer plus aggregates."""
+
+    mode: str
+    layers: List[LayerTiming] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum over layers."""
+        return sum(layer.total_cycles for layer in self.layers)
+
+    def cycles_by_kind(self) -> Dict[str, float]:
+        """Aggregate cycles per layer kind (Table I's time column)."""
+        out: Dict[str, float] = {}
+        for layer in self.layers:
+            out[layer.workload.kind] = (
+                out.get(layer.workload.kind, 0.0) + layer.total_cycles
+            )
+        return out
+
+    def share_by_kind(self) -> Dict[str, float]:
+        """Fractional execution time per layer kind."""
+        total = self.total_cycles
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self.cycles_by_kind().items()}
+
+
+def reactnet_workloads(
+    input_size: int = REACTNET_INPUT_SIZE,
+    num_classes: int = REACTNET_NUM_CLASSES,
+) -> List[LayerWorkload]:
+    """The full ReActNet-like layer list as workloads (Sec. II-B)."""
+    workloads: List[LayerWorkload] = [
+        LayerWorkload(
+            name="input_conv",
+            kind="conv8",
+            in_channels=3,
+            out_channels=REACTNET_STEM_CHANNELS,
+            kernel=3,
+            stride=2,
+            in_size=input_size,
+        )
+    ]
+    size = input_size // 2
+    for index, spec in enumerate(REACTNET_BLOCK_SPECS, start=1):
+        workloads.append(
+            LayerWorkload(
+                name=f"block{index}_conv3x3",
+                kind="conv3x3",
+                in_channels=spec.in_channels,
+                out_channels=spec.in_channels,
+                kernel=3,
+                stride=spec.stride,
+                in_size=size,
+            )
+        )
+        size = size // spec.stride
+        workloads.append(
+            LayerWorkload(
+                name=f"block{index}_conv1x1",
+                kind="conv1x1",
+                in_channels=spec.in_channels,
+                out_channels=spec.out_channels,
+                kernel=1,
+                stride=1,
+                in_size=size,
+            )
+        )
+        workloads.append(
+            LayerWorkload(
+                name=f"block{index}_norm_act",
+                kind="other",
+                in_channels=spec.out_channels,
+                out_channels=spec.out_channels,
+                kernel=1,
+                stride=1,
+                in_size=size,
+            )
+        )
+    workloads.append(
+        LayerWorkload(
+            name="output_fc",
+            kind="dense8",
+            in_channels=REACTNET_BLOCK_SPECS[-1].out_channels,
+            out_channels=num_classes,
+            kernel=1,
+            stride=1,
+            in_size=1,
+        )
+    )
+    return workloads
+
+
+class PerfModel:
+    """Trace-driven layer/model timing under the three execution modes."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig.paper_default()
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def _fresh_hierarchy(self) -> Cache:
+        memory = MainMemory(self.config.memory)
+        return build_hierarchy(self.config.l1, self.config.l2, memory)
+
+    def _stall(self, access_cycles: float, num_lines: int) -> float:
+        """Stall cycles the in-order core sees for a batch of line loads.
+
+        L1 hit latency is assumed pipelined (free); latency beyond it is
+        exposed, scaled down by the prefetcher's hiding efficiency.
+        """
+        exposed = access_cycles - num_lines * self.config.l1.hit_latency
+        if exposed < 0:
+            exposed = 0.0
+        return exposed * (1.0 - self.config.cpu.prefetch_efficiency)
+
+    def _binary_compute_cycles(self, workload: LayerWorkload) -> float:
+        """xnor+popcount inner-loop cycles for one binary conv layer."""
+        bits_per_output = (
+            workload.in_channels * workload.kernel * workload.kernel
+        )
+        vectors = math.ceil(bits_per_output / self.config.cpu.vector_bits)
+        # per output: xnor + popcount per vector, plus accumulate/reduce
+        ops_per_output = 2 * vectors + 2
+        return (
+            workload.output_elements
+            * ops_per_output
+            / self.config.cpu.issue_width
+        )
+
+    def _int8_compute_cycles(self, workload: LayerWorkload) -> float:
+        """8-bit MAC cycles for the stem conv and classifier head."""
+        macs = (
+            workload.output_elements
+            * workload.in_channels
+            * workload.kernel
+            * workload.kernel
+        )
+        return macs / self.config.cpu.int8_macs_per_cycle
+
+    def _elementwise_cycles(self, workload: LayerWorkload) -> float:
+        """BN + RPReLU bookkeeping: ~4 scalar ops per element."""
+        return workload.output_elements * 4 / self.config.cpu.issue_width
+
+    # ------------------------------------------------------------------
+    # Per-pass memory streams
+    # ------------------------------------------------------------------
+    def _input_bytes_per_pass(self, workload: LayerWorkload) -> int:
+        """Bytes of (bit-packed or int8) input rows one output row needs."""
+        rows = workload.kernel
+        row_bits = workload.in_channels * workload.in_size
+        if workload.kind in ("conv8", "dense8"):
+            return rows * row_bits  # one byte per value
+        return rows * row_bits // 8  # one bit per value
+
+    def _simulate_conv(
+        self,
+        workload: LayerWorkload,
+        mode: str,
+        compressed_bytes: Optional[int] = None,
+    ) -> LayerTiming:
+        """Replay the output-row pass loop for one convolution layer."""
+        hierarchy = self._fresh_hierarchy()
+        memory = hierarchy.next_level.next_level if isinstance(
+            hierarchy.next_level, Cache
+        ) else hierarchy.next_level
+
+        if workload.kind == "conv3x3":
+            compute_pass = self._binary_compute_cycles(workload) / max(
+                workload.out_size, 1
+            )
+        elif workload.kind == "conv1x1":
+            compute_pass = self._binary_compute_cycles(workload) / max(
+                workload.out_size, 1
+            )
+        elif workload.kind == "conv8":
+            compute_pass = self._int8_compute_cycles(workload) / max(
+                workload.out_size, 1
+            )
+        elif workload.kind == "dense8":
+            compute_pass = self._int8_compute_cycles(workload)
+        else:
+            compute_pass = self._elementwise_cycles(workload)
+
+        timing = LayerTiming(workload=workload, mode=mode)
+        passes = max(workload.out_size, 1) if workload.kind != "dense8" else 1
+        if workload.kind == "other":
+            # elementwise layers stream activations once
+            timing.compute_cycles = self._elementwise_cycles(workload)
+            act_bytes = workload.output_elements * 4
+            cycles = hierarchy.access_bytes(_INPUT_BASE, max(act_bytes, 1))
+            lines = math.ceil(act_bytes / self.config.l1.line_bytes)
+            timing.input_stall_cycles = self._stall(cycles, lines)
+            timing.total_cycles = (
+                timing.compute_cycles + timing.input_stall_cycles
+            )
+            timing.dram_bytes = memory.stats.bytes_transferred
+            return timing
+
+        weight_bytes = (
+            compressed_bytes if compressed_bytes is not None
+            else workload.weight_bytes
+        )
+        input_bytes_pass = self._input_bytes_per_pass(workload)
+        line = self.config.l1.line_bytes
+
+        sequences_per_pass = workload.num_sequences
+
+        total = 0.0
+        if mode == "sw_compressed" and workload.kind == "conv3x3":
+            # Software decompression happens once per layer: the stream is
+            # fetched, every sequence is decoded and channel-packed with
+            # plain instructions into an uncompressed scratch kernel, and
+            # the convolution then runs the baseline schedule from the
+            # scratch.  The decode loop is serial CPU work on the critical
+            # path — the source of the paper's 1.47x slowdown (Sec. IV-B).
+            fetch_cycles = hierarchy.access_bytes(
+                _WEIGHT_BASE, max(weight_bytes, 1)
+            )
+            fetch_lines = math.ceil(weight_bytes / line) if weight_bytes else 0
+            decode_once = (
+                sequences_per_pass * self.config.cpu.sw_decode_cycles_per_seq
+                + self._stall(fetch_cycles, fetch_lines)
+            )
+            timing.decode_cycles = decode_once
+            total += decode_once
+            # the conv itself streams the decoded (uncompressed) scratch
+            weight_bytes = workload.weight_bytes
+
+        for pass_index in range(passes):
+            # ---- weight stream for this pass
+            weight_cycles = hierarchy.access_bytes(
+                _WEIGHT_BASE, max(weight_bytes, 1)
+            )
+            weight_lines = math.ceil(weight_bytes / line) if weight_bytes else 0
+            # ---- input rows for this pass (row reuse falls out of the
+            # cache state across passes)
+            input_offset = (
+                pass_index
+                * workload.stride
+                * workload.in_channels
+                * workload.in_size
+                // (8 if workload.kind in ("conv3x3", "conv1x1") else 1)
+            )
+            input_cycles = hierarchy.access_bytes(
+                _INPUT_BASE + input_offset, max(input_bytes_pass, 1)
+            )
+            input_lines = math.ceil(input_bytes_pass / line)
+
+            weight_stall = self._stall(weight_cycles, weight_lines)
+            input_stall = self._stall(input_cycles, input_lines)
+            timing.input_stall_cycles += input_stall
+
+            if mode == "hw_compressed" and workload.kind == "conv3x3":
+                # The decoding unit owns the weight stream.  Its
+                # double-buffered fetch engine hides most of the access
+                # latency (bounded below by raw DRAM bandwidth occupancy),
+                # and decode throughput comes from the banked table.
+                exposed_fetch = max(
+                    (weight_cycles - weight_lines * self.config.l1.hit_latency)
+                    * (1.0 - self.config.decoder.fetch_overlap_efficiency),
+                    weight_bytes / self.config.memory.bytes_per_cycle,
+                )
+                decode_pipeline = max(
+                    exposed_fetch,
+                    sequences_per_pass
+                    / self.config.decoder.sequences_per_cycle,
+                )
+                ldps_words = math.ceil(workload.num_sequences * 9 / 64)
+                ldps_cycles = (
+                    ldps_words
+                    * self.config.decoder.ldps_latency
+                    / self.config.cpu.issue_width
+                )
+                cpu_pass = compute_pass + ldps_cycles + input_stall
+                total += max(cpu_pass, decode_pipeline)
+                timing.decode_cycles += decode_pipeline
+            else:
+                timing.weight_stall_cycles += weight_stall
+                total += compute_pass + weight_stall + input_stall
+
+        timing.compute_cycles = compute_pass * passes
+        timing.total_cycles = total
+        timing.dram_bytes = memory.stats.bytes_transferred
+        return timing
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def simulate_layer(
+        self,
+        workload: LayerWorkload,
+        mode: str = "baseline",
+        compression_ratio: float = 1.0,
+    ) -> LayerTiming:
+        """Time one layer.
+
+        ``compression_ratio`` applies to 3x3 binary kernels only (the
+        paper compresses nothing else); it converts the weight payload to
+        ``weight_bytes / ratio`` for the compressed modes.
+        """
+        if mode not in ("baseline", "sw_compressed", "hw_compressed"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if compression_ratio < 1.0:
+            raise ValueError(
+                f"compression_ratio must be >= 1, got {compression_ratio}"
+            )
+        compressed = None
+        if mode != "baseline" and workload.kind == "conv3x3":
+            compressed = math.ceil(workload.weight_bytes / compression_ratio)
+        return self._simulate_conv(workload, mode, compressed)
+
+    def simulate_model(
+        self,
+        mode: str = "baseline",
+        compression_ratios: Optional[Dict[str, float]] = None,
+        workloads: Optional[List[LayerWorkload]] = None,
+    ) -> ModelTiming:
+        """Time the whole network.
+
+        ``compression_ratios`` maps layer name -> ratio for 3x3 convs
+        (e.g. per-block ratios from Table V); layers not present use 1.0.
+        """
+        workloads = workloads or reactnet_workloads()
+        ratios = compression_ratios or {}
+        result = ModelTiming(mode=mode)
+        for workload in workloads:
+            ratio = ratios.get(workload.name, 1.0)
+            result.layers.append(
+                self.simulate_layer(workload, mode, ratio)
+            )
+        return result
+
+    def speedup(
+        self,
+        compression_ratios: Optional[Dict[str, float]] = None,
+        mode: str = "hw_compressed",
+        workloads: Optional[List[LayerWorkload]] = None,
+    ) -> float:
+        """End-to-end speedup of ``mode`` over the uncompressed baseline."""
+        baseline = self.simulate_model("baseline", None, workloads)
+        other = self.simulate_model(mode, compression_ratios, workloads)
+        if other.total_cycles == 0:
+            return 1.0
+        return baseline.total_cycles / other.total_cycles

@@ -1,0 +1,198 @@
+"""In-order dual-issue pipeline simulator.
+
+The paper evaluates its extensions on a Gem5 model of an ARM A53 — an
+in-order, dual-issue core.  This module provides the instruction-level
+counterpart to the analytic :class:`~repro.hw.perf.PerfModel`: a
+scoreboarded in-order pipeline that executes symbolic instruction streams
+(produced by :mod:`repro.hw.microkernel`) against the shared cache
+hierarchy and the decoding unit's output FIFO.
+
+Semantics:
+
+* up to ``issue_width`` instructions issue per cycle, strictly in order;
+* an instruction issues when its source registers are ready (scoreboard)
+  and its structural port (one memory port, ``issue_width`` ALU/vector
+  slots) is free;
+* loads are non-blocking: the destination becomes ready after the cache
+  hierarchy's access latency; a dependent instruction stalls the front
+  end until then (in-order);
+* ``ldps`` reads the decoding unit's FIFO: it issues only once the
+  decoder has produced the word (availability times are supplied by the
+  caller, e.g. from :class:`~repro.hw.rtl.RtlDecodingUnit` or the
+  analytic decode rate).
+
+The pipeline is used at microkernel scale to validate the analytic
+model's per-pass estimates (see ``tests/test_hw_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .cache import Cache
+
+__all__ = ["Instruction", "PipelineStats", "InOrderPipeline"]
+
+#: instruction kinds and their default execute latencies (cycles)
+_DEFAULT_LATENCIES = {
+    "alu": 1,
+    "vec": 2,       # xnor / popcount on 128-bit registers
+    "load": 0,      # latency comes from the cache model
+    "store": 1,
+    "ldps": 1,      # register-file read from the decoding unit
+    "nop": 1,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One symbolic instruction.
+
+    ``dst`` / ``srcs`` are register names (arbitrary strings); ``address``
+    and ``size`` describe the memory access of loads/stores; ``fifo_index``
+    orders ``ldps`` reads against the decoder's production sequence.
+    """
+
+    opcode: str
+    kind: str
+    dst: Optional[str] = None
+    srcs: Sequence[str] = ()
+    address: Optional[int] = None
+    size: int = 0
+    fifo_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DEFAULT_LATENCIES:
+            raise ValueError(f"unknown instruction kind {self.kind!r}")
+        if self.kind in ("load", "store") and self.address is None:
+            raise ValueError(f"{self.kind} needs an address")
+        if self.kind == "ldps" and self.fifo_index is None:
+            raise ValueError("ldps needs a fifo_index")
+
+
+@dataclass
+class PipelineStats:
+    """Outcome of executing one instruction stream."""
+
+    cycles: int = 0
+    instructions: int = 0
+    issue_stall_cycles: int = 0
+    memory_stall_cycles: int = 0
+    fifo_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class InOrderPipeline:
+    """Scoreboarded in-order core front end + execute timing."""
+
+    def __init__(
+        self,
+        hierarchy: Optional[Cache] = None,
+        issue_width: int = 2,
+        latencies: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        self.hierarchy = hierarchy
+        self.issue_width = issue_width
+        self.latencies = dict(_DEFAULT_LATENCIES)
+        if latencies:
+            self.latencies.update(latencies)
+
+    def run(
+        self,
+        program: Sequence[Instruction],
+        fifo_ready_times: Optional[Sequence[float]] = None,
+    ) -> PipelineStats:
+        """Execute ``program`` to completion and return cycle statistics.
+
+        ``fifo_ready_times[i]`` is the cycle at which the decoding unit
+        has produced the ``i``-th packed word (for ``ldps``).
+        """
+        stats = PipelineStats(instructions=len(program))
+        ready_at: Dict[str, float] = {}
+        cycle = 0.0
+        index = 0
+        last_completion = 0.0
+
+        while index < len(program):
+            issued = 0
+            memory_port_used = False
+            progressed = False
+            stall_reason = None
+
+            while issued < self.issue_width and index < len(program):
+                instruction = program[index]
+
+                # scoreboard: all sources ready?
+                source_ready = max(
+                    (ready_at.get(src, 0.0) for src in instruction.srcs),
+                    default=0.0,
+                )
+                if source_ready > cycle:
+                    stall_reason = "memory" if any(
+                        ready_at.get(src, 0.0) > cycle
+                        and src.startswith(("w", "x"))
+                        for src in instruction.srcs
+                    ) else "issue"
+                    break
+
+                if instruction.kind in ("load", "store"):
+                    if memory_port_used:
+                        stall_reason = "issue"
+                        break
+
+                if instruction.kind == "ldps":
+                    available = 0.0
+                    if fifo_ready_times is not None:
+                        if instruction.fifo_index >= len(fifo_ready_times):
+                            raise IndexError(
+                                f"ldps fifo_index {instruction.fifo_index} "
+                                f"beyond {len(fifo_ready_times)} produced words"
+                            )
+                        available = fifo_ready_times[instruction.fifo_index]
+                    if available > cycle:
+                        stall_reason = "fifo"
+                        break
+
+                # ---- issue
+                if instruction.kind == "load":
+                    if self.hierarchy is not None:
+                        latency = self.hierarchy.access_bytes(
+                            instruction.address, max(instruction.size, 1)
+                        )
+                    else:
+                        latency = 1.0
+                    completion = cycle + latency
+                    memory_port_used = True
+                elif instruction.kind == "store":
+                    completion = cycle + self.latencies["store"]
+                    memory_port_used = True
+                else:
+                    completion = cycle + self.latencies[instruction.kind]
+
+                if instruction.dst is not None:
+                    ready_at[instruction.dst] = completion
+                last_completion = max(last_completion, completion)
+                index += 1
+                issued += 1
+                progressed = True
+
+            cycle += 1
+            if not progressed:
+                if stall_reason == "fifo":
+                    stats.fifo_stall_cycles += 1
+                elif stall_reason == "memory":
+                    stats.memory_stall_cycles += 1
+                else:
+                    stats.issue_stall_cycles += 1
+
+        stats.cycles = int(max(cycle, last_completion)) + 1
+        return stats

@@ -1,0 +1,151 @@
+"""Address-trace abstraction under the performance model.
+
+The perf model replays daBNN-style loop schedules as cache-line accesses.
+This module makes that trace explicit and reusable: a
+:class:`MemoryTrace` is an ordered list of ``(address, size, stream)``
+records that can be generated from a convolution schedule, replayed
+against any cache hierarchy, and summarised per logical stream (weights,
+inputs, compressed stream).
+
+It exists as a lower-level API than :class:`repro.hw.perf.PerfModel`:
+experiments that want custom schedules (different tiling, fused layers)
+can generate traces directly and replay them without touching the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from .cache import Cache
+
+__all__ = [
+    "TraceRecord",
+    "MemoryTrace",
+    "ReplayResult",
+    "conv_weight_stream_trace",
+    "conv_input_stream_trace",
+]
+
+#: default region bases, matching repro.hw.perf
+WEIGHT_BASE = 0x0000_0000
+INPUT_BASE = 0x4000_0000
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory access: byte address, byte size, logical stream name."""
+
+    address: int
+    size: int
+    stream: str
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+
+
+@dataclass
+class MemoryTrace:
+    """An ordered sequence of accesses with per-stream accounting."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def append(self, address: int, size: int, stream: str) -> None:
+        """Add one access to the tail of the trace."""
+        self.records.append(TraceRecord(address, size, stream))
+
+    def extend(self, other: "MemoryTrace") -> None:
+        """Concatenate another trace after this one."""
+        self.records.extend(other.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def bytes_by_stream(self) -> Dict[str, int]:
+        """Total requested bytes per logical stream."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.stream] = out.get(record.stream, 0) + record.size
+        return out
+
+    def total_bytes(self) -> int:
+        """Total requested bytes."""
+        return sum(record.size for record in self.records)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace against a hierarchy."""
+
+    cycles_by_stream: Dict[str, float]
+    accesses: int
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum over streams."""
+        return sum(self.cycles_by_stream.values())
+
+
+def replay(trace: MemoryTrace, hierarchy: Cache) -> ReplayResult:
+    """Run every record through ``hierarchy`` and split cycles per stream."""
+    cycles: Dict[str, float] = {}
+    for record in trace.records:
+        cost = hierarchy.access_bytes(record.address, record.size)
+        cycles[record.stream] = cycles.get(record.stream, 0.0) + cost
+    return ReplayResult(cycles_by_stream=cycles, accesses=len(trace))
+
+
+# attach as a method for ergonomic use
+MemoryTrace.replay = lambda self, hierarchy: replay(self, hierarchy)  # type: ignore[attr-defined]
+
+
+def conv_weight_stream_trace(
+    weight_bytes: int,
+    passes: int,
+    base: int = WEIGHT_BASE,
+    chunk: int = 64,
+    stream: str = "weights",
+) -> MemoryTrace:
+    """The kernel stream of a conv layer: the full payload, ``passes`` times.
+
+    Models the daBNN row-pass schedule in which the whole (possibly
+    compressed) kernel is re-streamed for every output-row tile.
+    """
+    if weight_bytes <= 0 or passes <= 0:
+        raise ValueError("weight_bytes and passes must be positive")
+    trace = MemoryTrace()
+    for _ in range(passes):
+        for offset in range(0, weight_bytes, chunk):
+            size = min(chunk, weight_bytes - offset)
+            trace.append(base + offset, size, stream)
+    return trace
+
+
+def conv_input_stream_trace(
+    row_bytes: int,
+    kernel_rows: int,
+    out_rows: int,
+    stride: int = 1,
+    base: int = INPUT_BASE,
+    stream: str = "inputs",
+) -> MemoryTrace:
+    """The input stream: ``kernel_rows`` rows per output row, with overlap.
+
+    Consecutive output rows share ``kernel_rows - stride`` input rows;
+    re-reads of shared rows hit in cache on replay, which is how the row
+    reuse of a 3x3 convolution manifests in the timing.
+    """
+    if row_bytes <= 0 or kernel_rows <= 0 or out_rows <= 0 or stride <= 0:
+        raise ValueError("trace geometry must be positive")
+    trace = MemoryTrace()
+    for out_row in range(out_rows):
+        first_input_row = out_row * stride
+        for row in range(first_input_row, first_input_row + kernel_rows):
+            trace.append(base + row * row_bytes, row_bytes, stream)
+    return trace

@@ -1,0 +1,35 @@
+"""Calibrated synthetic kernel generator.
+
+Substitutes for trained ReActNet weights (see DESIGN.md): generates binary
+3x3 kernels whose bit-sequence distribution matches the per-block
+statistics the paper itself publishes (Table II, Fig. 3).
+"""
+
+from .calibration import (
+    BlockTarget,
+    CalibratedDistribution,
+    TABLE2_TARGETS,
+    calibrate_all_blocks,
+    fit_block_distribution,
+)
+from .ranking import FIG3_TOP16, canonical_ranking
+from .weights import (
+    generate_block_kernel,
+    generate_reactnet_kernels,
+    install_kernels,
+    sample_sequences,
+)
+
+__all__ = [
+    "BlockTarget",
+    "CalibratedDistribution",
+    "FIG3_TOP16",
+    "TABLE2_TARGETS",
+    "calibrate_all_blocks",
+    "canonical_ranking",
+    "fit_block_distribution",
+    "generate_block_kernel",
+    "generate_reactnet_kernels",
+    "install_kernels",
+    "sample_sequences",
+]

@@ -1,0 +1,120 @@
+"""Canonical structural ranking of the 512 bit sequences.
+
+The empirical head of ReActNet's sequence distribution (Fig. 3) consists of
+the all-zeros / all-ones sequences and their low-Hamming-weight
+perturbations.  To make the synthetic kernels match the paper not just in
+*shares* but in *which* sequences dominate, the ranking used by the
+generator starts with the paper's published top-16 (the x-axis of Fig. 3,
+in order) and continues with the remaining sequences ordered by structural
+plausibility: distance to the nearest uniform sequence, then id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES, popcount
+
+__all__ = ["FIG3_TOP16", "canonical_ranking", "covering_donors", "locality_ranking"]
+
+#: The 16 most common sequences of a ReActNet basic block, in the order
+#: reported on the x-axis of Fig. 3 of the paper.
+FIG3_TOP16 = (
+    0, 511, 256, 255, 4, 510, 1, 507, 508, 64, 3, 504, 447, 7, 448, 63,
+)
+
+
+def canonical_ranking() -> np.ndarray:
+    """Rank -> sequence id for all 512 sequences.
+
+    Rank 0 is the most common.  The first 16 ranks are the paper's Fig. 3
+    head verbatim; the tail orders the remaining sequences by
+    ``min(popcount, 9 - popcount)`` (distance to the nearest uniform
+    sequence) with sequence id as the deterministic tie break.
+    """
+    head = np.asarray(FIG3_TOP16, dtype=np.int64)
+    if len(set(FIG3_TOP16)) != len(FIG3_TOP16):
+        raise AssertionError("Fig. 3 head contains duplicates")
+    all_ids = np.arange(NUM_SEQUENCES, dtype=np.int64)
+    remaining = np.setdiff1d(all_ids, head, assume_unique=False)
+    weights = popcount(remaining)
+    distance_to_uniform = np.minimum(weights, BITS_PER_SEQUENCE - weights)
+    order = np.lexsort((remaining, distance_to_uniform))
+    return np.concatenate([head, remaining[order]])
+
+
+def covering_donors(num_donors: int = 64) -> np.ndarray:
+    """A donor set seeded with the Fig. 3 head that 1-covers the space.
+
+    The clustering pass of Sec. III-C replaces a rare sequence only if a
+    top-``M`` sequence sits at Hamming distance exactly 1, and the paper
+    reports that almost the entire tail gets replaced.  That is only
+    geometrically possible if the common set is *spread*: the minimal
+    binary covering code of length 9 and radius 1 has 62 codewords, so 64
+    well-chosen donors can cover all 512 sequences.  A clustered head
+    (only near-uniform sequences) covers fewer than 200.
+
+    We therefore construct the donor set as the paper's published top-16
+    plus greedily chosen sequences that maximise radius-1 coverage,
+    breaking ties toward structurally plausible (near-uniform) sequences.
+    """
+    if not len(FIG3_TOP16) <= num_donors < NUM_SEQUENCES:
+        raise ValueError(
+            f"num_donors must be in [{len(FIG3_TOP16)}, {NUM_SEQUENCES}), "
+            f"got {num_donors}"
+        )
+    all_ids = np.arange(NUM_SEQUENCES, dtype=np.int64)
+    weights = popcount(all_ids)
+    distance_to_uniform = np.minimum(weights, BITS_PER_SEQUENCE - weights)
+
+    # neighbourhood[s] = {s and its 9 distance-1 neighbours}
+    flips = np.asarray([1 << b for b in range(BITS_PER_SEQUENCE)])
+    neighbourhoods = np.concatenate(
+        [all_ids[:, None], np.bitwise_xor(all_ids[:, None], flips[None, :])],
+        axis=1,
+    )
+
+    donors = [int(s) for s in FIG3_TOP16[:num_donors]]
+    covered = np.zeros(NUM_SEQUENCES, dtype=bool)
+    for donor in donors:
+        covered[neighbourhoods[donor]] = True
+
+    donor_set = set(donors)
+    while len(donors) < num_donors:
+        gains = (~covered[neighbourhoods]).sum(axis=1)
+        gains[list(donor_set)] = -1
+        best_gain = gains.max()
+        candidates = np.flatnonzero(gains == best_gain)
+        # prefer near-uniform sequences among the equally useful
+        order = np.lexsort((candidates, distance_to_uniform[candidates]))
+        chosen = int(candidates[order[0]])
+        donors.append(chosen)
+        donor_set.add(chosen)
+        covered[neighbourhoods[chosen]] = True
+    return np.asarray(donors, dtype=np.int64)
+
+
+def locality_ranking(num_donors: int = 64) -> np.ndarray:
+    """Rank -> sequence id with Hamming locality between head and tail.
+
+    * ranks ``[0, num_donors)`` — the covering donor set (the paper's
+      common set ``st``), led by the Fig. 3 top-16 verbatim;
+    * remaining ranks — all other sequences ordered structurally
+      (distance to the nearest uniform sequence, then id).
+
+    Because the donors 1-cover the space, any subset of the tail can be
+    folded into the head by the Sec. III-C pass — the property the paper's
+    clustering results imply for the real ReActNet distribution.  Benches
+    that only need Table II / Fig. 3 statistics are insensitive to the
+    ranking choice; the Table V "Clustering" column requires it.
+    """
+    donors = covering_donors(num_donors)
+    donor_set = set(int(s) for s in donors)
+    all_ids = np.arange(NUM_SEQUENCES, dtype=np.int64)
+    remaining = np.asarray(
+        [s for s in all_ids if int(s) not in donor_set], dtype=np.int64
+    )
+    weights = popcount(remaining)
+    distance_to_uniform = np.minimum(weights, BITS_PER_SEQUENCE - weights)
+    order = np.lexsort((remaining, distance_to_uniform))
+    return np.concatenate([donors, remaining[order]])

@@ -1,0 +1,148 @@
+"""Sampling of synthetic binary kernels from calibrated distributions.
+
+Given a block's :class:`~repro.synth.calibration.CalibratedDistribution`,
+these helpers draw bit sequences and assemble them into kernel bit tensors
+of the ReActNet-like shapes, optionally with an *exact* histogram (largest
+remainder rounding of the expected counts) so that measured statistics hit
+the calibration targets even at modest channel counts.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bitseq import sequences_to_kernel
+from .calibration import (
+    CalibratedDistribution,
+    TABLE2_TARGETS,
+    calibrate_all_blocks,
+)
+
+__all__ = [
+    "sample_sequences",
+    "generate_block_kernel",
+    "generate_reactnet_kernels",
+    "install_kernels",
+]
+
+
+def sample_sequences(
+    distribution: CalibratedDistribution,
+    count: int,
+    rng: np.random.Generator,
+    exact: bool = True,
+) -> np.ndarray:
+    """Draw ``count`` sequence ids from a calibrated distribution.
+
+    ``exact=True`` (default) materialises the expected histogram via
+    largest-remainder rounding and shuffles it, so the sample's empirical
+    top-N shares equal the calibrated ones up to quantisation; this is what
+    the table-reproduction benches use.  ``exact=False`` draws i.i.d.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    probs = distribution.rank_probabilities
+    ranking = distribution.ranking
+    if not exact:
+        ranks = rng.choice(len(probs), size=count, p=probs)
+        return ranking[ranks]
+
+    expected = probs * count
+    base = np.floor(expected).astype(np.int64)
+    shortfall = count - int(base.sum())
+    if shortfall > 0:
+        remainders = expected - base
+        top_up = np.argsort(-remainders)[:shortfall]
+        base[top_up] += 1
+    ranks = np.repeat(np.arange(len(probs)), base)
+    rng.shuffle(ranks)
+    return ranking[ranks]
+
+
+def generate_block_kernel(
+    distribution: CalibratedDistribution,
+    shape: Tuple[int, int],
+    rng: np.random.Generator,
+    exact: bool = True,
+) -> np.ndarray:
+    """One 3x3 kernel bit tensor of ``shape = (out, in)`` channels."""
+    out_channels, in_channels = shape
+    sequences = sample_sequences(
+        distribution, out_channels * in_channels, rng, exact=exact
+    )
+    return sequences_to_kernel(sequences, shape)
+
+
+@functools.lru_cache(maxsize=4)
+def _generate_reactnet_kernels_cached(
+    seed: int, exact: bool
+) -> Dict[int, np.ndarray]:
+    from ..bnn.reactnet import REACTNET_BLOCK_SPECS
+
+    distributions = calibrate_all_blocks()
+    rng = np.random.default_rng(seed)
+    kernels: Dict[int, np.ndarray] = {}
+    for index, (spec, distribution) in enumerate(
+        zip(REACTNET_BLOCK_SPECS, distributions), start=1
+    ):
+        kernel = generate_block_kernel(
+            distribution, spec.conv3x3_shape, rng, exact=exact
+        )
+        kernel.flags.writeable = False
+        kernels[index] = kernel
+    return kernels
+
+
+def generate_reactnet_kernels(
+    seed: int = 0,
+    exact: bool = True,
+    distributions: Optional[Sequence[CalibratedDistribution]] = None,
+) -> Dict[int, np.ndarray]:
+    """Per-block 3x3 kernels for the full ReActNet-like topology.
+
+    Returns ``{block_index (1-based): kernel bit tensor}`` with the shapes
+    of :data:`repro.bnn.reactnet.REACTNET_BLOCK_SPECS` and the statistics
+    of Table II.  Results for default distributions are cached per
+    ``(seed, exact)`` and returned as read-only arrays.
+    """
+    from ..bnn.reactnet import REACTNET_BLOCK_SPECS
+
+    if distributions is None:
+        return dict(_generate_reactnet_kernels_cached(seed, exact))
+
+    distributions = list(distributions)
+    if len(distributions) != len(REACTNET_BLOCK_SPECS):
+        raise ValueError(
+            f"{len(distributions)} distributions for "
+            f"{len(REACTNET_BLOCK_SPECS)} blocks"
+        )
+    rng = np.random.default_rng(seed)
+    kernels: Dict[int, np.ndarray] = {}
+    for index, (spec, distribution) in enumerate(
+        zip(REACTNET_BLOCK_SPECS, distributions), start=1
+    ):
+        kernels[index] = generate_block_kernel(
+            distribution, spec.conv3x3_shape, rng, exact=exact
+        )
+    return kernels
+
+
+def install_kernels(model, kernels: Dict[int, np.ndarray]) -> None:
+    """Overwrite a model's 3x3 binary convs with synthetic kernel bits.
+
+    ``model`` is a :class:`repro.bnn.model.Sequential`; block ``i`` (1-based)
+    maps to its ``i``-th 3x3 binary conv, matching
+    :meth:`~repro.bnn.model.Sequential.blocks_of_3x3_kernels`.
+    """
+    convs = model.binary_conv_layers(kernel_size=3)
+    if len(convs) != len(kernels):
+        raise ValueError(
+            f"model has {len(convs)} 3x3 binary convs but "
+            f"{len(kernels)} kernels were provided"
+        )
+    for index, conv in enumerate(convs, start=1):
+        conv.set_weight_bits(kernels[index])

@@ -1,0 +1,34 @@
+"""Shared fixtures: expensive calibrations/generations run once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyTable
+from repro.synth.calibration import calibrate_all_blocks
+from repro.synth.weights import generate_reactnet_kernels
+
+
+@pytest.fixture(scope="session")
+def distributions():
+    """Calibrated per-block distributions (cached process-wide anyway)."""
+    return calibrate_all_blocks()
+
+
+@pytest.fixture(scope="session")
+def reactnet_kernels():
+    """Synthetic per-block 3x3 kernels, seed 0, exact histograms."""
+    return generate_reactnet_kernels(seed=0)
+
+
+@pytest.fixture(scope="session")
+def block1_table(reactnet_kernels):
+    """Frequency table of block 1 (smallest block, fast)."""
+    return FrequencyTable.from_kernels([reactnet_kernels[1]])
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

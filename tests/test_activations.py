@@ -1,0 +1,88 @@
+"""Tests for input-activation bit-sequence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.activations import (
+    activation_compressibility,
+    activation_sequences,
+)
+from repro.core.bitseq import NUM_SEQUENCES
+
+
+class TestActivationSequences:
+    def test_count(self, rng):
+        x = rng.integers(0, 2, (2, 3, 8, 8)).astype(np.uint8)
+        sequences = activation_sequences(x)  # stride 1, pad 1 -> 8x8 windows
+        assert sequences.size == 2 * 3 * 8 * 8
+
+    def test_stride_reduces_windows(self, rng):
+        x = rng.integers(0, 2, (1, 2, 8, 8)).astype(np.uint8)
+        assert activation_sequences(x, stride=2).size == 2 * 4 * 4
+
+    def test_all_ones_interior_window(self):
+        x = np.ones((1, 1, 5, 5), dtype=np.uint8)
+        sequences = activation_sequences(x, padding=0)
+        assert (sequences == NUM_SEQUENCES - 1).all()
+
+    def test_all_zeros_input(self):
+        x = np.zeros((1, 1, 4, 4), dtype=np.uint8)
+        sequences = activation_sequences(x)
+        assert (sequences == 0).all()
+
+    def test_padding_contributes_zero_bits(self):
+        x = np.ones((1, 1, 3, 3), dtype=np.uint8)
+        sequences = activation_sequences(x, padding=1)
+        # the centre window is all ones; corner windows have pad zeros
+        assert (sequences == 511).sum() == 1
+        assert (sequences != 511).sum() == 8
+
+    def test_window_value_matches_natural_mapping(self):
+        x = np.zeros((1, 1, 3, 3), dtype=np.uint8)
+        x[0, 0, 0, 0] = 1  # position (0,0) of the centre window
+        sequences = activation_sequences(x, padding=0)
+        assert sequences.tolist() == [256]
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            activation_sequences(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_requires_binary(self):
+        with pytest.raises(ValueError):
+            activation_sequences(np.full((1, 1, 4, 4), 2, dtype=np.uint8))
+
+
+class TestCompressibility:
+    def test_random_activations_incompressible(self, rng):
+        x = rng.integers(0, 2, (4, 8, 12, 12)).astype(np.uint8)
+        result = activation_compressibility(x)
+        assert result.simplified_ratio < 1.0
+        assert result.entropy_bits > 8.0
+
+    def test_constant_activations_highly_compressible(self):
+        x = np.zeros((2, 4, 10, 10), dtype=np.uint8)
+        result = activation_compressibility(x, padding=0)
+        assert result.uniform_share == pytest.approx(1.0)
+        assert result.simplified_ratio == pytest.approx(9 / 6)
+
+    def test_entropy_ratio_bound(self, rng):
+        x = rng.integers(0, 2, (2, 4, 10, 10)).astype(np.uint8)
+        result = activation_compressibility(x)
+        # no prefix code beats entropy
+        assert result.simplified_ratio <= result.entropy_ratio + 1e-9
+
+    def test_structured_beats_random(self, rng):
+        structured = np.zeros((2, 4, 12, 12), dtype=np.uint8)
+        structured[:, :, :6, :] = 1  # half-plane structure
+        random = rng.integers(0, 2, (2, 4, 12, 12)).astype(np.uint8)
+        s = activation_compressibility(structured)
+        r = activation_compressibility(random)
+        assert s.simplified_ratio > r.simplified_ratio
+
+    def test_table_shares_consistent(self, rng):
+        x = rng.integers(0, 2, (1, 2, 8, 8)).astype(np.uint8)
+        result = activation_compressibility(x)
+        assert result.top64_share == pytest.approx(
+            result.table.top_share(64)
+        )
+        assert result.top64_share <= result.top256_share

@@ -1,0 +1,188 @@
+"""Tests for the natural mapping between 3x3 channels and sequence ids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitseq import (
+    ALL_MINUS_ONE,
+    ALL_PLUS_ONE,
+    BITS_PER_SEQUENCE,
+    NUM_SEQUENCES,
+    bits_to_signs,
+    channels_to_sequences,
+    hamming_distance,
+    hamming_neighbours,
+    kernel_to_sequences,
+    popcount,
+    sequences_to_channels,
+    sequences_to_kernel,
+    signs_to_bits,
+)
+
+
+class TestConstants:
+    def test_nine_bits_per_sequence(self):
+        assert BITS_PER_SEQUENCE == 9
+
+    def test_512_sequences(self):
+        assert NUM_SEQUENCES == 512
+
+    def test_uniform_sequence_ids(self):
+        assert ALL_MINUS_ONE == 0
+        assert ALL_PLUS_ONE == 511
+
+
+class TestSignsBits:
+    def test_positive_maps_to_one(self):
+        assert signs_to_bits(np.array([1.0, 0.5])).tolist() == [1, 1]
+
+    def test_zero_maps_to_one(self):
+        """Eq. 1: x >= 0 binarises to +1."""
+        assert signs_to_bits(np.array([0.0])).tolist() == [1]
+
+    def test_negative_maps_to_zero(self):
+        assert signs_to_bits(np.array([-1.0, -0.01])).tolist() == [0, 0]
+
+    def test_bits_to_signs_values(self):
+        signs = bits_to_signs(np.array([1, 0, 1]))
+        assert signs.tolist() == [1, -1, 1]
+        assert signs.dtype == np.int8
+
+    def test_bits_to_signs_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_signs(np.array([0, 2]))
+
+    def test_signs_bits_roundtrip(self):
+        signs = np.array([[1, -1, 1], [-1, -1, 1], [1, 1, -1]], dtype=np.int8)
+        assert np.array_equal(bits_to_signs(signs_to_bits(signs)), signs)
+
+
+class TestNaturalMapping:
+    def test_all_zeros_is_sequence_0(self):
+        channel = np.zeros((3, 3), dtype=np.uint8)
+        assert channels_to_sequences(channel) == 0
+
+    def test_all_ones_is_sequence_511(self):
+        channel = np.ones((3, 3), dtype=np.uint8)
+        assert channels_to_sequences(channel) == 511
+
+    def test_position_00_is_msb(self):
+        channel = np.zeros((3, 3), dtype=np.uint8)
+        channel[0, 0] = 1
+        assert channels_to_sequences(channel) == 256
+
+    def test_position_22_is_lsb(self):
+        channel = np.zeros((3, 3), dtype=np.uint8)
+        channel[2, 2] = 1
+        assert channels_to_sequences(channel) == 1
+
+    def test_paper_fig2_example(self):
+        """Fig. 2: pattern 101110001 maps to 369."""
+        channel = np.array([[1, 0, 1], [1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        assert channels_to_sequences(channel) == 369
+
+    def test_batched_channels(self):
+        channels = np.stack(
+            [np.zeros((3, 3), np.uint8), np.ones((3, 3), np.uint8)]
+        )
+        assert channels_to_sequences(channels).tolist() == [0, 511]
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            channels_to_sequences(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_non_binary_values_raise(self):
+        with pytest.raises(ValueError):
+            channels_to_sequences(np.full((3, 3), 2, dtype=np.uint8))
+
+    def test_sequences_to_channels_shape(self):
+        channels = sequences_to_channels(np.array([0, 511, 369]))
+        assert channels.shape == (3, 3, 3)
+
+    def test_sequences_to_channels_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            sequences_to_channels(np.array([512]))
+        with pytest.raises(ValueError):
+            sequences_to_channels(np.array([-1]))
+
+
+class TestKernelConversion:
+    def test_kernel_roundtrip(self, rng):
+        kernel = rng.integers(0, 2, size=(4, 8, 3, 3)).astype(np.uint8)
+        sequences = kernel_to_sequences(kernel)
+        assert sequences.shape == (32,)
+        rebuilt = sequences_to_kernel(sequences, (4, 8))
+        assert np.array_equal(rebuilt, kernel)
+
+    def test_kernel_requires_4d(self):
+        with pytest.raises(ValueError):
+            kernel_to_sequences(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_sequence_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sequences_to_kernel(np.zeros(5, dtype=np.int64), (2, 3))
+
+    def test_streaming_order_is_row_major(self):
+        kernel = np.zeros((2, 2, 3, 3), dtype=np.uint8)
+        kernel[1, 0] = 1  # out=1, in=0 channel all ones
+        sequences = kernel_to_sequences(kernel)
+        assert sequences.tolist() == [0, 0, 511, 0]
+
+
+class TestHamming:
+    def test_popcount_known_values(self):
+        assert popcount(np.array([0, 511, 256, 7])).tolist() == [0, 9, 1, 3]
+
+    def test_popcount_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            popcount(np.array([600]))
+
+    def test_hamming_distance_self_is_zero(self):
+        ids = np.arange(NUM_SEQUENCES)
+        assert (hamming_distance(ids, ids) == 0).all()
+
+    def test_hamming_distance_complement_is_nine(self):
+        assert hamming_distance(np.int64(0), np.int64(511)) == 9
+
+    def test_hamming_distance_symmetry(self, rng):
+        a = rng.integers(0, 512, 100)
+        b = rng.integers(0, 512, 100)
+        assert np.array_equal(hamming_distance(a, b), hamming_distance(b, a))
+
+    def test_neighbours_radius_one_count(self):
+        assert len(hamming_neighbours(0, 1)) == 9
+
+    def test_neighbours_radius_two_count(self):
+        assert len(hamming_neighbours(0, 2)) == 9 + 36
+
+    def test_neighbours_exclude_self(self):
+        assert 5 not in hamming_neighbours(5, 2)
+
+    def test_neighbours_radius_zero_is_empty(self):
+        assert len(hamming_neighbours(3, 0)) == 0
+
+    def test_neighbours_invalid_sequence_raises(self):
+        with pytest.raises(ValueError):
+            hamming_neighbours(512)
+
+    def test_neighbours_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            hamming_neighbours(0, -1)
+
+
+@given(st.integers(0, NUM_SEQUENCES - 1))
+def test_sequence_channel_roundtrip_property(sequence):
+    """Every sequence id survives the channel roundtrip."""
+    channel = sequences_to_channels(np.array([sequence]))[0]
+    assert channels_to_sequences(channel) == sequence
+
+
+@given(st.integers(0, NUM_SEQUENCES - 1), st.integers(0, NUM_SEQUENCES - 1))
+def test_hamming_triangle_inequality_property(a, b):
+    """Hamming distance satisfies the triangle inequality through 0."""
+    ab = int(hamming_distance(np.int64(a), np.int64(b)))
+    a0 = int(popcount(np.int64(a)))
+    b0 = int(popcount(np.int64(b)))
+    assert ab <= a0 + b0
+    assert ab >= abs(a0 - b0)

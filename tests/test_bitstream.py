@@ -1,0 +1,169 @@
+"""Unit and property tests for the MSB-first bit stream primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitstream import (
+    BitReader,
+    BitWriter,
+    bits_to_bytes,
+    bytes_to_bits,
+)
+
+
+class TestBitWriter:
+    def test_empty_writer_has_zero_length(self):
+        assert len(BitWriter()) == 0
+
+    def test_single_bit_write(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        assert writer.bit_length == 1
+        assert writer.getvalue() == b"\x80"
+
+    def test_msb_first_order(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        assert list(writer.to_array()) == [1, 0, 1]
+
+    def test_multibyte_value(self):
+        writer = BitWriter()
+        writer.write(0x1FF, 9)
+        assert writer.getvalue() == b"\xff\x80"
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_value_too_wide_raises(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 3)
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, -1)
+
+    def test_write_bits_iterable(self):
+        writer = BitWriter()
+        writer.write_bits([1, 0, 1, 1])
+        assert list(writer.to_array()) == [1, 0, 1, 1]
+
+    def test_write_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits([0, 2])
+
+    def test_padding_is_zero_bits(self):
+        writer = BitWriter()
+        writer.write(0b1, 1)
+        assert writer.getvalue() == b"\x80"  # 1 followed by 7 zero bits
+
+    def test_concatenated_codes(self):
+        writer = BitWriter()
+        writer.write(0b0, 1)
+        writer.write(0b10, 2)
+        writer.write(0b111, 3)
+        assert list(writer.to_array()) == [0, 1, 0, 1, 1, 1]
+
+
+class TestBitReader:
+    def test_read_single_bits(self):
+        reader = BitReader(b"\xa0", 3)
+        assert [reader.read_bit() for _ in range(3)] == [1, 0, 1]
+
+    def test_read_field(self):
+        reader = BitReader(b"\xff\x80", 9)
+        assert reader.read(9) == 0x1FF
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\x00", 3)
+        reader.read(3)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_bit_length_bounds_padding(self):
+        reader = BitReader(b"\xff", 4)
+        assert reader.remaining == 4
+        reader.read(4)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_bit_length_exceeding_buffer_raises(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 9)
+
+    def test_peek_does_not_consume(self):
+        reader = BitReader(b"\xc0", 4)
+        value, available = reader.peek(2)
+        assert (value, available) == (0b11, 2)
+        assert reader.position == 0
+
+    def test_peek_near_end_truncates(self):
+        reader = BitReader(b"\x80", 2)
+        value, available = reader.peek(5)
+        assert available == 2
+        assert value == 0b10
+
+    def test_seek(self):
+        reader = BitReader(b"\x0f", 8)
+        reader.seek(4)
+        assert reader.read(4) == 0b1111
+
+    def test_seek_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 8).seek(9)
+
+    def test_negative_read_width_raises(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 8).read(-1)
+
+
+class TestConversions:
+    def test_bits_to_bytes_empty(self):
+        assert bits_to_bytes([]) == b""
+
+    def test_bits_to_bytes_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([0, 1, 2])
+
+    def test_bytes_to_bits_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+        data = bits_to_bytes(bits)
+        recovered = bytes_to_bits(data, len(bits))
+        assert list(recovered) == bits
+
+    def test_bytes_to_bits_overlong_request_raises(self):
+        with pytest.raises(ValueError):
+            bytes_to_bits(b"\x00", 9)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16)),
+        min_size=0,
+        max_size=50,
+    )
+)
+def test_writer_reader_roundtrip_property(fields):
+    """Any sequence of (value, width) fields round-trips exactly."""
+    fields = [(value & ((1 << width) - 1), width) for value, width in fields]
+    writer = BitWriter()
+    for value, width in fields:
+        writer.write(value, width)
+    reader = BitReader(writer.getvalue(), writer.bit_length)
+    for value, width in fields:
+        assert reader.read(width) == value
+    assert reader.remaining == 0
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_bytes_bits_bytes_roundtrip_property(data):
+    """bytes -> bits -> bytes is the identity."""
+    bits = bytes_to_bits(data)
+    assert bits_to_bytes(list(bits)) == data

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_seed_default(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.seed == 0
+
+    def test_seed_override(self):
+        args = build_parser().parse_args(["table5", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_accuracy_epochs_flag(self):
+        args = build_parser().parse_args(["accuracy", "--epochs", "5"])
+        assert args.epochs == 5
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Conv 3x3" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Block 13" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "Average" in out
+
+    def test_mix(self, capsys):
+        assert main(["mix"]) == 0
+        assert "code length" in capsys.readouterr().out.lower()
+
+    def test_model(self, capsys):
+        assert main(["model"]) == 0
+        assert "whole-model ratio" in capsys.readouterr().out
+
+    def test_feasibility(self, capsys):
+        assert main(["feasibility"]) == 0
+        assert "LP bound" in capsys.readouterr().out
+
+    def test_accuracy_short_run(self, capsys):
+        assert main(["accuracy", "--epochs", "2"]) == 0
+        assert "accuracy" in capsys.readouterr().out.lower()

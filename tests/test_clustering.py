@@ -1,0 +1,177 @@
+"""Tests for the Sec. III-C rare-sequence replacement pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitseq import NUM_SEQUENCES, hamming_distance
+from repro.core.clustering import ClusteringConfig, cluster_sequences
+from repro.core.frequency import FrequencyTable
+
+
+def table_of(sequences):
+    return FrequencyTable.from_sequences(np.asarray(sequences))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ClusteringConfig()
+        assert config.max_distance == 1
+
+    def test_zero_common_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringConfig(num_common=0)
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringConfig(num_common=400, num_rare=200)
+
+    def test_full_rare_set_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringConfig(num_common=1, num_rare=NUM_SEQUENCES)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringConfig(max_distance=0)
+
+
+class TestAlgorithm:
+    def test_rare_neighbour_replaced_by_common(self):
+        # sequence 1 is rare and at distance 1 from very common sequence 0
+        sequences = [0] * 100 + [1]
+        result = cluster_sequences(
+            table_of(sequences), ClusteringConfig(num_common=1, num_rare=511)
+        )
+        assert result.replacements[1] == 0
+
+    def test_highest_frequency_donor_wins(self):
+        # 3 = 0b000000011 is at distance 1 from both 1 and 7
+        sequences = [1] * 50 + [7] * 80 + [3]
+        result = cluster_sequences(
+            table_of(sequences), ClusteringConfig(num_common=2, num_rare=510)
+        )
+        assert result.replacements[3] == 7
+
+    def test_distance_two_not_replaced_at_radius_one(self):
+        # 3 is at distance 2 from 0
+        sequences = [0] * 100 + [3]
+        result = cluster_sequences(
+            table_of(sequences), ClusteringConfig(num_common=1, num_rare=511)
+        )
+        assert 3 not in result.replacements
+        assert 3 in result.unmatched
+
+    def test_distance_two_replaced_at_radius_two(self):
+        sequences = [0] * 100 + [3]
+        result = cluster_sequences(
+            table_of(sequences),
+            ClusteringConfig(num_common=1, num_rare=511, max_distance=2),
+        )
+        assert result.replacements[3] == 0
+
+    def test_zero_count_rare_sequences_skipped(self):
+        sequences = [0] * 10
+        result = cluster_sequences(
+            table_of(sequences), ClusteringConfig(num_common=1, num_rare=400)
+        )
+        assert result.num_replaced == 0
+        assert result.unmatched == []
+
+    def test_zero_rare_is_noop(self):
+        sequences = [0] * 5 + [1] * 3
+        result = cluster_sequences(
+            table_of(sequences), ClusteringConfig(num_common=64, num_rare=0)
+        )
+        assert result.num_replaced == 0
+
+    def test_replacements_target_common_set(self, block1_table):
+        config = ClusteringConfig(num_common=64, num_rare=256)
+        result = cluster_sequences(block1_table, config)
+        common = set(int(s) for s in block1_table.ranked_sequences()[:64])
+        assert all(target in common for target in result.replacements.values())
+
+    def test_replacements_respect_hamming_radius(self, block1_table):
+        config = ClusteringConfig(num_common=64, num_rare=256)
+        result = cluster_sequences(block1_table, config)
+        for source, target in result.replacements.items():
+            assert (
+                int(hamming_distance(np.int64(source), np.int64(target))) == 1
+            )
+
+    def test_sources_come_from_rare_set(self, block1_table):
+        config = ClusteringConfig(num_common=64, num_rare=256)
+        result = cluster_sequences(block1_table, config)
+        rare = set(
+            int(s)
+            for s in block1_table.ranked_sequences()[NUM_SEQUENCES - 256:]
+        )
+        assert all(source in rare for source in result.replacements)
+
+
+class TestApplication:
+    def test_apply_to_sequences(self):
+        sequences = np.array([0, 1, 0, 1, 5])
+        table = table_of([0] * 100 + [1])
+        result = cluster_sequences(
+            table, ClusteringConfig(num_common=1, num_rare=511)
+        )
+        rewritten = result.apply_to_sequences(sequences)
+        assert rewritten.tolist() == [0, 0, 0, 0, 5 if 5 not in result.replacements else result.replacements[5]]
+
+    def test_apply_to_sequences_no_replacements_is_copy(self):
+        table = table_of([0] * 4)
+        result = cluster_sequences(
+            table, ClusteringConfig(num_common=1, num_rare=0)
+        )
+        sequences = np.array([0, 0])
+        out = result.apply_to_sequences(sequences)
+        assert np.array_equal(out, sequences)
+        assert out is not sequences
+
+    def test_apply_to_table_preserves_total(self, block1_table):
+        result = cluster_sequences(block1_table)
+        folded = result.apply_to_table(block1_table)
+        assert folded.total == block1_table.total
+
+    def test_apply_to_table_zeroes_sources(self, block1_table):
+        result = cluster_sequences(block1_table)
+        folded = result.apply_to_table(block1_table)
+        for source in result.replacements:
+            assert folded.count(source) == 0
+
+    def test_clustering_improves_top_share(self, block1_table):
+        """Folding the tail into the head raises the head's share."""
+        result = cluster_sequences(block1_table)
+        folded = result.apply_to_table(block1_table)
+        assert folded.top_share(64) >= block1_table.top_share(64)
+
+    def test_total_bit_flips_counts_channels(self):
+        table = table_of([0] * 100 + [1] * 3)
+        result = cluster_sequences(
+            table, ClusteringConfig(num_common=1, num_rare=511)
+        )
+        # 3 channels used sequence 1, each flipping 1 bit
+        assert result.total_bit_flips(table) == 3
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.lists(st.integers(0, NUM_SEQUENCES - 1), min_size=1, max_size=400),
+    st.integers(1, 128),
+    st.integers(0, 384),
+)
+def test_clustering_invariants_property(sequences, num_common, num_rare):
+    """Replacement maps rare->common at distance exactly <= radius."""
+    table = table_of(sequences)
+    config = ClusteringConfig(num_common=num_common, num_rare=num_rare)
+    result = cluster_sequences(table, config)
+    ranked = table.ranked_sequences()
+    common = set(int(s) for s in ranked[:num_common])
+    for source, target in result.replacements.items():
+        assert target in common
+        assert source not in common
+        distance = int(hamming_distance(np.int64(source), np.int64(target)))
+        assert 1 <= distance <= config.max_distance
+    # mass is conserved
+    folded = result.apply_to_table(table)
+    assert folded.total == table.total

@@ -1,0 +1,51 @@
+"""Tests for the coder-comparison analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coders import (
+    _elias_gamma_length,
+    compare_coders,
+    render_coders,
+)
+
+
+class TestEliasGamma:
+    def test_one_is_one_bit(self):
+        assert _elias_gamma_length(1) == 1
+
+    def test_powers_of_two(self):
+        assert _elias_gamma_length(2) == 3
+        assert _elias_gamma_length(4) == 5
+        assert _elias_gamma_length(512) == 19
+
+    def test_monotone(self):
+        lengths = [_elias_gamma_length(v) for v in range(1, 100)]
+        assert all(b >= a for a, b in zip(lengths, lengths[1:]))
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            _elias_gamma_length(0)
+
+
+class TestComparison:
+    def test_all_blocks_present(self, reactnet_kernels):
+        rows = compare_coders(reactnet_kernels)
+        assert [row.block for row in rows] == list(range(1, 14))
+
+    def test_coder_ordering(self, reactnet_kernels):
+        for row in compare_coders(reactnet_kernels):
+            assert row.fixed == 1.0
+            assert row.simplified <= row.huffman + 1e-9
+            assert row.huffman <= row.entropy_bound + 1e-9
+
+    def test_simplified_close_to_huffman(self, reactnet_kernels):
+        rows = compare_coders(reactnet_kernels)
+        ratio = np.mean([r.simplified / r.huffman for r in rows])
+        assert ratio > 0.85
+
+    def test_render(self, reactnet_kernels):
+        text = render_coders(compare_coders(reactnet_kernels))
+        assert "Coder comparison" in text
+        assert "Average" in text
+        assert "Entropy" in text

@@ -1,0 +1,157 @@
+"""Edge-case tests across modules: error paths and rarely hit branches."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.performance import render_speedup, run_performance_experiment
+from repro.bnn.layers import BinaryConv2d, RSign
+from repro.bnn.model import Sequential
+from repro.bnn.residual import ResidualBranch
+from repro.core.bitseq import NUM_SEQUENCES
+from repro.core.frequency import FrequencyTable
+from repro.core.huffman import HuffmanEncoder
+from repro.core.simplified import NodeAssignment, SimplifiedTree, TreeLayout
+from repro.hw.perf import LayerWorkload, ModelTiming, PerfModel
+
+
+def table_of(sequences):
+    return FrequencyTable.from_sequences(np.asarray(sequences))
+
+
+class TestSimplifiedEdges:
+    def test_node_of_unknown_sequence(self):
+        assignment = NodeAssignment(
+            TreeLayout((256, 256)), ((1, 2), (3,))
+        )
+        with pytest.raises(KeyError):
+            assignment.node_of(99)
+
+    def test_three_node_tree_code_lengths(self):
+        tree = SimplifiedTree(table_of([0] * 4), capacities=(32, 64, 512))
+        assert tree.layout.code_lengths == (6, 8, 11)
+
+    def test_tiny_first_node(self):
+        tree = SimplifiedTree(table_of([0] * 4), capacities=(1, 511))
+        # capacity 1 still needs one index bit in this encoding
+        code, length = tree.code_of(0)
+        assert length == tree.layout.code_lengths[0]
+
+    def test_node_shares_with_external_table(self, block1_table):
+        tree = SimplifiedTree(block1_table)
+        other = table_of([0] * 10)
+        shares = tree.node_shares(other)
+        assert sum(shares) == pytest.approx(1.0)
+
+
+class TestHuffmanEdges:
+    def test_decode_with_corrupt_stream_raises_or_valid(self):
+        sequences = np.array([0] * 30 + [1] * 10 + [2] * 3)
+        encoder = HuffmanEncoder.from_table(table_of(sequences))
+        payload, bits = encoder.encode(sequences)
+        corrupted = bytes([b ^ 0xFF for b in payload])
+        try:
+            decoded = encoder.decode(corrupted, len(sequences), bits)
+        except (ValueError, EOFError):
+            return
+        assert set(decoded.tolist()).issubset({0, 1, 2})
+
+    def test_code_lengths_ordered_by_frequency(self):
+        sequences = [0] * 100 + [1] * 50 + [2] * 25 + [3] * 12 + [4] * 6
+        encoder = HuffmanEncoder.from_table(table_of(sequences))
+        lengths = encoder.code.lengths
+        assert lengths[0] <= lengths[2] <= lengths[4]
+
+
+class TestPerfModelEdges:
+    def test_dense_layer_single_pass(self):
+        workload = LayerWorkload(
+            name="fc", kind="dense8", in_channels=1024, out_channels=1000,
+            kernel=1, stride=1, in_size=1,
+        )
+        timing = PerfModel().simulate_layer(workload)
+        assert timing.total_cycles > 0
+        assert timing.workload.out_size == 1
+
+    def test_other_layer_kind(self):
+        workload = LayerWorkload(
+            name="bn", kind="other", in_channels=64, out_channels=64,
+            kernel=1, stride=1, in_size=14,
+        )
+        timing = PerfModel().simulate_layer(workload)
+        assert timing.total_cycles > 0
+        assert timing.weight_stall_cycles == 0
+
+    def test_conv1x1_not_compressed_in_hw_mode(self):
+        workload = LayerWorkload(
+            name="c1", kind="conv1x1", in_channels=256, out_channels=512,
+            kernel=1, stride=1, in_size=14,
+        )
+        model = PerfModel()
+        base = model.simulate_layer(workload, "baseline")
+        hw = model.simulate_layer(workload, "hw_compressed", 1.3)
+        assert hw.total_cycles == pytest.approx(base.total_cycles, rel=0.01)
+
+    def test_empty_model_timing(self):
+        timing = ModelTiming(mode="baseline")
+        assert timing.total_cycles == 0
+        assert timing.share_by_kind() == {}
+
+    def test_layer_timing_memory_fraction_zero_total(self):
+        workload = LayerWorkload(
+            name="x", kind="conv3x3", in_channels=8, out_channels=8,
+            kernel=3, stride=1, in_size=8,
+        )
+        from repro.hw.perf import LayerTiming
+
+        timing = LayerTiming(workload=workload, mode="baseline")
+        assert timing.memory_bound_fraction == 0.0
+
+
+class TestSequentialEdges:
+    def test_empty_sequential(self):
+        model = Sequential([])
+        x = np.ones((1, 2), dtype=np.float32)
+        assert np.array_equal(model.forward(x), x)
+        assert model.num_params == 0
+        assert model.storage_bits() == 0
+
+    def test_flat_layers_nested_residual(self, rng):
+        inner = ResidualBranch(
+            [RSign(4), BinaryConv2d(4, 4, rng=rng)], 4, 4, 1
+        )
+        model = Sequential([inner])
+        paths = [path for path, _ in model.flat_layers()]
+        assert "0" in paths
+        assert "0.0" in paths and "0.1" in paths
+
+    def test_post_update_reaches_nested_convs(self, rng):
+        conv = BinaryConv2d(4, 4, rng=rng)
+        conv.params["weight"][:] = 99.0
+        model = Sequential([ResidualBranch([conv], 4, 4, 1)])
+        model.post_update()
+        assert conv.params["weight"].max() <= 1.5
+
+
+class TestPerformanceRender:
+    def test_render_speedup_mentions_paper(self):
+        ratios = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+        result = run_performance_experiment(compression_ratios=ratios)
+        text = render_speedup(result)
+        assert "1.35x" in text  # paper reference
+        assert "baseline" in text
+        assert "weight-stall" in text
+
+
+class TestFrequencyEdgeCases:
+    def test_top_larger_than_alphabet(self):
+        table = table_of([5])
+        entries = table.top(NUM_SEQUENCES + 100)
+        assert len(entries) == NUM_SEQUENCES
+
+    def test_bottom_zero(self):
+        assert table_of([1]).bottom(0) == []
+
+    def test_merged_identity(self):
+        table = table_of([3, 3, 9])
+        empty = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        assert table.merged_with(empty) == table

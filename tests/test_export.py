@@ -1,0 +1,68 @@
+"""Tests for the data-export module and its CLI subcommand."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import EXPORTERS, export_all
+from repro.cli import main
+
+
+class TestExportAll:
+    def test_subset_export(self, tmp_path):
+        written = export_all(tmp_path, only=["table2", "table5"])
+        names = {path.name for path in written}
+        assert names == {"table2_distribution.csv", "table5_compression.csv"}
+
+    def test_unknown_exporter_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_all(tmp_path, only=["nonsense"])
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "results"
+        export_all(target, only=["table1"])
+        assert (target / "table1_breakdown.csv").exists()
+
+    def test_table5_csv_contents(self, tmp_path):
+        export_all(tmp_path, only=["table5"])
+        with open(tmp_path / "table5_compression.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 13
+        for row in rows:
+            assert float(row["clustering"]) >= float(row["encoding"])
+
+    def test_fig3_json_contents(self, tmp_path):
+        export_all(tmp_path, only=["fig3"])
+        with open(tmp_path / "fig3_frequency.json") as handle:
+            payload = json.load(handle)
+        assert len(payload["sequences"]) == 16
+        assert len(payload["shares"]) == 16
+        assert 0.2 < payload["uniform_share"] < 0.3
+
+    def test_feasibility_csv(self, tmp_path):
+        export_all(tmp_path, only=["feasibility"])
+        with open(tmp_path / "feasibility.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 13
+        infeasible = [r for r in rows if r["feasible"] == "False"]
+        assert len(infeasible) >= 6
+
+    def test_every_registered_exporter_runs(self, tmp_path):
+        # exclude the slow training/simulation exporters from this check
+        fast = [
+            name for name in EXPORTERS
+            if name not in ("accuracy", "speedup")
+        ]
+        written = export_all(tmp_path, only=fast)
+        assert len(written) == len(fast)
+
+
+class TestCliExport:
+    def test_cli_export_subcommand(self, tmp_path, capsys):
+        assert main(
+            ["export", "--out", str(tmp_path), "--only", "table2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "table2_distribution.csv" in out
+        assert (tmp_path / "table2_distribution.csv").exists()

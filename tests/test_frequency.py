@@ -1,0 +1,156 @@
+"""Tests for bit-sequence frequency tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitseq import NUM_SEQUENCES
+from repro.core.frequency import FrequencyTable, merge_tables
+
+
+def table_from(*pairs):
+    counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+    for sequence, count in pairs:
+        counts[sequence] = count
+    return FrequencyTable(counts)
+
+
+class TestConstruction:
+    def test_from_sequences(self):
+        table = FrequencyTable.from_sequences(np.array([0, 0, 511, 3]))
+        assert table.count(0) == 2
+        assert table.count(511) == 1
+        assert table.total == 4
+
+    def test_from_sequences_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FrequencyTable.from_sequences(np.array([512]))
+
+    def test_from_kernels(self, rng):
+        kernel = rng.integers(0, 2, (2, 4, 3, 3)).astype(np.uint8)
+        table = FrequencyTable.from_kernels([kernel])
+        assert table.total == 8
+
+    def test_wrong_count_shape_raises(self):
+        with pytest.raises(ValueError):
+            FrequencyTable(np.zeros(10, dtype=np.int64))
+
+    def test_negative_counts_raise(self):
+        counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        counts[0] = -1
+        with pytest.raises(ValueError):
+            FrequencyTable(counts)
+
+    def test_counts_are_read_only(self):
+        table = table_from((0, 5))
+        with pytest.raises(ValueError):
+            table.counts[0] = 99
+
+
+class TestStatistics:
+    def test_share(self):
+        table = table_from((0, 3), (1, 1))
+        assert table.share(0) == pytest.approx(0.75)
+
+    def test_share_of_empty_table_is_zero(self):
+        table = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        assert table.share(0) == 0.0
+        assert table.top_share(64) == 0.0
+        assert table.uniform_share() == 0.0
+
+    def test_probabilities_sum_to_one(self):
+        table = table_from((0, 3), (5, 7))
+        assert table.probabilities.sum() == pytest.approx(1.0)
+
+    def test_top_share_monotone_in_n(self):
+        table = table_from((0, 10), (1, 5), (2, 1))
+        assert table.top_share(1) <= table.top_share(2) <= table.top_share(3)
+        assert table.top_share(NUM_SEQUENCES) == pytest.approx(1.0)
+
+    def test_uniform_share(self):
+        table = table_from((0, 2), (511, 2), (3, 4))
+        assert table.uniform_share() == pytest.approx(0.5)
+
+    def test_ranked_sequences_descending_counts(self):
+        table = table_from((9, 1), (7, 5), (100, 3))
+        ranked = table.ranked_sequences()
+        assert ranked[0] == 7
+        assert ranked[1] == 100
+        assert ranked[2] == 9
+
+    def test_ranking_tie_break_by_id(self):
+        table = table_from((20, 2), (10, 2))
+        ranked = table.ranked_sequences()
+        assert list(ranked[:2]) == [10, 20]
+
+    def test_top_entries(self):
+        table = table_from((0, 6), (1, 4))
+        entries = table.top(2)
+        assert entries[0].sequence == 0
+        assert entries[0].share == pytest.approx(0.6)
+        assert entries[1].sequence == 1
+
+    def test_bottom_returns_least_common(self):
+        table = table_from((0, 100))
+        bottom = table.bottom(3)
+        assert all(entry.count == 0 for entry in bottom)
+
+    def test_top_negative_raises(self):
+        with pytest.raises(ValueError):
+            table_from((0, 1)).top(-1)
+
+    def test_num_used(self):
+        table = table_from((0, 1), (100, 2))
+        assert table.num_used() == 2
+
+    def test_used_sequences_ordered(self):
+        table = table_from((3, 1), (5, 9))
+        assert list(table.used_sequences()) == [5, 3]
+
+    def test_entropy_of_uniform_pair(self):
+        table = table_from((0, 1), (1, 1))
+        assert table.entropy_bits() == pytest.approx(1.0)
+
+    def test_entropy_of_point_mass_is_zero(self):
+        table = table_from((0, 10))
+        assert table.entropy_bits() == pytest.approx(0.0)
+
+    def test_entropy_upper_bound(self):
+        table = FrequencyTable(np.ones(NUM_SEQUENCES, dtype=np.int64))
+        assert table.entropy_bits() == pytest.approx(9.0)
+
+
+class TestCombination:
+    def test_merged_with(self):
+        merged = table_from((0, 1)).merged_with(table_from((0, 2), (1, 3)))
+        assert merged.count(0) == 3
+        assert merged.count(1) == 3
+
+    def test_merge_tables_empty_list(self):
+        assert merge_tables([]).total == 0
+
+    def test_merge_tables_many(self):
+        tables = [table_from((i, i + 1)) for i in range(5)]
+        merged = merge_tables(tables)
+        assert merged.total == sum(range(1, 6))
+
+    def test_equality(self):
+        assert table_from((0, 1)) == table_from((0, 1))
+        assert table_from((0, 1)) != table_from((0, 2))
+
+    def test_repr_contains_stats(self):
+        assert "total=1" in repr(table_from((0, 1)))
+
+
+@given(
+    st.lists(st.integers(0, NUM_SEQUENCES - 1), min_size=1, max_size=300)
+)
+def test_table_invariants_property(sequences):
+    """Total, probabilities and rankings are mutually consistent."""
+    table = FrequencyTable.from_sequences(np.asarray(sequences))
+    assert table.total == len(sequences)
+    assert table.probabilities.sum() == pytest.approx(1.0)
+    ranked = table.ranked_sequences()
+    counts = table.counts[ranked]
+    assert (np.diff(counts) <= 0).all()  # non-increasing
+    assert table.top_share(NUM_SEQUENCES) == pytest.approx(1.0)

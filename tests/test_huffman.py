@@ -1,0 +1,118 @@
+"""Tests for the reference (full) Huffman coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitseq import NUM_SEQUENCES
+from repro.core.frequency import FrequencyTable
+from repro.core.huffman import HuffmanEncoder, build_huffman_code
+
+
+def table_of(sequences):
+    return FrequencyTable.from_sequences(np.asarray(sequences))
+
+
+class TestCodeConstruction:
+    def test_empty_table_raises(self):
+        empty = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        with pytest.raises(ValueError):
+            build_huffman_code(empty)
+
+    def test_single_symbol_gets_one_bit(self):
+        code = build_huffman_code(table_of([7, 7, 7]))
+        assert code.lengths == {7: 1}
+
+    def test_two_symbols_get_one_bit_each(self):
+        code = build_huffman_code(table_of([0, 1]))
+        assert code.lengths[0] == 1
+        assert code.lengths[1] == 1
+
+    def test_common_symbol_gets_shorter_code(self):
+        code = build_huffman_code(table_of([0] * 10 + [1] * 2 + [2] * 2 + [3]))
+        assert code.lengths[0] <= code.lengths[3]
+
+    def test_only_used_symbols_coded(self):
+        code = build_huffman_code(table_of([5, 5, 9]))
+        assert set(code.symbols) == {5, 9}
+
+    def test_prefix_free(self):
+        sequences = list(range(20)) * 3 + [0] * 50
+        code = build_huffman_code(table_of(sequences))
+        assert code.is_prefix_free()
+
+    def test_kraft_equality(self):
+        """A Huffman code is complete: Kraft sum equals 1."""
+        sequences = [i for i in range(16) for _ in range(i + 1)]
+        code = build_huffman_code(table_of(sequences))
+        kraft = sum(2.0 ** -length for length in code.lengths.values())
+        assert kraft == pytest.approx(1.0)
+
+    def test_average_length_at_least_entropy(self):
+        sequences = [0] * 50 + [1] * 30 + [2] * 15 + [3] * 5
+        table = table_of(sequences)
+        code = build_huffman_code(table)
+        assert code.average_length(table) >= table.entropy_bits() - 1e-9
+
+    def test_average_length_within_entropy_plus_one(self):
+        sequences = [0] * 50 + [1] * 30 + [2] * 15 + [3] * 5
+        table = table_of(sequences)
+        code = build_huffman_code(table)
+        assert code.average_length(table) < table.entropy_bits() + 1.0
+
+
+class TestEncoder:
+    def test_roundtrip_small(self):
+        sequences = np.array([0, 1, 0, 2, 0, 0, 1])
+        encoder = HuffmanEncoder.from_table(table_of(sequences))
+        payload, bits = encoder.encode(sequences)
+        decoded = encoder.decode(payload, len(sequences), bits)
+        assert np.array_equal(decoded, sequences)
+
+    def test_unknown_symbol_raises(self):
+        encoder = HuffmanEncoder.from_table(table_of([0, 1]))
+        with pytest.raises(KeyError):
+            encoder.encode(np.array([2]))
+
+    def test_compressed_bits_matches_encoding(self):
+        sequences = np.array([0] * 20 + [1] * 5 + [2] * 2)
+        table = table_of(sequences)
+        encoder = HuffmanEncoder.from_table(table)
+        _, bits = encoder.encode(sequences)
+        assert encoder.compressed_bits(table) == bits
+
+    def test_compression_ratio_beats_raw_on_skewed_data(self):
+        sequences = np.array([0] * 1000 + list(range(1, 20)))
+        table = table_of(sequences)
+        encoder = HuffmanEncoder.from_table(table)
+        assert encoder.compression_ratio(table) > 2.0
+
+    def test_ratio_of_empty_usage_is_one(self):
+        encoder = HuffmanEncoder.from_table(table_of([0, 1]))
+        empty = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        assert encoder.compression_ratio(empty) == 1.0
+
+    def test_huffman_beats_simplified_tree(self, block1_table):
+        """Full Huffman is the upper bound the simplified tree trades away."""
+        from repro.core.simplified import SimplifiedTree
+
+        encoder = HuffmanEncoder.from_table(block1_table)
+        tree = SimplifiedTree(block1_table)
+        assert (
+            encoder.compression_ratio(block1_table)
+            >= tree.compression_ratio() - 1e-9
+        )
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.lists(st.integers(0, 40), min_size=1, max_size=400).filter(
+        lambda s: len(set(s)) >= 2
+    )
+)
+def test_huffman_roundtrip_property(sequences):
+    """Encode/decode is the identity for any training distribution."""
+    arr = np.asarray(sequences)
+    encoder = HuffmanEncoder.from_table(table_of(arr))
+    payload, bits = encoder.encode(arr)
+    assert np.array_equal(encoder.decode(payload, len(arr), bits), arr)

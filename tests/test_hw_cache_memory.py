@@ -1,0 +1,176 @@
+"""Tests for the cache hierarchy and main-memory timing models."""
+
+import pytest
+
+from repro.hw.cache import Cache, build_hierarchy
+from repro.hw.config import CacheConfig, MemoryConfig
+from repro.hw.memory import MainMemory
+
+
+def small_cache(size=1024, line=64, assoc=2, latency=2):
+    return CacheConfig(size, line, assoc, latency)
+
+
+@pytest.fixture()
+def memory():
+    return MainMemory(MemoryConfig(latency_cycles=100, bytes_per_cycle=8.0))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        assert small_cache(1024, 64, 2).num_sets == 8
+
+    def test_size_not_multiple_of_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 64)
+
+    def test_bad_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 64, 3)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 64)
+
+
+class TestMainMemory:
+    def test_access_cost(self, memory):
+        cycles = memory.access(0, 64)
+        assert cycles == pytest.approx(100 + 8.0)
+
+    def test_stats_accumulate(self, memory):
+        memory.access(0, 64)
+        memory.access(64, 64)
+        assert memory.stats.accesses == 2
+        assert memory.stats.bytes_transferred == 128
+
+    def test_out_of_range_address_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.access(memory.config.size_bytes, 4)
+
+    def test_nonpositive_size_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.access(0, 0)
+
+    def test_reset_stats(self, memory):
+        memory.access(0, 64)
+        memory.reset_stats()
+        assert memory.stats.accesses == 0
+
+
+class TestCache:
+    def test_first_access_misses(self, memory):
+        cache = Cache(small_cache(), memory)
+        cache.access_line(0)
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_second_access_hits(self, memory):
+        cache = Cache(small_cache(), memory)
+        cache.access_line(0)
+        cycles = cache.access_line(0)
+        assert cache.hits == 1
+        assert cycles == 2  # hit latency only
+
+    def test_same_line_different_offsets_hit(self, memory):
+        cache = Cache(small_cache(), memory)
+        cache.access_line(0)
+        cache.access_line(63)
+        assert cache.hits == 1
+
+    def test_miss_cost_includes_next_level(self, memory):
+        cache = Cache(small_cache(latency=2), memory)
+        cycles = cache.access_line(0)
+        assert cycles == pytest.approx(2 + 100 + 8.0)
+
+    def test_lru_eviction(self, memory):
+        # 2-way cache: 3 distinct lines mapping to the same set evict LRU
+        config = small_cache(size=256, line=64, assoc=2)  # 2 sets
+        cache = Cache(config, memory)
+        stride = config.line_bytes * config.num_sets
+        cache.access_line(0)
+        cache.access_line(stride)
+        cache.access_line(2 * stride)  # evicts line 0
+        assert not cache.contains(0)
+        assert cache.contains(stride)
+        assert cache.contains(2 * stride)
+
+    def test_lru_updated_on_hit(self, memory):
+        config = small_cache(size=256, line=64, assoc=2)
+        cache = Cache(config, memory)
+        stride = config.line_bytes * config.num_sets
+        cache.access_line(0)
+        cache.access_line(stride)
+        cache.access_line(0)  # refresh line 0
+        cache.access_line(2 * stride)  # evicts `stride`, not 0
+        assert cache.contains(0)
+        assert not cache.contains(stride)
+
+    def test_access_bytes_spans_lines(self, memory):
+        cache = Cache(small_cache(), memory)
+        cache.access_bytes(0, 130)  # lines 0, 64, 128
+        assert cache.misses == 3
+
+    def test_access_bytes_invalid_size(self, memory):
+        cache = Cache(small_cache(), memory)
+        with pytest.raises(ValueError):
+            cache.access_bytes(0, 0)
+
+    def test_hit_rate(self, memory):
+        cache = Cache(small_cache(), memory)
+        cache.access_line(0)
+        cache.access_line(0)
+        cache.access_line(0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_flush_drops_lines(self, memory):
+        cache = Cache(small_cache(), memory)
+        cache.access_line(0)
+        cache.flush()
+        assert not cache.contains(0)
+
+    def test_working_set_larger_than_cache_thrashes(self, memory):
+        cache = Cache(small_cache(size=512), memory)
+        for _ in range(3):
+            for line in range(0, 4096, 64):
+                cache.access_line(line)
+        assert cache.hit_rate == 0.0
+
+    def test_working_set_fitting_cache_hits_after_warmup(self, memory):
+        cache = Cache(small_cache(size=4096), memory)
+        for _ in range(3):
+            for line in range(0, 2048, 64):
+                cache.access_line(line)
+        assert cache.hits == 2 * 32
+        assert cache.misses == 32
+
+
+class TestHierarchy:
+    def test_two_level_forwarding(self, memory):
+        l1 = build_hierarchy(
+            small_cache(size=256), small_cache(size=4096, latency=10), memory
+        )
+        l1.access_line(0)
+        assert isinstance(l1.next_level, Cache)
+        assert l1.next_level.misses == 1
+        # second access hits L1, not L2
+        l1.access_line(0)
+        assert l1.next_level.hits == 0
+
+    def test_l2_catches_l1_evictions(self, memory):
+        l1 = build_hierarchy(
+            small_cache(size=128, assoc=1),
+            small_cache(size=8192, latency=10),
+            memory,
+        )
+        for line in range(0, 1024, 64):
+            l1.access_line(line)
+        memory_accesses = memory.stats.accesses
+        # re-walk: L1 thrashes but L2 holds everything
+        for line in range(0, 1024, 64):
+            l1.access_line(line)
+        assert memory.stats.accesses == memory_accesses
+
+    def test_single_level_hierarchy(self, memory):
+        l1 = build_hierarchy(small_cache(), None, memory)
+        assert l1.next_level is memory

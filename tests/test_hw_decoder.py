@@ -1,0 +1,145 @@
+"""Tests for the decoding unit (Fig. 6) and the lddu/ldps programming model."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.packing import unpack_bits
+from repro.core.frequency import FrequencyTable
+from repro.core.simplified import SimplifiedTree
+from repro.core.streams import CompressedKernel
+from repro.hw.cache import build_hierarchy
+from repro.hw.config import CacheConfig, DecoderConfig, MemoryConfig
+from repro.hw.decoder import DecoderProgram, DecodingUnit
+from repro.hw.isa import lddu, ldps, read_kernel_words
+from repro.hw.memory import MainMemory
+
+
+def make_stream(sequences, shape):
+    sequences = np.asarray(sequences, dtype=np.int64)
+    tree = SimplifiedTree(FrequencyTable.from_sequences(sequences))
+    return CompressedKernel.from_sequences(sequences, shape, tree)
+
+
+@pytest.fixture()
+def unit():
+    return DecodingUnit(DecoderConfig(), register_bits=128)
+
+
+@pytest.fixture()
+def hierarchy():
+    memory = MainMemory(MemoryConfig())
+    return build_hierarchy(
+        CacheConfig(32 * 1024, 64, 4, 4), CacheConfig(256 * 1024, 64, 8, 12),
+        memory,
+    )
+
+
+class TestBehaviour:
+    def test_decode_and_pack_roundtrip(self, unit, rng):
+        sequences = rng.integers(0, 512, 128)
+        stream = make_stream(sequences, (8, 16))
+        lddu(unit, stream)
+        words = unit.drain_words()
+        # 128 sequences = exactly one full register group: 9 registers
+        assert words.size == 9 * (128 // 64)
+        registers = words.reshape(9, 2)
+        bits = unpack_bits(registers, 128)  # (9, 128): position x lane
+        expected = (
+            (sequences[None, :] >> (8 - np.arange(9))[:, None]) & 1
+        ).astype(np.uint8)
+        assert np.array_equal(bits, expected)
+
+    def test_partial_group_zero_padded(self, unit):
+        sequences = np.full(10, 511, dtype=np.int64)
+        stream = make_stream(sequences, (1, 10))
+        lddu(unit, stream)
+        words = unit.drain_words()
+        registers = unpack_bits(words.reshape(9, 2), 128)
+        assert registers[:, :10].all()  # ten lanes of ones
+        assert not registers[:, 10:].any()  # padding lanes are zero
+
+    def test_ldps_before_lddu_raises(self, unit):
+        with pytest.raises(RuntimeError):
+            ldps(unit)
+
+    def test_ldps_after_drain_raises(self, unit):
+        stream = make_stream(np.zeros(4, dtype=np.int64), (2, 2))
+        lddu(unit, stream)
+        unit.drain_words()
+        with pytest.raises(RuntimeError):
+            ldps(unit)
+
+    def test_read_kernel_words_counts(self, unit):
+        stream = make_stream(np.zeros(4, dtype=np.int64), (2, 2))
+        lddu(unit, stream)
+        words = read_kernel_words(unit, 3)
+        assert words.size == 3
+        with pytest.raises(RuntimeError):
+            read_kernel_words(unit, 100)
+
+    def test_read_kernel_words_negative(self, unit):
+        stream = make_stream(np.zeros(4, dtype=np.int64), (2, 2))
+        lddu(unit, stream)
+        with pytest.raises(ValueError):
+            read_kernel_words(unit, -1)
+
+    def test_too_many_tree_nodes_rejected(self, rng):
+        unit = DecodingUnit(DecoderConfig(max_nodes=2))
+        stream = make_stream(rng.integers(0, 512, 16), (4, 4))
+        with pytest.raises(ValueError):
+            unit.configure(DecoderProgram(stream))
+
+    def test_oversized_tables_rejected(self, rng):
+        unit = DecodingUnit(DecoderConfig(uncompressed_table_bytes=64))
+        stream = make_stream(rng.integers(0, 512, 16), (4, 4))
+        with pytest.raises(ValueError):
+            unit.configure(DecoderProgram(stream))
+
+    def test_register_width_must_be_word_multiple(self):
+        with pytest.raises(ValueError):
+            DecodingUnit(DecoderConfig(), register_bits=100)
+
+
+class TestTiming:
+    def test_decode_cycles_scale_with_sequences(self, unit, rng):
+        small = make_stream(rng.integers(0, 512, 64), (8, 8))
+        big = make_stream(rng.integers(0, 512, 1024), (32, 32))
+        t_small = unit.configure(DecoderProgram(small))
+        t_big = unit.configure(DecoderProgram(big))
+        assert t_big.decode_cycles > t_small.decode_cycles
+
+    def test_no_cache_means_no_fetch_cycles(self, unit, rng):
+        stream = make_stream(rng.integers(0, 512, 64), (8, 8))
+        timing = unit.configure(DecoderProgram(stream))
+        assert timing.fetch_cycles == 0.0
+        assert timing.chunks_fetched == 0
+
+    def test_fetch_through_hierarchy_counts_chunks(self, unit, hierarchy, rng):
+        stream = make_stream(rng.integers(0, 512, 256), (16, 16))
+        timing = unit.configure(DecoderProgram(stream), cache=hierarchy)
+        expected_chunks = -(-((stream.bit_length + 7) // 8) // 64)
+        assert timing.chunks_fetched == expected_chunks
+        assert timing.fetch_cycles > 0
+
+    def test_overlap_bounded_by_serial_time(self, unit, hierarchy, rng):
+        stream = make_stream(rng.integers(0, 512, 512), (32, 16))
+        timing = unit.configure(DecoderProgram(stream), cache=hierarchy)
+        assert timing.total_cycles <= (
+            timing.fetch_cycles + timing.decode_cycles
+        )
+        assert 0.0 <= timing.overlapped_fraction <= 1.0
+
+    def test_warm_cache_reduces_fetch_cycles(self, unit, hierarchy, rng):
+        stream = make_stream(rng.integers(0, 512, 512), (32, 16))
+        cold = unit.configure(DecoderProgram(stream), cache=hierarchy)
+        warm = unit.configure(DecoderProgram(stream), cache=hierarchy)
+        assert warm.fetch_cycles < cold.fetch_cycles
+
+
+class TestProgram:
+    def test_table_iii_fields(self, rng):
+        stream = make_stream(rng.integers(0, 512, 64), (8, 8))
+        program = DecoderProgram(stream, base_address=0x1000)
+        assert program.num_sequences == 64
+        assert program.compressed_bytes == (stream.bit_length + 7) // 8
+        assert program.base_address == 0x1000

@@ -1,0 +1,179 @@
+"""Tests for the end-to-end performance model."""
+
+import pytest
+
+from repro.hw.config import CpuConfig, DecoderConfig, SystemConfig
+from repro.hw.perf import (
+    LayerWorkload,
+    PerfModel,
+    reactnet_workloads,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerfModel()
+
+
+@pytest.fixture(scope="module")
+def big_conv():
+    """Block-7-like layer: 512 channels at 14x14, strongly memory bound."""
+    return LayerWorkload(
+        name="big", kind="conv3x3", in_channels=512, out_channels=512,
+        kernel=3, stride=1, in_size=14,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_conv():
+    """Block-1-like layer: weights fit in L1, compute bound."""
+    return LayerWorkload(
+        name="small", kind="conv3x3", in_channels=32, out_channels=32,
+        kernel=3, stride=1, in_size=112,
+    )
+
+
+class TestWorkloads:
+    def test_reactnet_layer_list(self):
+        workloads = reactnet_workloads()
+        kinds = [w.kind for w in workloads]
+        assert kinds.count("conv3x3") == 13
+        assert kinds.count("conv1x1") == 13
+        assert kinds.count("conv8") == 1
+        assert kinds.count("dense8") == 1
+
+    def test_weight_bits_binary_vs_8bit(self):
+        conv = LayerWorkload("x", "conv3x3", 64, 64, 3, 1, 14)
+        assert conv.weight_bits == 64 * 64 * 9
+        stem = LayerWorkload("s", "conv8", 3, 32, 3, 2, 224)
+        assert stem.weight_bits == 3 * 32 * 9 * 8
+
+    def test_num_sequences_only_for_conv3x3(self):
+        conv = LayerWorkload("x", "conv3x3", 64, 64, 3, 1, 14)
+        assert conv.num_sequences == 64 * 64
+        one = LayerWorkload("y", "conv1x1", 64, 128, 1, 1, 14)
+        assert one.num_sequences == 0
+
+    def test_output_size_stride(self):
+        conv = LayerWorkload("x", "conv3x3", 64, 64, 3, 2, 28)
+        assert conv.out_size == 14
+
+    def test_total_weight_bits_match_storage_model(self):
+        from repro.analysis.storage import compute_storage_breakdown
+
+        workloads = reactnet_workloads()
+        conv3x3 = sum(
+            w.weight_bits for w in workloads if w.kind == "conv3x3"
+        )
+        breakdown = compute_storage_breakdown()
+        assert conv3x3 == breakdown.row("Conv 3x3").storage_bits
+
+
+class TestLayerSimulation:
+    def test_memory_bound_layer_speeds_up(self, model, big_conv):
+        base = model.simulate_layer(big_conv, "baseline")
+        hw = model.simulate_layer(big_conv, "hw_compressed", 1.3)
+        assert base.total_cycles / hw.total_cycles > 1.3
+
+    def test_compute_bound_layer_unaffected(self, model, small_conv):
+        base = model.simulate_layer(small_conv, "baseline")
+        hw = model.simulate_layer(small_conv, "hw_compressed", 1.3)
+        speedup = base.total_cycles / hw.total_cycles
+        assert 0.9 < speedup < 1.1
+
+    def test_sw_mode_slower_than_baseline(self, model, big_conv):
+        base = model.simulate_layer(big_conv, "baseline")
+        sw = model.simulate_layer(big_conv, "sw_compressed", 1.3)
+        assert sw.total_cycles > base.total_cycles
+
+    def test_dram_traffic_reduced_by_compression(self, model, big_conv):
+        base = model.simulate_layer(big_conv, "baseline")
+        hw = model.simulate_layer(big_conv, "hw_compressed", 1.3)
+        assert hw.dram_bytes < base.dram_bytes
+
+    def test_higher_ratio_never_slower(self, model, big_conv):
+        low = model.simulate_layer(big_conv, "hw_compressed", 1.1)
+        high = model.simulate_layer(big_conv, "hw_compressed", 1.5)
+        assert high.total_cycles <= low.total_cycles + 1e-6
+
+    def test_unknown_mode_rejected(self, model, big_conv):
+        with pytest.raises(ValueError):
+            model.simulate_layer(big_conv, "warp_drive")
+
+    def test_ratio_below_one_rejected(self, model, big_conv):
+        with pytest.raises(ValueError):
+            model.simulate_layer(big_conv, "hw_compressed", 0.5)
+
+    def test_memory_bound_fraction_in_range(self, model, big_conv):
+        timing = model.simulate_layer(big_conv, "baseline")
+        assert 0.0 <= timing.memory_bound_fraction <= 1.0
+
+    def test_baseline_ignores_compression_ratio(self, model, big_conv):
+        a = model.simulate_layer(big_conv, "baseline", 1.0)
+        b = model.simulate_layer(big_conv, "baseline", 2.0)
+        assert a.total_cycles == b.total_cycles
+
+
+class TestModelSimulation:
+    def test_paper_shaped_speedup(self, model):
+        """End-to-end hw speedup lands in the paper's neighbourhood."""
+        ratios = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+        speedup = model.speedup(ratios, "hw_compressed")
+        assert 1.2 < speedup < 1.7
+
+    def test_paper_shaped_sw_slowdown(self, model):
+        ratios = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+        base = model.simulate_model("baseline")
+        sw = model.simulate_model("sw_compressed", ratios)
+        slowdown = sw.total_cycles / base.total_cycles
+        assert 1.2 < slowdown < 1.8
+
+    def test_conv3x3_dominates_baseline_time(self, model):
+        """Table I: 3x3 convolutions dominate execution time."""
+        shares = model.simulate_model("baseline").share_by_kind()
+        assert shares["conv3x3"] > 0.5
+
+    def test_share_by_kind_sums_to_one(self, model):
+        shares = model.simulate_model("baseline").share_by_kind()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_memory_latency_sensitivity(self):
+        """Longer DRAM latency makes compression help more (ablation A3)."""
+        ratios = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+        fast = PerfModel(SystemConfig.paper_default().with_memory_latency(40))
+        slow = PerfModel(SystemConfig.paper_default().with_memory_latency(200))
+        assert slow.speedup(ratios) > fast.speedup(ratios)
+
+    def test_bigger_l2_reduces_benefit(self):
+        ratios = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+        small_l2 = PerfModel(
+            SystemConfig.paper_default().with_l2_size(128 * 1024)
+        )
+        huge_l2 = PerfModel(
+            SystemConfig.paper_default().with_l2_size(8 * 1024 * 1024)
+        )
+        assert small_l2.speedup(ratios) > huge_l2.speedup(ratios)
+
+
+class TestConfigValidation:
+    def test_cpu_prefetch_bounds(self):
+        with pytest.raises(ValueError):
+            CpuConfig(prefetch_efficiency=1.5)
+
+    def test_cpu_vector_width_multiple_of_64(self):
+        with pytest.raises(ValueError):
+            CpuConfig(vector_bits=100)
+
+    def test_decoder_chunk_within_buffer(self):
+        with pytest.raises(ValueError):
+            DecoderConfig(fetch_chunk_bytes=512, input_buffer_bytes=256)
+
+    def test_decoder_throughput_positive(self):
+        with pytest.raises(ValueError):
+            DecoderConfig(sequences_per_cycle=0)
+
+    def test_system_config_copies(self):
+        config = SystemConfig.paper_default()
+        assert config.with_memory_latency(50).memory.latency_cycles == 50
+        assert config.memory.latency_cycles == 100  # original untouched
+        assert config.with_l2_size(1024 * 64).l2.size_bytes == 64 * 1024

@@ -1,0 +1,114 @@
+"""Tests cross-validating the cycle-accurate FSM against the behavioural model."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyTable
+from repro.core.simplified import SimplifiedTree
+from repro.core.streams import CompressedKernel
+from repro.hw.config import DecoderConfig
+from repro.hw.decoder import DecoderProgram, DecodingUnit
+from repro.hw.rtl import RtlDecodingUnit
+
+
+def make_stream(rng, count=256, skew=True):
+    if skew:
+        head = np.zeros(count // 2, dtype=np.int64)
+        tail = rng.integers(0, 512, count - count // 2)
+        sequences = np.concatenate([head, tail])
+        rng.shuffle(sequences)
+    else:
+        sequences = rng.integers(0, 512, count)
+    tree = SimplifiedTree(FrequencyTable.from_sequences(sequences))
+    return CompressedKernel.from_sequences(sequences, (1, count), tree), sequences
+
+
+class TestFunctionalEquivalence:
+    def test_decoded_sequences_match_software(self, rng):
+        stream, sequences = make_stream(rng)
+        unit = RtlDecodingUnit(memory_latency=10)
+        decoded, _, _ = unit.run(stream)
+        assert np.array_equal(decoded, sequences)
+
+    def test_packed_words_match_behavioural_model(self, rng):
+        stream, _ = make_stream(rng, count=128)
+        rtl = RtlDecodingUnit(memory_latency=5, register_bits=128)
+        _, rtl_words, _ = rtl.run(stream)
+
+        behavioural = DecodingUnit(DecoderConfig(), register_bits=128)
+        behavioural.configure(DecoderProgram(stream))
+        expected = behavioural.drain_words()
+        assert rtl_words == [int(w) for w in expected]
+
+    def test_unskewed_stream_roundtrips(self, rng):
+        stream, sequences = make_stream(rng, count=100, skew=False)
+        decoded, _, _ = RtlDecodingUnit(memory_latency=3).run(stream)
+        assert np.array_equal(decoded, sequences)
+
+    def test_single_sequence_stream(self, rng):
+        stream, sequences = make_stream(rng, count=1)
+        decoded, words, stats = RtlDecodingUnit(memory_latency=4).run(stream)
+        assert decoded.tolist() == sequences.tolist()
+        assert stats.sequences_decoded == 1
+        assert len(words) == 9 * 2  # one partial group flushes 9 registers
+
+
+class TestTiming:
+    def test_cycle_count_at_least_decode_bound(self, rng):
+        """The FSM can never beat one sequence per parse slot per cycle."""
+        stream, _ = make_stream(rng, count=300)
+        _, _, stats = RtlDecodingUnit(memory_latency=1, parse_rate=1).run(stream)
+        assert stats.cycles >= 300
+
+    def test_higher_parse_rate_reduces_cycles(self, rng):
+        stream, _ = make_stream(rng, count=400)
+        _, _, slow = RtlDecodingUnit(memory_latency=1, parse_rate=1).run(stream)
+        _, _, fast = RtlDecodingUnit(memory_latency=1, parse_rate=2).run(stream)
+        assert fast.cycles < slow.cycles
+
+    def test_memory_latency_adds_stalls(self, rng):
+        stream, _ = make_stream(rng, count=400)
+        _, _, near = RtlDecodingUnit(memory_latency=2).run(stream)
+        _, _, far = RtlDecodingUnit(memory_latency=150).run(stream)
+        assert far.stall_cycles > near.stall_cycles
+        assert far.cycles > near.cycles
+
+    def test_utilisation_bounds(self, rng):
+        stream, _ = make_stream(rng, count=200)
+        _, _, stats = RtlDecodingUnit(memory_latency=20).run(stream)
+        assert 0.0 < stats.utilisation <= 1.0
+
+    def test_fetch_requests_cover_stream(self, rng):
+        stream, _ = make_stream(rng, count=500)
+        unit = RtlDecodingUnit(memory_latency=5)
+        _, _, stats = unit.run(stream)
+        expected = -(-((stream.bit_length + 7) // 8) // unit.config.fetch_chunk_bytes)
+        assert stats.fetch_requests == expected
+
+    def test_behavioural_timing_tracks_fsm(self, rng):
+        """The analytic model's total must track the FSM within 2x both
+        ways once both see the same flat memory latency."""
+        stream, _ = make_stream(rng, count=512)
+        latency = 30
+        _, _, stats = RtlDecodingUnit(
+            memory_latency=latency, parse_rate=1
+        ).run(stream)
+
+        config = DecoderConfig(sequences_per_cycle=1.0)
+        chunks = -(-((stream.bit_length + 7) // 8) // config.fetch_chunk_bytes)
+        analytic = max(chunks * 0, stream.num_sequences) + latency
+        assert 0.5 * analytic < stats.cycles < 4 * analytic
+
+
+class TestValidation:
+    def test_bad_register_width(self):
+        with pytest.raises(ValueError):
+            RtlDecodingUnit(register_bits=90)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            RtlDecodingUnit(memory_latency=0)
+
+    def test_bad_parse_rate(self):
+        with pytest.raises(ValueError):
+            RtlDecodingUnit(parse_rate=0)

@@ -1,0 +1,146 @@
+"""Tests for the address-trace API and the energy model."""
+
+import pytest
+
+from repro.hw.cache import build_hierarchy
+from repro.hw.config import CacheConfig, MemoryConfig, SystemConfig
+from repro.hw.energy import EnergyConfig, EnergyModel
+from repro.hw.memory import MainMemory
+from repro.hw.perf import PerfModel
+from repro.hw.trace import (
+    MemoryTrace,
+    TraceRecord,
+    conv_input_stream_trace,
+    conv_weight_stream_trace,
+)
+
+
+@pytest.fixture()
+def hierarchy():
+    memory = MainMemory(MemoryConfig())
+    return build_hierarchy(
+        CacheConfig(32 * 1024, 64, 4, 4),
+        CacheConfig(256 * 1024, 64, 8, 12),
+        memory,
+    )
+
+
+class TestTraceRecords:
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, "weights")
+        with pytest.raises(ValueError):
+            TraceRecord(-1, 4, "weights")
+
+    def test_append_and_len(self):
+        trace = MemoryTrace()
+        trace.append(0, 64, "weights")
+        trace.append(64, 64, "inputs")
+        assert len(trace) == 2
+
+    def test_bytes_by_stream(self):
+        trace = MemoryTrace()
+        trace.append(0, 64, "weights")
+        trace.append(0, 32, "weights")
+        trace.append(0, 16, "inputs")
+        assert trace.bytes_by_stream() == {"weights": 96, "inputs": 16}
+        assert trace.total_bytes() == 112
+
+    def test_extend(self):
+        a = MemoryTrace()
+        a.append(0, 64, "weights")
+        b = MemoryTrace()
+        b.append(64, 64, "inputs")
+        a.extend(b)
+        assert len(a) == 2
+
+
+class TestGenerators:
+    def test_weight_stream_bytes(self):
+        trace = conv_weight_stream_trace(weight_bytes=1000, passes=3)
+        assert trace.total_bytes() == 3000
+
+    def test_weight_stream_addresses_repeat(self):
+        trace = conv_weight_stream_trace(weight_bytes=128, passes=2)
+        addresses = [r.address for r in trace]
+        assert addresses[: len(addresses) // 2] == addresses[len(addresses) // 2:]
+
+    def test_weight_stream_validation(self):
+        with pytest.raises(ValueError):
+            conv_weight_stream_trace(0, 1)
+        with pytest.raises(ValueError):
+            conv_weight_stream_trace(64, 0)
+
+    def test_input_stream_row_overlap(self):
+        trace = conv_input_stream_trace(
+            row_bytes=64, kernel_rows=3, out_rows=4, stride=1
+        )
+        # rows 0..2, 1..3, 2..4, 3..5 -> 12 accesses over 6 distinct rows
+        assert len(trace) == 12
+        distinct = {r.address for r in trace}
+        assert len(distinct) == 6
+
+    def test_input_stream_stride_two(self):
+        trace = conv_input_stream_trace(
+            row_bytes=64, kernel_rows=3, out_rows=3, stride=2, base=0
+        )
+        first_rows = [r.address // 64 for r in trace][:3]
+        assert first_rows == [0, 1, 2]
+        # second output row starts at input row stride * 1 = 2
+        assert trace.records[3].address // 64 == 2
+
+
+class TestReplay:
+    def test_replay_splits_streams(self, hierarchy):
+        trace = conv_weight_stream_trace(weight_bytes=256, passes=1)
+        trace.extend(
+            conv_input_stream_trace(row_bytes=64, kernel_rows=3, out_rows=2)
+        )
+        result = trace.replay(hierarchy)
+        assert set(result.cycles_by_stream) == {"weights", "inputs"}
+        assert result.total_cycles > 0
+        assert result.accesses == len(trace)
+
+    def test_second_pass_cheaper_when_cached(self, hierarchy):
+        trace = conv_weight_stream_trace(weight_bytes=4096, passes=1)
+        first = trace.replay(hierarchy).total_cycles
+        second = trace.replay(hierarchy).total_cycles
+        assert second < first
+
+
+class TestEnergyModel:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyConfig(dram_pj_per_byte=-1)
+
+    def test_pricing_baseline(self):
+        perf = PerfModel()
+        timing = perf.simulate_model("baseline")
+        report = EnergyModel().price(timing)
+        assert report.total_uj > 0
+        assert report.decoder_uj == 0.0
+        assert report.dram_uj > 0
+
+    def test_compare_saves_energy(self):
+        ratios = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+        reports = EnergyModel().compare(ratios)
+        base = reports["baseline"]
+        compressed = reports["hw_compressed"]
+        assert compressed.dram_uj < base.dram_uj
+        assert compressed.decoder_uj > 0
+        assert compressed.total_uj < base.total_uj
+
+    def test_breakdown_sums_to_total(self):
+        perf = PerfModel()
+        report = EnergyModel().price(perf.simulate_model("baseline"))
+        assert sum(report.breakdown().values()) == pytest.approx(
+            report.total_uj
+        )
+
+    def test_custom_energy_config(self):
+        config = EnergyConfig(dram_pj_per_byte=100.0)
+        perf = PerfModel()
+        timing = perf.simulate_model("baseline")
+        expensive = EnergyModel(config).price(timing)
+        cheap = EnergyModel(EnergyConfig(dram_pj_per_byte=1.0)).price(timing)
+        assert expensive.dram_uj > cheap.dram_uj

@@ -1,0 +1,261 @@
+"""Tests for the trainable layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    BinaryConv2d,
+    Flatten,
+    QuantConv2d,
+    QuantDense,
+    RPReLU,
+    RSign,
+)
+
+
+def numerical_gradient(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f()
+        flat[i] = original - eps
+        minus = f()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestRSign:
+    def test_output_is_binary(self, rng):
+        layer = RSign(3)
+        out = layer.forward(rng.standard_normal((2, 3, 4, 4)).astype(np.float32))
+        assert set(np.unique(out)).issubset({-1.0, 1.0})
+
+    def test_shift_moves_threshold(self):
+        layer = RSign(1)
+        layer.params["shift"][:] = 0.5
+        x = np.full((1, 1, 1, 1), 0.4, dtype=np.float32)
+        assert layer.forward(x)[0, 0, 0, 0] == -1.0
+
+    def test_ste_masks_large_inputs(self):
+        layer = RSign(1)
+        x = np.array([[[[5.0, 0.5]]]], dtype=np.float32).reshape(1, 1, 1, 2)
+        layer.forward(x)
+        grad_in = layer.backward(np.ones_like(x))
+        assert grad_in[0, 0, 0, 0] == 0.0  # outside clip window
+        assert grad_in[0, 0, 0, 1] == 1.0
+
+    def test_shift_gradient_sign(self):
+        layer = RSign(1)
+        x = np.zeros((1, 1, 1, 1), dtype=np.float32)
+        layer.forward(x)
+        layer.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+        assert layer.grads["shift"][0] == -1.0
+
+    def test_output_bits_matches_forward(self, rng):
+        layer = RSign(2)
+        x = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+        signs = layer.forward(x)
+        bits = layer.output_bits(x)
+        assert np.array_equal(bits, (signs > 0).astype(np.uint8))
+
+
+class TestBinaryConv2d:
+    def test_forward_uses_binarised_weights(self, rng):
+        layer = BinaryConv2d(2, 3, rng=rng)
+        x = np.where(
+            rng.standard_normal((1, 2, 4, 4)) > 0, 1.0, -1.0
+        ).astype(np.float32)
+        out = layer.forward(x)
+        # every output is an integer-valued sum of +-1 products
+        assert np.allclose(out, np.round(out))
+
+    def test_forward_matches_reference_op(self, rng):
+        from repro.bnn.ops import binary_conv2d_reference
+
+        layer = BinaryConv2d(4, 2, stride=2, rng=rng)
+        x = np.where(
+            rng.standard_normal((2, 4, 8, 8)) > 0, 1.0, -1.0
+        ).astype(np.float32)
+        expected = binary_conv2d_reference(
+            x, layer.binary_weight_signs(), stride=2, padding=1
+        )
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_set_weight_bits_roundtrip(self, rng):
+        layer = BinaryConv2d(2, 2, rng=rng)
+        bits = rng.integers(0, 2, (2, 2, 3, 3)).astype(np.uint8)
+        layer.set_weight_bits(bits)
+        assert np.array_equal(layer.binary_weight_bits(), bits)
+
+    def test_set_weight_bits_shape_check(self, rng):
+        layer = BinaryConv2d(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.set_weight_bits(np.zeros((1, 2, 3, 3), dtype=np.uint8))
+
+    def test_storage_is_one_bit_per_weight(self, rng):
+        layer = BinaryConv2d(8, 16, rng=rng)
+        assert layer.storage_bits() == 16 * 8 * 9
+
+    def test_input_gradient_shape(self, rng):
+        layer = BinaryConv2d(3, 5, rng=rng)
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        out = layer.forward(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_input_gradient_matches_numerical(self, rng):
+        """Backward through the conv (weights fixed) is exact."""
+        layer = BinaryConv2d(2, 2, rng=rng)
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float64)
+
+        def loss():
+            return float(layer.forward(x.astype(np.float32)).sum())
+
+        layer.forward(x.astype(np.float32))
+        grad_in = layer.backward(
+            np.ones((1, 2, 4, 4), dtype=np.float32)
+        )
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, atol=1e-2)
+
+    def test_weight_update_clips_latent(self, rng):
+        layer = BinaryConv2d(2, 2, rng=rng)
+        layer.params["weight"][:] = 10.0
+        layer.apply_weight_update()
+        assert layer.params["weight"].max() <= 1.5
+
+    def test_packed_inference_matches_forward(self, rng):
+        layer = BinaryConv2d(4, 3, rng=rng)
+        x_bits = rng.integers(0, 2, (1, 4, 5, 5)).astype(np.uint8)
+        x_signs = np.where(x_bits.astype(bool), 1.0, -1.0).astype(np.float32)
+        dense = layer.forward(x_signs)
+        packed = layer.run_packed(x_bits)
+        assert np.array_equal(packed, dense.astype(np.int32))
+
+
+class TestQuantLayers:
+    def test_quant_conv_forward_shape(self, rng):
+        layer = QuantConv2d(3, 8, stride=2, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_quant_conv_storage_is_8bit(self, rng):
+        layer = QuantConv2d(3, 8, rng=rng)
+        assert layer.storage_bits() == 8 * 3 * 9 * 8 + 8 * 32
+
+    def test_quantized_forward_close_to_float(self, rng):
+        layer = QuantConv2d(2, 4, rng=rng)
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        exact = layer.forward(x)
+        quantised = layer.quantized_forward(x)
+        scale = np.abs(exact).max()
+        assert np.abs(exact - quantised).max() < 0.05 * scale + 1e-3
+
+    def test_quant_dense_gradients_match_numerical(self, rng):
+        layer = QuantDense(6, 3, rng=rng)
+        x = rng.standard_normal((2, 6)).astype(np.float64)
+
+        def loss():
+            return float((layer.forward(x.astype(np.float32)) ** 2).sum())
+
+        out = layer.forward(x.astype(np.float32))
+        grad_in = layer.backward(2 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, atol=1e-2)
+
+    def test_quant_dense_weight_grad_shape(self, rng):
+        layer = QuantDense(6, 3, rng=rng)
+        out = layer.forward(rng.standard_normal((4, 6)).astype(np.float32))
+        layer.backward(np.ones_like(out))
+        assert layer.grads["weight"].shape == (3, 6)
+        assert layer.grads["bias"].shape == (3,)
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, rng):
+        layer = BatchNorm2d(4)
+        x = rng.standard_normal((8, 4, 5, 5)).astype(np.float32) * 3 + 2
+        out = layer.forward(x)
+        assert np.abs(out.mean(axis=(0, 2, 3))).max() < 1e-4
+        assert np.abs(out.var(axis=(0, 2, 3)) - 1).max() < 1e-3
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm2d(2)
+        for _ in range(50):
+            layer.forward(
+                rng.standard_normal((16, 2, 4, 4)).astype(np.float32) + 5
+            )
+        layer.eval()
+        x = np.full((1, 2, 4, 4), 5.0, dtype=np.float32)
+        out = layer.forward(x)
+        assert np.abs(out).max() < 1.0  # ~ (5 - running_mean) / std
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = BatchNorm2d(2)
+        x = rng.standard_normal((3, 2, 2, 2)).astype(np.float64)
+
+        def loss():
+            return float((layer.forward(x.astype(np.float32)) ** 2).sum())
+
+        out = layer.forward(x.astype(np.float32))
+        grad_in = layer.backward(2 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, atol=5e-2)
+
+
+class TestRPReLU:
+    def test_positive_passthrough_with_shifts_zero(self, rng):
+        layer = RPReLU(2)
+        x = np.abs(rng.standard_normal((1, 2, 3, 3))).astype(np.float32)
+        assert np.allclose(layer.forward(x), x)
+
+    def test_negative_scaled_by_slope(self):
+        layer = RPReLU(1)
+        x = np.full((1, 1, 1, 1), -2.0, dtype=np.float32)
+        assert layer.forward(x)[0, 0, 0, 0] == pytest.approx(-0.5)
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = RPReLU(2)
+        layer.params["shift_in"][:] = 0.1
+        x = rng.standard_normal((2, 2, 3, 3)).astype(np.float64)
+        # keep x away from the kink for a clean numerical check
+        x[np.abs(x - 0.1) < 0.05] += 0.2
+
+        def loss():
+            return float((layer.forward(x.astype(np.float32)) ** 2).sum())
+
+        out = layer.forward(x.astype(np.float32))
+        grad_in = layer.backward(2 * out)
+        numeric = numerical_gradient(loss, x)
+        assert np.allclose(grad_in, numeric, atol=5e-2)
+
+
+class TestPoolingFlatten:
+    def test_avgpool_values(self):
+        layer = AvgPool2d()
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (1, 2)
+        assert out[0, 0] == pytest.approx(1.5)
+
+    def test_avgpool_backward_spreads_evenly(self):
+        layer = AvgPool2d()
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        layer.forward(x)
+        grad = layer.backward(np.array([[4.0]], dtype=np.float32))
+        assert np.allclose(grad, 1.0)
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        assert back.shape == x.shape

@@ -1,0 +1,215 @@
+"""Tests for the Sequential container, quantisation, datasets and training."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.datasets import make_blob_dataset, make_pattern_dataset
+from repro.bnn.layers import BinaryConv2d, QuantDense, RSign
+from repro.bnn.model import Sequential
+from repro.bnn.quantize import dequantize_tensor, quantize_tensor
+from repro.bnn.reactnet import build_small_bnn
+from repro.bnn.training import (
+    Adam,
+    cross_entropy,
+    evaluate_accuracy,
+    softmax,
+    train_model,
+)
+
+
+class TestQuantize:
+    def test_symmetric_zero_point_is_zero(self, rng):
+        q = quantize_tensor(rng.standard_normal(100))
+        assert q.zero_point == 0
+
+    def test_roundtrip_error_bounded(self, rng):
+        x = rng.standard_normal(1000)
+        q = quantize_tensor(x, 8)
+        error = np.abs(dequantize_tensor(q) - x).max()
+        assert error <= q.scale / 2 + 1e-9
+
+    def test_storage_bits(self):
+        q = quantize_tensor(np.ones(10))
+        assert q.storage_bits == 80
+
+    def test_asymmetric_covers_range(self):
+        x = np.linspace(0.0, 10.0, 100)
+        q = quantize_tensor(x, 8, symmetric=False)
+        back = dequantize_tensor(q)
+        assert back.min() == pytest.approx(0.0, abs=0.1)
+        assert back.max() == pytest.approx(10.0, abs=0.1)
+
+    def test_constant_tensor(self):
+        q = quantize_tensor(np.zeros(5))
+        assert np.allclose(dequantize_tensor(q), 0.0)
+
+    def test_invalid_bits_raises(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), 9)
+
+    def test_values_fit_in_int8(self, rng):
+        q = quantize_tensor(rng.standard_normal(500) * 100, 8)
+        assert q.values.dtype == np.int8
+
+
+class TestSequential:
+    def test_forward_backward_shapes(self, rng):
+        model = build_small_bnn(image_size=8, channels=(8,), seed=0)
+        x = rng.standard_normal((2, 1, 8, 8)).astype(np.float32)
+        out = model.forward(x)
+        assert out.shape == (2, 4)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_call_is_forward(self, rng):
+        model = build_small_bnn(image_size=8, channels=(8,), seed=0)
+        x = rng.standard_normal((1, 1, 8, 8)).astype(np.float32)
+        model.eval()
+        assert np.array_equal(model(x), model.forward(x))
+
+    def test_train_eval_propagates(self):
+        model = build_small_bnn(image_size=8, channels=(8,), seed=0)
+        model.eval()
+        assert all(not layer.training for layer in model.layers)
+        model.train()
+        assert all(layer.training for layer in model.layers)
+
+    def test_named_params_unique(self):
+        model = build_small_bnn(image_size=8, channels=(8,), seed=0)
+        names = [name for name, _, _ in model.named_params()]
+        assert len(names) == len(set(names))
+
+    def test_binary_conv_layers_filter(self):
+        model = build_small_bnn(image_size=8, channels=(8, 16), seed=0)
+        assert len(model.binary_conv_layers(3)) == 2
+        assert len(model.binary_conv_layers(1)) == 2
+        assert len(model.binary_conv_layers()) == 4
+
+    def test_blocks_of_3x3_kernels_indexing(self):
+        model = build_small_bnn(image_size=8, channels=(8, 16), seed=0)
+        blocks = model.blocks_of_3x3_kernels()
+        assert sorted(blocks) == [1, 2]
+        assert blocks[1][0].shape == (8, 8, 3, 3)
+
+    def test_storage_bits_sums_layers(self):
+        model = Sequential([QuantDense(4, 2), BinaryConv2d(2, 2)])
+        assert model.storage_bits() == (
+            model.layers[0].storage_bits() + model.layers[1].storage_bits()
+        )
+
+
+class TestLossAndOptim:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stability_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0]])
+        loss, grad = cross_entropy(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.abs(grad).max() < 1e-6
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = np.zeros((1, 3))
+        _, grad = cross_entropy(logits, np.array([1]))
+        assert grad[0, 1] < 0  # push the true class up
+        assert grad[0, 0] > 0
+
+    def test_adam_reduces_quadratic_loss(self, rng):
+        layer = QuantDense(4, 2, rng=rng)
+        model = Sequential([layer])
+        optimizer = Adam(model, lr=0.05)
+        x = rng.standard_normal((8, 4)).astype(np.float32)
+        target = np.zeros((8, 2), dtype=np.float32)
+        first_loss = None
+        for _ in range(50):
+            out = model.forward(x)
+            loss = float(((out - target) ** 2).mean())
+            if first_loss is None:
+                first_loss = loss
+            model.backward(2 * (out - target) / out.size)
+            optimizer.step()
+        assert loss < first_loss * 0.1
+
+    def test_adam_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam(Sequential([]), lr=0.0)
+
+
+class TestDatasets:
+    def test_pattern_dataset_shapes(self):
+        ds = make_pattern_dataset(num_classes=3, image_size=8,
+                                  train_per_class=10, test_per_class=4)
+        assert ds.train_x.shape == (30, 1, 8, 8)
+        assert ds.test_x.shape == (12, 1, 8, 8)
+        assert ds.num_classes == 3
+
+    def test_pattern_dataset_deterministic(self):
+        a = make_pattern_dataset(seed=7, train_per_class=4, test_per_class=2)
+        b = make_pattern_dataset(seed=7, train_per_class=4, test_per_class=2)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.train_y, b.train_y)
+
+    def test_pattern_noise_bounds(self):
+        with pytest.raises(ValueError):
+            make_pattern_dataset(noise=0.6)
+
+    def test_blob_dataset_balanced(self):
+        ds = make_blob_dataset(num_classes=3, train_per_class=5,
+                               test_per_class=2)
+        assert np.bincount(ds.train_y).tolist() == [5, 5, 5]
+
+    def test_image_shape_property(self):
+        ds = make_blob_dataset(image_size=6)
+        assert ds.image_shape == (1, 6, 6)
+
+
+class TestTraining:
+    def test_training_reduces_loss(self):
+        ds = make_blob_dataset(seed=3)
+        model = build_small_bnn(
+            in_channels=1, num_classes=ds.num_classes, image_size=8,
+            channels=(8,), seed=3,
+        )
+        report = train_model(model, ds, epochs=8, seed=3)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_training_beats_chance_on_blobs(self):
+        ds = make_blob_dataset(seed=5)
+        model = build_small_bnn(
+            in_channels=1, num_classes=ds.num_classes, image_size=8,
+            channels=(8,), seed=5,
+        )
+        report = train_model(model, ds, epochs=10, seed=5)
+        assert report.test_accuracy > 1.0 / ds.num_classes + 0.1
+
+    def test_evaluate_accuracy_range(self, rng):
+        ds = make_blob_dataset(seed=1)
+        model = build_small_bnn(
+            in_channels=1, num_classes=ds.num_classes, image_size=8,
+            channels=(8,), seed=1,
+        )
+        accuracy = evaluate_accuracy(model, ds.test_x, ds.test_y)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_zero_epochs_rejected(self):
+        ds = make_blob_dataset()
+        model = build_small_bnn(image_size=8, channels=(8,))
+        with pytest.raises(ValueError):
+            train_model(model, ds, epochs=0)
+
+    def test_training_is_deterministic(self):
+        ds = make_blob_dataset(seed=2)
+        results = []
+        for _ in range(2):
+            model = build_small_bnn(
+                in_channels=1, num_classes=ds.num_classes, image_size=8,
+                channels=(8,), seed=2,
+            )
+            report = train_model(model, ds, epochs=3, seed=2)
+            results.append(report.epoch_losses)
+        assert results[0] == results[1]

@@ -1,0 +1,182 @@
+"""Tests for the binary convolution / dense kernels (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnn.ops import (
+    binary_conv2d_packed,
+    binary_conv2d_reference,
+    binary_dense_packed,
+    binary_dense_reference,
+    conv_output_size,
+    im2col,
+    im2col_bits,
+)
+
+
+class TestGeometry:
+    def test_same_padding_stride1(self):
+        assert conv_output_size(14, 3, 1, 1) == 14
+
+    def test_stride2(self):
+        assert conv_output_size(14, 3, 2, 1) == 7
+
+    def test_no_padding(self):
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(0, 3, 1, 1)
+        with pytest.raises(ValueError):
+            conv_output_size(5, 3, 0, 1)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 4, 8, 8)).astype(np.float32)
+        patches = im2col(x, 3, 1, 1)
+        assert patches.shape == (2, 8, 8, 36)
+
+    def test_position_major_matches_kernel_layout(self, rng):
+        """Patch layout must match pack_kernel_channels (kh, kw, C)."""
+        x = np.zeros((1, 2, 3, 3), dtype=np.float32)
+        x[0, 1, 0, 0] = 7.0
+        patches = im2col(x, 3, 1, 0)
+        # single patch; element for (kh=0, kw=0, c=1) is index 1
+        assert patches[0, 0, 0, 1] == 7.0
+
+    def test_pad_value_applied(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        patches = im2col(x, 3, 1, 1, pad_value=-1.0)
+        assert patches.min() == -1.0
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((3, 3)), 3, 1, 1)
+
+    def test_bits_variant_pads_with_zero(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.uint8)
+        patches = im2col_bits(x, 3, 1, 1)
+        assert patches.dtype == np.uint8
+        assert patches.min() == 0
+
+
+class TestConvEquivalence:
+    @pytest.mark.parametrize("stride", [1, 2])
+    @pytest.mark.parametrize("channels", [1, 3, 16])
+    def test_packed_matches_reference(self, rng, stride, channels):
+        x_bits = rng.integers(0, 2, (2, channels, 8, 8)).astype(np.uint8)
+        k_bits = rng.integers(0, 2, (5, channels, 3, 3)).astype(np.uint8)
+        x_signs = np.where(x_bits.astype(bool), 1.0, -1.0)
+        k_signs = np.where(k_bits.astype(bool), 1.0, -1.0)
+        reference = binary_conv2d_reference(x_signs, k_signs, stride, 1)
+        packed = binary_conv2d_packed(x_bits, k_bits, stride, 1)
+        assert np.array_equal(packed, reference.astype(np.int32))
+
+    def test_packed_matches_reference_no_padding(self, rng):
+        x_bits = rng.integers(0, 2, (1, 4, 6, 6)).astype(np.uint8)
+        k_bits = rng.integers(0, 2, (3, 4, 3, 3)).astype(np.uint8)
+        reference = binary_conv2d_reference(
+            np.where(x_bits.astype(bool), 1.0, -1.0),
+            np.where(k_bits.astype(bool), 1.0, -1.0),
+            1,
+            0,
+        )
+        packed = binary_conv2d_packed(x_bits, k_bits, 1, 0)
+        assert np.array_equal(packed, reference.astype(np.int32))
+
+    def test_1x1_kernel(self, rng):
+        x_bits = rng.integers(0, 2, (1, 8, 4, 4)).astype(np.uint8)
+        k_bits = rng.integers(0, 2, (6, 8, 1, 1)).astype(np.uint8)
+        reference = binary_conv2d_reference(
+            np.where(x_bits.astype(bool), 1.0, -1.0),
+            np.where(k_bits.astype(bool), 1.0, -1.0),
+            1,
+            0,
+        )
+        packed = binary_conv2d_packed(x_bits, k_bits, 1, 0)
+        assert np.array_equal(packed, reference.astype(np.int32))
+
+    def test_output_range_bound(self, rng):
+        """|output| <= number of summed bits."""
+        x_bits = rng.integers(0, 2, (1, 4, 5, 5)).astype(np.uint8)
+        k_bits = rng.integers(0, 2, (2, 4, 3, 3)).astype(np.uint8)
+        out = binary_conv2d_packed(x_bits, k_bits, 1, 1)
+        assert np.abs(out).max() <= 4 * 9
+
+    def test_channel_mismatch_raises(self, rng):
+        x_bits = rng.integers(0, 2, (1, 4, 5, 5)).astype(np.uint8)
+        k_bits = rng.integers(0, 2, (2, 8, 3, 3)).astype(np.uint8)
+        with pytest.raises(ValueError):
+            binary_conv2d_packed(x_bits, k_bits)
+        with pytest.raises(ValueError):
+            binary_conv2d_reference(
+                x_bits.astype(np.float32), k_bits.astype(np.float32)
+            )
+
+    def test_rectangular_kernel_rejected(self, rng):
+        k = rng.integers(0, 2, (2, 4, 3, 1)).astype(np.uint8)
+        x = rng.integers(0, 2, (1, 4, 5, 5)).astype(np.uint8)
+        with pytest.raises(ValueError):
+            binary_conv2d_packed(x, k)
+
+    def test_chunking_does_not_change_result(self, rng):
+        x_bits = rng.integers(0, 2, (1, 8, 6, 6)).astype(np.uint8)
+        k_bits = rng.integers(0, 2, (10, 8, 3, 3)).astype(np.uint8)
+        full = binary_conv2d_packed(x_bits, k_bits, out_channel_chunk=64)
+        chunked = binary_conv2d_packed(x_bits, k_bits, out_channel_chunk=3)
+        assert np.array_equal(full, chunked)
+
+    def test_invalid_chunk_raises(self, rng):
+        x_bits = rng.integers(0, 2, (1, 2, 5, 5)).astype(np.uint8)
+        k_bits = rng.integers(0, 2, (2, 2, 3, 3)).astype(np.uint8)
+        with pytest.raises(ValueError):
+            binary_conv2d_packed(x_bits, k_bits, out_channel_chunk=0)
+
+
+class TestDense:
+    def test_packed_matches_reference(self, rng):
+        x_bits = rng.integers(0, 2, (4, 100)).astype(np.uint8)
+        w_bits = rng.integers(0, 2, (10, 100)).astype(np.uint8)
+        reference = binary_dense_reference(
+            np.where(x_bits.astype(bool), 1.0, -1.0),
+            np.where(w_bits.astype(bool), 1.0, -1.0),
+        )
+        packed = binary_dense_packed(x_bits, w_bits)
+        assert np.array_equal(packed, reference.astype(np.int32))
+
+    def test_feature_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            binary_dense_packed(
+                rng.integers(0, 2, (1, 10)).astype(np.uint8),
+                rng.integers(0, 2, (2, 20)).astype(np.uint8),
+            )
+        with pytest.raises(ValueError):
+            binary_dense_reference(np.zeros((1, 10)), np.zeros((2, 20)))
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.integers(1, 8),  # channels
+    st.integers(3, 7),  # spatial
+    st.integers(1, 4),  # out channels
+    st.sampled_from([1, 2]),  # stride
+)
+def test_conv_equivalence_property(channels, size, out_channels, stride):
+    """The packed xnor+popcount path equals the float reference."""
+    rng = np.random.default_rng(channels * 1000 + size * 10 + out_channels)
+    x_bits = rng.integers(0, 2, (1, channels, size, size)).astype(np.uint8)
+    k_bits = rng.integers(0, 2, (out_channels, channels, 3, 3)).astype(np.uint8)
+    reference = binary_conv2d_reference(
+        np.where(x_bits.astype(bool), 1.0, -1.0),
+        np.where(k_bits.astype(bool), 1.0, -1.0),
+        stride,
+        1,
+    )
+    packed = binary_conv2d_packed(x_bits, k_bits, stride, 1)
+    assert np.array_equal(packed, reference.astype(np.int32))

@@ -1,0 +1,162 @@
+"""Tests for channel packing into machine words."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnn.packing import (
+    WORD_BITS,
+    pack_bits,
+    pack_kernel_channels,
+    packed_dot,
+    packed_words,
+    popcount64,
+    unpack_bits,
+)
+
+
+class TestPackedWords:
+    def test_exact_multiple(self):
+        assert packed_words(128) == 2
+
+    def test_rounding_up(self):
+        assert packed_words(65) == 2
+
+    def test_zero_bits(self):
+        assert packed_words(0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            packed_words(-1)
+
+
+class TestPackUnpack:
+    def test_pack_shape(self, rng):
+        bits = rng.integers(0, 2, (3, 100)).astype(np.uint8)
+        words = pack_bits(bits)
+        assert words.shape == (3, 2)
+        assert words.dtype == np.uint64
+
+    def test_roundtrip(self, rng):
+        bits = rng.integers(0, 2, (4, 77)).astype(np.uint8)
+        recovered = unpack_bits(pack_bits(bits), 77)
+        assert np.array_equal(recovered, bits)
+
+    def test_tail_padding_is_zero(self):
+        bits = np.ones((1, 1), dtype=np.uint8)
+        words = pack_bits(bits)
+        # one set bit, everything else padding
+        assert popcount64(words).tolist() == [1]
+
+    def test_unpack_beyond_capacity_raises(self):
+        words = pack_bits(np.zeros((1, 64), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            unpack_bits(words, 65)
+
+
+class TestPopcount:
+    def test_all_zeros(self):
+        words = np.zeros((2, 3), dtype=np.uint64)
+        assert popcount64(words).tolist() == [0, 0]
+
+    def test_all_ones_word(self):
+        words = np.full((1, 1), np.uint64(0xFFFFFFFFFFFFFFFF))
+        assert popcount64(words).tolist() == [64]
+
+    def test_matches_manual_count(self, rng):
+        bits = rng.integers(0, 2, (5, 200)).astype(np.uint8)
+        words = pack_bits(bits)
+        assert np.array_equal(popcount64(words), bits.sum(axis=1))
+
+
+class TestPackedDot:
+    def test_identical_operands_give_num_bits(self, rng):
+        bits = rng.integers(0, 2, (1, 100)).astype(np.uint8)
+        words = pack_bits(bits)
+        assert packed_dot(words, words, 100).tolist() == [100]
+
+    def test_complementary_operands_give_negative(self, rng):
+        bits = rng.integers(0, 2, (1, 100)).astype(np.uint8)
+        a = pack_bits(bits)
+        b = pack_bits(1 - bits)
+        assert packed_dot(a, b, 100).tolist() == [-100]
+
+    def test_matches_sign_dot_product(self, rng):
+        a_bits = rng.integers(0, 2, 130).astype(np.uint8)
+        b_bits = rng.integers(0, 2, 130).astype(np.uint8)
+        a_signs = np.where(a_bits.astype(bool), 1, -1)
+        b_signs = np.where(b_bits.astype(bool), 1, -1)
+        expected = int((a_signs * b_signs).sum())
+        result = packed_dot(
+            pack_bits(a_bits[None]), pack_bits(b_bits[None]), 130
+        )
+        assert result.tolist() == [expected]
+
+    def test_padding_does_not_contribute(self):
+        """Pad bits are zero in both operands and must cancel out."""
+        a = pack_bits(np.ones((1, 3), dtype=np.uint8))
+        b = pack_bits(np.ones((1, 3), dtype=np.uint8))
+        assert packed_dot(a, b, 3).tolist() == [3]
+
+    def test_word_count_mismatch_raises(self):
+        a = pack_bits(np.zeros((1, 64), dtype=np.uint8))
+        b = pack_bits(np.zeros((1, 128), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            packed_dot(a, b, 64)
+
+    def test_broadcasting_over_outputs(self, rng):
+        weights = rng.integers(0, 2, (8, 96)).astype(np.uint8)
+        inputs = rng.integers(0, 2, (1, 96)).astype(np.uint8)
+        w = pack_bits(weights)
+        x = pack_bits(inputs)
+        dots = packed_dot(w, x, 96)
+        assert dots.shape == (8,)
+
+
+class TestKernelPacking:
+    def test_shape_and_bits(self):
+        kernel = np.zeros((4, 16, 3, 3), dtype=np.uint8)
+        words, num_bits = pack_kernel_channels(kernel)
+        assert num_bits == 16 * 9
+        assert words.shape == (4, packed_words(144))
+
+    def test_position_major_layout(self):
+        """Bit for (0,0) of channel 0 must be the first packed bit."""
+        kernel = np.zeros((1, 2, 3, 3), dtype=np.uint8)
+        kernel[0, 0, 0, 0] = 1
+        words, _ = pack_kernel_channels(kernel)
+        bits = unpack_bits(words, 18)
+        assert bits[0, 0] == 1
+        assert bits.sum() == 1
+
+    def test_channel_order_within_position(self):
+        kernel = np.zeros((1, 2, 3, 3), dtype=np.uint8)
+        kernel[0, 1, 0, 0] = 1  # channel 1, position (0,0)
+        words, _ = pack_kernel_channels(kernel)
+        bits = unpack_bits(words, 18)
+        assert bits[0, 1] == 1
+
+    def test_non_4d_kernel_raises(self):
+        with pytest.raises(ValueError):
+            pack_kernel_channels(np.zeros((3, 3), dtype=np.uint8))
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(1, 300))
+def test_pack_unpack_roundtrip_property(num_bits):
+    rng = np.random.default_rng(num_bits)
+    bits = rng.integers(0, 2, (2, num_bits)).astype(np.uint8)
+    assert np.array_equal(unpack_bits(pack_bits(bits), num_bits), bits)
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(1, 260))
+def test_packed_dot_equals_sign_dot_property(num_bits):
+    rng = np.random.default_rng(num_bits + 1000)
+    a = rng.integers(0, 2, num_bits).astype(np.uint8)
+    b = rng.integers(0, 2, num_bits).astype(np.uint8)
+    expected = int(
+        (np.where(a == 1, 1, -1) * np.where(b == 1, 1, -1)).sum()
+    )
+    got = packed_dot(pack_bits(a[None]), pack_bits(b[None]), num_bits)
+    assert got.tolist() == [expected]

@@ -1,0 +1,104 @@
+"""Tests for the ReActNet-like topology."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.layers import BinaryConv2d, QuantConv2d, QuantDense
+from repro.bnn.reactnet import (
+    REACTNET_BLOCK_SPECS,
+    BlockSpec,
+    block_spatial_sizes,
+    build_reactnet,
+    build_small_bnn,
+)
+
+
+class TestBlockSpecs:
+    def test_thirteen_blocks(self):
+        """Sec. II-B: 13 basic blocks."""
+        assert len(REACTNET_BLOCK_SPECS) == 13
+
+    def test_channel_chain_is_consistent(self):
+        previous = REACTNET_BLOCK_SPECS[0].in_channels
+        for spec in REACTNET_BLOCK_SPECS:
+            assert spec.in_channels == previous
+            previous = spec.out_channels
+
+    def test_channels_are_powers_of_two(self):
+        """Sec. IV-B: no padding needed because channels are powers of 2."""
+        for spec in REACTNET_BLOCK_SPECS:
+            assert spec.in_channels & (spec.in_channels - 1) == 0
+            assert spec.out_channels & (spec.out_channels - 1) == 0
+
+    def test_conv_shapes(self):
+        spec = BlockSpec(64, 128, 2)
+        assert spec.conv3x3_shape == (64, 64)
+        assert spec.conv1x1_shape == (128, 64)
+        assert spec.conv3x3_bits == 64 * 64 * 9
+        assert spec.conv1x1_bits == 64 * 128
+
+    def test_storage_matches_paper_shares(self):
+        """Table I: 3x3 ~68%, 1x1 ~8.5% of total model storage."""
+        conv3x3 = sum(s.conv3x3_bits for s in REACTNET_BLOCK_SPECS)
+        conv1x1 = sum(s.conv1x1_bits for s in REACTNET_BLOCK_SPECS)
+        assert conv3x3 / conv1x1 == pytest.approx(8.0, rel=0.05)
+
+    def test_spatial_sizes(self):
+        sizes = block_spatial_sizes(224)
+        assert sizes[0] == 112
+        assert sizes[-1] == 7  # entering block 13
+        assert len(sizes) == 13
+
+
+class TestBuildReactnet:
+    def test_layer_counts(self):
+        model = build_reactnet()
+        assert len(model.binary_conv_layers(3)) == 13
+        assert len(model.binary_conv_layers(1)) == 13
+        quant_convs = [l for l in model.layers if isinstance(l, QuantConv2d)]
+        dense = [l for l in model.layers if isinstance(l, QuantDense)]
+        assert len(quant_convs) == 1
+        assert len(dense) == 1
+
+    def test_storage_breakdown_against_paper(self):
+        """The deployed size of the binary 3x3 convs is ~68% of the model."""
+        model = build_reactnet()
+        total = model.storage_bits()
+        conv3x3 = sum(
+            layer.storage_bits() for layer in model.binary_conv_layers(3)
+        )
+        assert conv3x3 / total == pytest.approx(0.68, abs=0.03)
+
+    def test_forward_small_input(self):
+        """Full topology runs end to end on a reduced image."""
+        model = build_reactnet(num_classes=10)
+        model.eval()
+        x = np.random.default_rng(0).standard_normal(
+            (1, 3, 64, 64)
+        ).astype(np.float32)
+        out = model.forward(x)
+        assert out.shape == (1, 10)
+        assert np.isfinite(out).all()
+
+    def test_block_kernel_shapes(self):
+        model = build_reactnet()
+        blocks = model.blocks_of_3x3_kernels()
+        for index, spec in enumerate(REACTNET_BLOCK_SPECS, start=1):
+            assert blocks[index][0].shape == (
+                spec.in_channels, spec.in_channels, 3, 3,
+            )
+
+
+class TestBuildSmallBnn:
+    def test_default_shapes(self):
+        model = build_small_bnn()
+        x = np.zeros((2, 1, 16, 16), dtype=np.float32)
+        assert model.forward(x).shape == (2, 4)
+
+    def test_invalid_image_size(self):
+        with pytest.raises(ValueError):
+            build_small_bnn(image_size=10)
+
+    def test_has_requested_blocks(self):
+        model = build_small_bnn(channels=(8, 16, 32))
+        assert len(model.binary_conv_layers(3)) == 3

@@ -1,0 +1,120 @@
+"""Failure-injection and fuzzing tests for the serialised formats.
+
+A deployed decoder sees corrupted flash, truncated downloads and
+adversarial inputs; these tests pin the failure behaviour: corruption is
+either detected (raised) or decodes to *valid* sequence ids — never to
+out-of-range values, crashes, or silent buffer overreads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitseq import NUM_SEQUENCES
+from repro.core.frequency import FrequencyTable
+from repro.core.simplified import SimplifiedTree
+from repro.core.streams import CompressedKernel
+
+
+def make_stream(rng, count=128):
+    sequences = rng.integers(0, NUM_SEQUENCES, count)
+    tree = SimplifiedTree(FrequencyTable.from_sequences(sequences))
+    return (
+        CompressedKernel.from_sequences(sequences, (1, count), tree),
+        sequences,
+        tree,
+    )
+
+
+class TestPayloadCorruption:
+    def test_single_bit_flip_yields_valid_ids_or_raises(self, rng):
+        stream, sequences, tree = make_stream(rng)
+        payload = bytearray(stream.payload)
+        for byte_index in range(0, len(payload), 7):
+            corrupted = bytearray(payload)
+            corrupted[byte_index] ^= 0x10
+            try:
+                decoded = tree.decode(
+                    bytes(corrupted), stream.num_sequences, stream.bit_length
+                )
+            except (ValueError, EOFError):
+                continue
+            assert decoded.min() >= 0
+            assert decoded.max() < NUM_SEQUENCES
+
+    def test_truncated_payload_raises(self, rng):
+        stream, _, tree = make_stream(rng)
+        with pytest.raises((ValueError, EOFError)):
+            tree.decode(
+                stream.payload[: len(stream.payload) // 2],
+                stream.num_sequences,
+                stream.bit_length,
+            )
+
+    def test_zero_payload_decodes_to_top_sequence_or_raises(self, rng):
+        """An all-zeros stream is all node-0/index-0 codes."""
+        stream, _, tree = make_stream(rng)
+        zeros = bytes(len(stream.payload))
+        decoded = tree.decode(zeros, stream.num_sequences, stream.bit_length)
+        top = tree.assignment.node_tables[0][0]
+        assert (decoded == top).all()
+
+
+class TestContainerCorruption:
+    def test_header_corruption_detected(self, rng):
+        stream, _, _ = make_stream(rng)
+        blob = bytearray(stream.to_bytes())
+        blob[0] ^= 0xFF  # magic
+        with pytest.raises(ValueError):
+            CompressedKernel.from_bytes(bytes(blob))
+
+    def test_version_corruption_detected(self, rng):
+        stream, _, _ = make_stream(rng)
+        blob = bytearray(stream.to_bytes())
+        blob[4] = 99  # version byte
+        with pytest.raises(ValueError):
+            CompressedKernel.from_bytes(bytes(blob))
+
+    def test_truncation_anywhere_raises_or_fails_validation(self, rng):
+        stream, sequences, _ = make_stream(rng, count=64)
+        blob = stream.to_bytes()
+        for cut in range(4, len(blob) - 1, 97):
+            with pytest.raises((ValueError, EOFError, struct_error_types())):
+                reloaded = CompressedKernel.from_bytes(blob[:cut])
+                reloaded.decode()
+
+
+def struct_error_types():
+    import struct
+
+    return struct.error
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.binary(min_size=0, max_size=200))
+def test_from_bytes_never_crashes_unexpectedly(data):
+    """Arbitrary bytes either parse (improbable) or raise cleanly."""
+    import struct
+
+    try:
+        stream = CompressedKernel.from_bytes(data)
+        stream.decode()
+    except (ValueError, EOFError, KeyError, struct.error, AssertionError,
+            IndexError):
+        pass
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 64))
+def test_random_payload_decode_is_bounded(seed, count):
+    """Random garbage payloads never produce out-of-range sequence ids."""
+    rng = np.random.default_rng(seed)
+    training = rng.integers(0, NUM_SEQUENCES, 256)
+    tree = SimplifiedTree(FrequencyTable.from_sequences(training))
+    garbage = rng.integers(0, 256, 128, dtype=np.uint8).tobytes()
+    try:
+        decoded = tree.decode(garbage, count, len(garbage) * 8)
+    except (ValueError, EOFError):
+        return
+    assert decoded.min() >= 0
+    assert decoded.max() < NUM_SEQUENCES

@@ -1,0 +1,77 @@
+"""Tests for the compressed kernel container and its serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyTable
+from repro.core.simplified import SimplifiedTree
+from repro.core.streams import CompressedKernel
+
+
+@pytest.fixture()
+def stream(rng):
+    sequences = rng.integers(0, 512, 128)
+    tree = SimplifiedTree(FrequencyTable.from_sequences(sequences))
+    return CompressedKernel.from_sequences(sequences, (8, 16), tree), sequences
+
+
+class TestContainer:
+    def test_num_sequences(self, stream):
+        kernel, _ = stream
+        assert kernel.num_sequences == 128
+
+    def test_shape_mismatch_raises(self, rng):
+        sequences = rng.integers(0, 512, 10)
+        tree = SimplifiedTree(FrequencyTable.from_sequences(sequences))
+        with pytest.raises(ValueError):
+            CompressedKernel.from_sequences(sequences, (4, 4), tree)
+
+    def test_raw_bits(self, stream):
+        kernel, _ = stream
+        assert kernel.raw_bits == 128 * 9
+
+    def test_decode_roundtrip(self, stream):
+        kernel, sequences = stream
+        assert np.array_equal(kernel.decode(), sequences)
+
+    def test_compression_ratio_positive(self, stream):
+        kernel, _ = stream
+        assert kernel.compression_ratio > 0
+
+    def test_rebuild_tree_matches_tables(self, stream):
+        kernel, _ = stream
+        tree = kernel.rebuild_tree()
+        assert tree.assignment.node_tables == kernel.node_tables
+
+
+class TestSerialisation:
+    def test_bytes_roundtrip(self, stream):
+        kernel, sequences = stream
+        recovered = CompressedKernel.from_bytes(kernel.to_bytes())
+        assert recovered.shape == kernel.shape
+        assert recovered.capacities == kernel.capacities
+        assert recovered.node_tables == kernel.node_tables
+        assert recovered.payload == kernel.payload
+        assert recovered.bit_length == kernel.bit_length
+        assert np.array_equal(recovered.decode(), sequences)
+
+    def test_bad_magic_raises(self, stream):
+        kernel, _ = stream
+        data = b"XXXX" + kernel.to_bytes()[4:]
+        with pytest.raises(ValueError):
+            CompressedKernel.from_bytes(data)
+
+    def test_truncated_payload_raises(self, stream):
+        kernel, _ = stream
+        data = kernel.to_bytes()[:-2]
+        with pytest.raises(ValueError):
+            CompressedKernel.from_bytes(data)
+
+    def test_storage_bytes_with_and_without_tables(self, stream):
+        kernel, _ = stream
+        with_tables = kernel.storage_bytes(include_tables=True)
+        without = kernel.storage_bytes(include_tables=False)
+        assert with_tables - without == sum(
+            len(t) * 2 for t in kernel.node_tables
+        )
+        assert without == (kernel.bit_length + 7) // 8

@@ -1,0 +1,190 @@
+"""Tests for the calibrated synthetic kernel generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitseq import NUM_SEQUENCES, hamming_distance
+from repro.core.frequency import FrequencyTable
+from repro.synth.calibration import (
+    BlockTarget,
+    TABLE2_TARGETS,
+    fit_block_distribution,
+)
+from repro.synth.ranking import (
+    FIG3_TOP16,
+    canonical_ranking,
+    covering_donors,
+    locality_ranking,
+)
+from repro.synth.weights import (
+    generate_block_kernel,
+    generate_reactnet_kernels,
+    install_kernels,
+    sample_sequences,
+)
+
+
+class TestRankings:
+    def test_canonical_is_permutation(self):
+        ranking = canonical_ranking()
+        assert sorted(ranking.tolist()) == list(range(NUM_SEQUENCES))
+
+    def test_canonical_head_is_fig3(self):
+        ranking = canonical_ranking()
+        assert tuple(ranking[:16]) == FIG3_TOP16
+
+    def test_locality_is_permutation(self):
+        ranking = locality_ranking()
+        assert sorted(ranking.tolist()) == list(range(NUM_SEQUENCES))
+
+    def test_locality_head_is_fig3(self):
+        ranking = locality_ranking()
+        assert tuple(ranking[:16]) == FIG3_TOP16
+
+    def test_covering_donors_seeded_with_fig3(self):
+        donors = covering_donors(64)
+        assert tuple(donors[:16]) == FIG3_TOP16
+
+    def test_covering_donors_nearly_cover_space(self):
+        """64 donors must 1-cover almost all 512 sequences."""
+        donors = covering_donors(64)
+        all_ids = np.arange(NUM_SEQUENCES, dtype=np.int64)
+        distances = np.asarray(
+            [
+                hamming_distance(all_ids, np.int64(d)) for d in donors
+            ]
+        ).min(axis=0)
+        uncovered = int((distances > 1).sum())
+        assert uncovered <= 40  # greedy with a forced clustered head
+
+    def test_covering_donors_invalid_count(self):
+        with pytest.raises(ValueError):
+            covering_donors(8)
+        with pytest.raises(ValueError):
+            covering_donors(NUM_SEQUENCES)
+
+
+class TestCalibration:
+    def test_all_blocks_fit_tightly(self, distributions):
+        for dist in distributions:
+            e64, e256 = dist.achieved_error()
+            assert e64 < 0.02, f"block {dist.target.block} top64 error {e64}"
+            assert e256 < 0.03, f"block {dist.target.block} top256 error {e256}"
+
+    def test_probabilities_sum_to_one(self, distributions):
+        for dist in distributions:
+            assert dist.rank_probabilities.sum() == pytest.approx(1.0)
+
+    def test_head_share_pinned(self, distributions):
+        for dist in distributions:
+            head = dist.rank_probabilities[0] + dist.rank_probabilities[1]
+            assert head == pytest.approx(dist.target.head_share)
+
+    def test_rank_probabilities_non_increasing_in_tail(self, distributions):
+        for dist in distributions:
+            tail = dist.rank_probabilities[2:]
+            assert (np.diff(tail) <= 1e-12).all()
+
+    def test_sequence_probabilities_permuted(self, distributions):
+        dist = distributions[0]
+        probs = dist.sequence_probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+        # the most likely sequence id is the rank-0 entry of the ranking
+        assert probs.argmax() == dist.ranking[0]
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            BlockTarget(1, 0.9, 0.5)
+        with pytest.raises(ValueError):
+            BlockTarget(1, 0.5, 0.9, head_share=0.6)
+        with pytest.raises(ValueError):
+            BlockTarget(1, 0.5, 0.9, top16=0.55)
+
+    def test_top16_target_shapes_head(self):
+        target = BlockTarget(2, 0.645, 0.951, head_share=0.255, top16=0.46)
+        dist = fit_block_distribution(target)
+        assert dist.top_share(16) == pytest.approx(0.46, abs=0.01)
+        # geometric head decays
+        head = dist.rank_probabilities[2:16]
+        assert (np.diff(head) < 0).all()
+
+
+class TestSampling:
+    def test_exact_sampling_hits_targets(self, distributions):
+        rng = np.random.default_rng(0)
+        sequences = sample_sequences(distributions[0], 100_000, rng)
+        table = FrequencyTable.from_sequences(sequences)
+        assert table.top_share(64) == pytest.approx(
+            distributions[0].target.top64, abs=0.02
+        )
+
+    def test_exact_sampling_count(self, distributions, rng):
+        assert sample_sequences(distributions[0], 1234, rng).size == 1234
+
+    def test_iid_sampling_approximates(self, distributions):
+        rng = np.random.default_rng(0)
+        sequences = sample_sequences(
+            distributions[0], 50_000, rng, exact=False
+        )
+        table = FrequencyTable.from_sequences(sequences)
+        assert table.top_share(64) == pytest.approx(
+            distributions[0].target.top64, abs=0.05
+        )
+
+    def test_negative_count_raises(self, distributions, rng):
+        with pytest.raises(ValueError):
+            sample_sequences(distributions[0], -1, rng)
+
+    def test_generate_block_kernel_shape(self, distributions, rng):
+        kernel = generate_block_kernel(distributions[0], (8, 16), rng)
+        assert kernel.shape == (8, 16, 3, 3)
+        assert set(np.unique(kernel)).issubset({0, 1})
+
+
+class TestReactnetKernels:
+    def test_block_shapes(self, reactnet_kernels):
+        from repro.bnn.reactnet import REACTNET_BLOCK_SPECS
+
+        for index, spec in enumerate(REACTNET_BLOCK_SPECS, start=1):
+            assert reactnet_kernels[index].shape == (
+                spec.in_channels, spec.in_channels, 3, 3,
+            )
+
+    def test_measured_statistics_match_table2(self, reactnet_kernels):
+        for target in TABLE2_TARGETS:
+            table = FrequencyTable.from_kernels(
+                [reactnet_kernels[target.block]]
+            )
+            assert table.top_share(64) == pytest.approx(
+                target.top64, abs=0.03
+            ), f"block {target.block}"
+
+    def test_deterministic_per_seed(self):
+        a = generate_reactnet_kernels(seed=9)
+        b = generate_reactnet_kernels(seed=9)
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = generate_reactnet_kernels(seed=9)
+        b = generate_reactnet_kernels(seed=10)
+        assert not np.array_equal(a[13], b[13])
+
+    def test_cached_kernels_read_only(self, reactnet_kernels):
+        with pytest.raises(ValueError):
+            reactnet_kernels[1][0, 0, 0, 0] = 1
+
+    def test_install_kernels_into_model(self, reactnet_kernels):
+        from repro.bnn.reactnet import build_reactnet
+
+        model = build_reactnet()
+        install_kernels(model, reactnet_kernels)
+        blocks = model.blocks_of_3x3_kernels()
+        assert np.array_equal(blocks[1][0], reactnet_kernels[1])
+        assert np.array_equal(blocks[13][0], reactnet_kernels[13])
+
+    def test_install_kernels_count_mismatch(self, reactnet_kernels):
+        from repro.bnn.reactnet import build_small_bnn
+
+        model = build_small_bnn()
+        with pytest.raises(ValueError):
+            install_kernels(model, reactnet_kernels)
