@@ -1,0 +1,75 @@
+"""Registry sweep — every registered codec on the calibrated distributions.
+
+The unified :class:`~repro.core.codec.Codec` surface makes the coder
+comparison a loop over the registry: for each block and each registry
+entry, fit the codec on the block's histogram and record ratio and
+average code length.  The invariants of Sec. III-B must hold for any
+codec set: nothing beats the entropy bound, the fixed layout never
+compresses, and the simplified tree stays within ~15% of full Huffman.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.bitseq import BITS_PER_SEQUENCE
+from repro.core.codec import available_codecs, get_codec
+from repro.core.frequency import FrequencyTable
+from repro.analysis.report import render_table
+
+
+def sweep_registry(kernels):
+    """Per-block {codec name: (ratio, average bits)} over the registry."""
+    results = {}
+    for block in sorted(kernels):
+        table = FrequencyTable.from_kernels([kernels[block]])
+        entry = {}
+        for name in available_codecs():
+            codec = get_codec(name).fit(table)
+            entry[name] = (
+                codec.compression_ratio(table),
+                codec.average_bits(table),
+            )
+        entry["entropy"] = (
+            BITS_PER_SEQUENCE / table.entropy_bits(),
+            table.entropy_bits(),
+        )
+        results[block] = entry
+    return results
+
+
+def test_codec_registry_sweep(benchmark, reactnet_kernels):
+    results = run_once(benchmark, sweep_registry, reactnet_kernels)
+
+    names = list(available_codecs()) + ["entropy"]
+    rows = [
+        (f"Block {block}",)
+        + tuple(f"{entry[name][0]:.2f}x" for name in names)
+        for block, entry in sorted(results.items())
+    ]
+    means = {
+        name: float(np.mean([entry[name][0] for entry in results.values()]))
+        for name in names
+    }
+    rows.append(("Average",) + tuple(f"{means[n]:.2f}x" for n in names))
+    print()
+    print(
+        render_table(
+            ("Layer",) + tuple(names), rows,
+            title="Codec registry sweep — ratio per block",
+        )
+    )
+
+    for entry in results.values():
+        entropy_ratio = entry["entropy"][0]
+        assert entry["fixed"][0] == 1.0
+        for name in available_codecs():
+            ratio, average = entry[name]
+            # no prefix code beats the entropy bound
+            assert ratio <= entropy_ratio + 1e-9
+            assert average >= entry["entropy"][1] - 1e-9
+            # variable-length coders must not expand past gamma's worst case
+            assert average <= 2 * BITS_PER_SEQUENCE + 1
+
+    # the paper's trade-off claim, now as a registry invariant
+    assert means["simplified"] > 0.85 * means["huffman"]
+    assert means["simplified"] > means["rank-gamma"]

@@ -12,6 +12,12 @@ per-block distributions:
   ranks, included as a "no tables at all" strawman;
 * **entropy** — the information-theoretic bound.
 
+All concrete coders are resolved through the unified codec registry
+(:mod:`repro.core.codec`), so registering a new
+:class:`~repro.core.codec.Codec` automatically enrols it in this
+experiment — its ratio lands in :attr:`CoderComparison.ratios` next to
+the canonical four columns.
+
 The experiment quantifies the claim of Sec. III-B: the simplified tree
 gives up only a little compression relative to full Huffman in exchange
 for a trivially decodable format.
@@ -19,43 +25,32 @@ for a trivially decodable format.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
+from ..core.bitseq import BITS_PER_SEQUENCE
+from ..core.codec import available_codecs, elias_gamma_length, get_codec
 from ..core.frequency import FrequencyTable
-from ..core.huffman import HuffmanEncoder
-from ..core.simplified import DEFAULT_CAPACITIES, SimplifiedTree
+from ..core.simplified import DEFAULT_CAPACITIES
 from ..synth.weights import generate_reactnet_kernels
 from .report import format_ratio, render_table
 
 __all__ = ["CoderComparison", "compare_coders", "render_coders"]
 
-
-def _elias_gamma_length(value: int) -> int:
-    """Length in bits of the Elias-gamma code of ``value`` (>= 1)."""
-    if value < 1:
-        raise ValueError(f"Elias gamma needs values >= 1, got {value}")
-    return 2 * int(math.floor(math.log2(value))) + 1
-
-
-def _rank_gamma_average(table: FrequencyTable) -> float:
-    """Average bits/sequence coding the frequency *rank* with Elias gamma."""
-    total = table.total
-    if total == 0:
-        return float(BITS_PER_SEQUENCE)
-    bits = 0
-    for rank, sequence in enumerate(table.ranked_sequences(), start=1):
-        bits += table.count(int(sequence)) * _elias_gamma_length(rank)
-    return bits / total
+# back-compat alias; the implementation moved into the codec module
+_elias_gamma_length = elias_gamma_length
 
 
 @dataclass(frozen=True)
 class CoderComparison:
-    """Per-block compression ratio of every coder."""
+    """Per-block compression ratio of every coder.
+
+    The canonical coders keep their named columns; ``ratios`` carries
+    every registry entry evaluated on the block (including the canonical
+    ones, under their registry names).
+    """
 
     block: int
     fixed: float
@@ -63,6 +58,7 @@ class CoderComparison:
     simplified: float
     rank_gamma: float
     entropy_bound: float
+    ratios: Dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> tuple:
         """Render-ready row."""
@@ -80,25 +76,42 @@ def compare_coders(
     kernels: Optional[Dict[int, np.ndarray]] = None,
     capacities: Sequence[int] = DEFAULT_CAPACITIES,
     seed: int = 0,
+    codecs: Optional[Sequence[str]] = None,
+    codec_params: Optional[Dict[str, Dict]] = None,
 ) -> List[CoderComparison]:
-    """Evaluate all coders on every block's distribution."""
+    """Evaluate all registered coders on every block's distribution.
+
+    ``codecs`` restricts the run to a subset of registry names; the
+    default evaluates every entry of
+    :func:`~repro.core.codec.available_codecs`.  ``codec_params`` maps
+    registry names to constructor keywords for codecs that need them
+    (``capacities`` is threaded to ``"simplified"`` by default).
+    """
     kernels = kernels or generate_reactnet_kernels(seed=seed)
+    names = tuple(codecs) if codecs is not None else available_codecs()
+    params_by_name: Dict[str, Dict] = {
+        "simplified": {"capacities": capacities}
+    }
+    params_by_name.update(codec_params or {})
     rows = []
     for block in sorted(kernels):
         table = FrequencyTable.from_kernels([kernels[block]])
-        huffman = HuffmanEncoder.from_table(table)
-        tree = SimplifiedTree(table, capacities)
+        ratios: Dict[str, float] = {}
+        for name in names:
+            codec = get_codec(name, **params_by_name.get(name, {}))
+            ratios[name] = codec.fit(table).compression_ratio(table)
         entropy = table.entropy_bits()
         rows.append(
             CoderComparison(
                 block=block,
-                fixed=1.0,
-                huffman=huffman.compression_ratio(table),
-                simplified=tree.compression_ratio(table),
-                rank_gamma=BITS_PER_SEQUENCE / _rank_gamma_average(table),
+                fixed=ratios.get("fixed", 1.0),
+                huffman=ratios.get("huffman", float("nan")),
+                simplified=ratios.get("simplified", float("nan")),
+                rank_gamma=ratios.get("rank-gamma", float("nan")),
                 entropy_bound=(
                     BITS_PER_SEQUENCE / entropy if entropy > 0 else float("inf")
                 ),
+                ratios=ratios,
             )
         )
     return rows

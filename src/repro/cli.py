@@ -7,7 +7,8 @@ aligned text report used in EXPERIMENTS.md:
 
    python -m repro table1          # storage / time breakdown
    python -m repro table2          # per-block distribution
-   python -m repro table5          # compression ratios
+   python -m repro table5          # compression ratios (--codec to swap)
+   python -m repro coders          # all registered codecs per block
    python -m repro fig3            # top-16 frequency head
    python -m repro mix             # code-length mix (Sec. VI)
    python -m repro model           # whole-model ratio
@@ -44,7 +45,16 @@ def _cmd_table2(args: argparse.Namespace) -> str:
 def _cmd_table5(args: argparse.Namespace) -> str:
     from .analysis.compression import measure_table5, render_table5
 
-    return render_table5(measure_table5(seed=args.seed))
+    codec = getattr(args, "codec", "simplified")
+    return render_table5(
+        measure_table5(seed=args.seed, codec=codec), codec=codec
+    )
+
+
+def _cmd_coders(args: argparse.Namespace) -> str:
+    from .analysis.coders import compare_coders, render_coders
+
+    return render_coders(compare_coders(seed=args.seed))
 
 
 def _cmd_fig3(args: argparse.Namespace) -> str:
@@ -104,6 +114,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table5": _cmd_table5,
+    "coders": _cmd_coders,
     "fig3": _cmd_fig3,
     "mix": _cmd_mix,
     "model": _cmd_model,
@@ -128,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("table1", "Table I: storage and execution-time breakdown"),
         ("table2", "Table II: per-block bit-sequence distribution"),
         ("table5", "Table V: per-block compression ratios"),
+        ("coders", "Sec. III-B: all registered codecs compared per block"),
         ("fig3", "Fig. 3: top-16 bit-sequence frequencies"),
         ("mix", "Sec. VI: share of channels per code length"),
         ("model", "Sec. VI: whole-model compression ratio"),
@@ -142,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--seed", type=int, default=0,
             help="seed for the synthetic kernels (default 0)",
         )
+        if name == "table5":
+            from .core.codec import available_codecs
+
+            sub.add_argument(
+                "--codec", choices=available_codecs(), default="simplified",
+                help="codec registry entry to measure (default simplified)",
+            )
         if name in ("accuracy", "all"):
             sub.add_argument(
                 "--epochs", type=int, default=25,

@@ -1,13 +1,34 @@
 """Core kernel-compression library: the paper's primary contribution.
 
+The modern surface is codec-centric: every coder of the paper's
+comparison (Sec. III-B) implements one :class:`~repro.core.codec.Codec`
+protocol and lives in a string-keyed registry, and whole models are
+compressed through the :class:`~repro.core.pipeline.CompressionPipeline`
+facade configured by a single
+:class:`~repro.core.pipeline.PipelineConfig`.
+
 Public surface:
 
+* :mod:`~repro.core.codec` — the :class:`~repro.core.codec.Codec`
+  protocol, the registry (:func:`~repro.core.codec.register_codec` /
+  :func:`~repro.core.codec.get_codec` /
+  :func:`~repro.core.codec.available_codecs`) and the four built-in
+  coders: ``fixed`` (9-bit daBNN layout), ``huffman`` (full canonical
+  Huffman, Deep Compression [11]), ``simplified`` (the paper's 4-node
+  tree) and ``rank-gamma`` (Elias gamma over frequency ranks)
+* :class:`~repro.core.pipeline.CompressionPipeline` — model-level
+  facade: one config, all blocks, any registered codec
 * :mod:`~repro.core.bitseq` — natural mapping of 3x3 channels to 9-bit ids
 * :class:`~repro.core.frequency.FrequencyTable` — per-block histograms
-* :class:`~repro.core.huffman.HuffmanEncoder` — reference full Huffman coder
-* :class:`~repro.core.simplified.SimplifiedTree` — bounded 4-node tree
 * :func:`~repro.core.clustering.cluster_sequences` — Hamming-1 replacement
-* :class:`~repro.core.compressor.KernelCompressor` — end-to-end pipeline
+* :class:`~repro.core.compressor.KernelCompressor` — historical
+  single-block entry point, kept as a thin wrapper over the pipeline
+  pinned to the ``simplified`` codec
+
+Lower-level pieces (:class:`~repro.core.huffman.HuffmanEncoder`,
+:class:`~repro.core.simplified.SimplifiedTree`,
+:class:`~repro.core.streams.CompressedKernel`, the bit-stream
+primitives) remain available for the hardware model and for direct use.
 """
 
 from .bitseq import (
@@ -28,9 +49,27 @@ from .bitseq import (
 )
 from .bitstream import BitReader, BitWriter
 from .clustering import ClusteringConfig, ClusteringResult, cluster_sequences
+from .codec import (
+    Codec,
+    FixedCodec,
+    HuffmanCodec,
+    RankGammaCodec,
+    SimplifiedTreeCodec,
+    available_codecs,
+    elias_gamma_length,
+    get_codec,
+    register_codec,
+)
 from .compressor import BlockCompressionResult, KernelCompressor
 from .frequency import FrequencyTable, merge_tables
 from .huffman import HuffmanCode, HuffmanEncoder, build_huffman_code
+from .pipeline import (
+    BlockCodecResult,
+    CompressionPipeline,
+    ModelCompressionResult,
+    PipelineConfig,
+    validate_kernel,
+)
 from .simplified import (
     DEFAULT_CAPACITIES,
     NodeAssignment,
@@ -47,28 +86,42 @@ __all__ = [
     "NUM_SEQUENCES",
     "BitReader",
     "BitWriter",
+    "BlockCodecResult",
     "BlockCompressionResult",
     "ClusteringConfig",
     "ClusteringResult",
+    "Codec",
     "CompressedKernel",
+    "CompressionPipeline",
     "DEFAULT_CAPACITIES",
+    "FixedCodec",
     "FrequencyTable",
     "HuffmanCode",
+    "HuffmanCodec",
     "HuffmanEncoder",
     "KernelCompressor",
+    "ModelCompressionResult",
     "NodeAssignment",
+    "PipelineConfig",
+    "RankGammaCodec",
     "SimplifiedTree",
+    "SimplifiedTreeCodec",
     "TreeLayout",
+    "available_codecs",
     "bits_to_signs",
     "build_huffman_code",
     "channels_to_sequences",
     "cluster_sequences",
+    "elias_gamma_length",
+    "get_codec",
     "hamming_distance",
     "hamming_neighbours",
     "kernel_to_sequences",
     "merge_tables",
     "popcount",
+    "register_codec",
     "sequences_to_channels",
     "sequences_to_kernel",
     "signs_to_bits",
+    "validate_kernel",
 ]

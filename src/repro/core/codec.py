@@ -1,0 +1,372 @@
+"""Unified coder interface: every coder of Sec. III-B behind one protocol.
+
+The paper's central comparison (Table V and the Sec. III-B trade-off
+discussion) is *between coders* on the same per-block distributions — the
+fixed 9-bit daBNN layout, full Huffman (Deep Compression, related work
+[11]), the simplified four-node tree and parameter-free universal codes.
+:class:`Codec` gives all of them one surface:
+
+* ``fit(table)`` — build per-block state (code book, node tables, ranks)
+  from a :class:`~repro.core.frequency.FrequencyTable`;
+* ``encode(sequences)`` / ``decode(payload, count, bit_length)`` — the
+  round-trip over flat 9-bit sequence ids;
+* ``code_length(sequence)`` / ``average_bits(table)`` /
+  ``compressed_bits(table)`` / ``compression_ratio(table)`` — the storage
+  model every experiment reports.
+
+A string-keyed registry (:func:`register_codec` / :func:`get_codec` /
+:func:`available_codecs`) makes new coders a registry entry instead of a
+fork: the comparison experiments, the model-level pipeline and the CLI all
+iterate the registry rather than hard-coding the four schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple, Type
+
+import numpy as np
+
+from .bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
+from .bitstream import BitReader, BitWriter
+from .frequency import FrequencyTable
+from .huffman import HuffmanEncoder
+from .simplified import DEFAULT_CAPACITIES, SimplifiedTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .streams import CompressedKernel
+
+__all__ = [
+    "Codec",
+    "FixedCodec",
+    "HuffmanCodec",
+    "SimplifiedTreeCodec",
+    "RankGammaCodec",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
+    "elias_gamma_length",
+]
+
+
+def elias_gamma_length(value: int) -> int:
+    """Length in bits of the Elias-gamma code of ``value`` (>= 1)."""
+    if value < 1:
+        raise ValueError(f"Elias gamma needs values >= 1, got {value}")
+    return 2 * int(math.floor(math.log2(value))) + 1
+
+
+class Codec(ABC):
+    """One coder over 9-bit kernel sequences (the Sec. III-B protocol).
+
+    A codec is constructed with its static parameters, then ``fit`` to one
+    block's frequency table before any coding or accounting call.  ``fit``
+    returns ``self`` so ``get_codec(name).fit(table)`` chains.
+    """
+
+    #: registry key; subclasses must override
+    name: str = ""
+
+    @abstractmethod
+    def fit(self, table: FrequencyTable) -> "Codec":
+        """Build per-block coder state from ``table``; returns ``self``."""
+
+    @abstractmethod
+    def encode(self, sequences: np.ndarray) -> Tuple[bytes, int]:
+        """Encode flat sequence ids into ``(payload, bit_length)``."""
+
+    @abstractmethod
+    def decode(
+        self, payload: bytes, count: int, bit_length: int
+    ) -> np.ndarray:
+        """Decode ``count`` sequence ids back out of ``payload``."""
+
+    @abstractmethod
+    def code_length(self, sequence: int) -> int:
+        """Length in bits of the code assigned to ``sequence``."""
+
+    def compressed_bits(self, table: FrequencyTable) -> int:
+        """Exact compressed payload size in bits for ``table``'s channels."""
+        bits = 0
+        for sequence in np.flatnonzero(table.counts):
+            bits += table.count(int(sequence)) * self.code_length(int(sequence))
+        return bits
+
+    def average_bits(self, table: FrequencyTable) -> float:
+        """Expected code length in bits/sequence under ``table``."""
+        total = table.total
+        if total == 0:
+            return 0.0
+        return self.compressed_bits(table) / total
+
+    def compression_ratio(self, table: FrequencyTable) -> float:
+        """Raw (9 bits/channel) over compressed size — the Table V metric."""
+        compressed = self.compressed_bits(table)
+        raw = table.total * BITS_PER_SEQUENCE
+        if compressed == 0:
+            return float("inf") if raw > 0 else 1.0
+        return raw / compressed
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[Codec]] = {}
+
+
+def register_codec(cls: Type[Codec]) -> Type[Codec]:
+    """Class decorator: register ``cls`` under its ``name`` attribute."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"codec name {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_codec(name: str, **params) -> Codec:
+    """Instantiate the codec registered as ``name`` with ``params``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec {name!r}; available: {', '.join(available_codecs())}"
+        ) from None
+    return cls(**params)
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Registered codec names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# The four coders of the paper's comparison
+# ----------------------------------------------------------------------
+@register_codec
+class FixedCodec(Codec):
+    """The uncompressed daBNN layout: every sequence costs 9 bits."""
+
+    name = "fixed"
+
+    def fit(self, table: FrequencyTable) -> "FixedCodec":
+        return self
+
+    def encode(self, sequences: np.ndarray) -> Tuple[bytes, int]:
+        sequences = np.asarray(sequences, dtype=np.int64).reshape(-1)
+        if sequences.size == 0:
+            return b"", 0
+        if sequences.min() < 0 or sequences.max() >= NUM_SEQUENCES:
+            raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+        shifts = np.arange(BITS_PER_SEQUENCE - 1, -1, -1)
+        bits = ((sequences[:, None] >> shifts) & 1).astype(np.uint8)
+        return (
+            np.packbits(bits.reshape(-1)).tobytes(),
+            sequences.size * BITS_PER_SEQUENCE,
+        )
+
+    def decode(
+        self, payload: bytes, count: int, bit_length: int
+    ) -> np.ndarray:
+        if count * BITS_PER_SEQUENCE > bit_length:
+            raise EOFError(
+                f"{count} sequences need {count * BITS_PER_SEQUENCE} bits; "
+                f"stream holds {bit_length}"
+            )
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        bits = bits[: count * BITS_PER_SEQUENCE].reshape(
+            count, BITS_PER_SEQUENCE
+        )
+        weights = 1 << np.arange(BITS_PER_SEQUENCE - 1, -1, -1)
+        return (bits.astype(np.int64) * weights).sum(axis=1)
+
+    def code_length(self, sequence: int) -> int:
+        return BITS_PER_SEQUENCE
+
+
+@register_codec
+class HuffmanCodec(Codec):
+    """Full canonical Huffman — the Deep Compression baseline [11]."""
+
+    name = "huffman"
+
+    def __init__(self) -> None:
+        self._encoder: HuffmanEncoder | None = None
+
+    def fit(self, table: FrequencyTable) -> "HuffmanCodec":
+        self._encoder = HuffmanEncoder.from_table(table)
+        return self
+
+    @property
+    def encoder(self) -> HuffmanEncoder:
+        """The fitted :class:`~repro.core.huffman.HuffmanEncoder`."""
+        if self._encoder is None:
+            raise RuntimeError("HuffmanCodec used before fit()")
+        return self._encoder
+
+    def encode(self, sequences: np.ndarray) -> Tuple[bytes, int]:
+        return self.encoder.encode(sequences)
+
+    def decode(
+        self, payload: bytes, count: int, bit_length: int
+    ) -> np.ndarray:
+        return self.encoder.decode(payload, count, bit_length)
+
+    def code_length(self, sequence: int) -> int:
+        return self.encoder.code.code_length(sequence)
+
+    def compressed_bits(self, table: FrequencyTable) -> int:
+        return self.encoder.compressed_bits(table)
+
+
+@register_codec
+class SimplifiedTreeCodec(Codec):
+    """The paper's bounded-node tree (6/8/9/12-bit codes by default)."""
+
+    name = "simplified"
+
+    def __init__(
+        self, capacities: Sequence[int] = DEFAULT_CAPACITIES
+    ) -> None:
+        self._capacities = tuple(int(c) for c in capacities)
+        self._tree: SimplifiedTree | None = None
+
+    @property
+    def capacities(self) -> Tuple[int, ...]:
+        """Node capacities the tree is built with."""
+        return self._capacities
+
+    @property
+    def tree(self) -> SimplifiedTree:
+        """The fitted :class:`~repro.core.simplified.SimplifiedTree`."""
+        if self._tree is None:
+            raise RuntimeError("SimplifiedTreeCodec used before fit()")
+        return self._tree
+
+    @classmethod
+    def from_stream(cls, stream: "CompressedKernel") -> "SimplifiedTreeCodec":
+        """Fitted decoder codec whose node tables match ``stream``'s.
+
+        This is how the hardware decoding unit resolves its code-length
+        model: the stream carries the tree, the codec wraps it.
+        """
+        codec = cls(stream.capacities)
+        codec._tree = stream.rebuild_tree()
+        return codec
+
+    def fit(self, table: FrequencyTable) -> "SimplifiedTreeCodec":
+        self._tree = SimplifiedTree(table, self._capacities)
+        return self
+
+    def to_stream(
+        self, shape: Tuple[int, int], payload: bytes, bit_length: int
+    ) -> "CompressedKernel":
+        """Wrap an encoded payload as a hardware-decodable stream.
+
+        The stream carries this codec's node tables (Table III field 4),
+        so :meth:`from_stream` round-trips the decoder configuration.
+        """
+        from .streams import CompressedKernel
+
+        tree = self.tree
+        return CompressedKernel(
+            shape=tuple(shape),
+            capacities=tree.layout.capacities,
+            node_tables=tree.assignment.node_tables,
+            payload=payload,
+            bit_length=bit_length,
+        )
+
+    def encode(self, sequences: np.ndarray) -> Tuple[bytes, int]:
+        return self.tree.encode(sequences)
+
+    def decode(
+        self, payload: bytes, count: int, bit_length: int
+    ) -> np.ndarray:
+        return self.tree.decode(payload, count, bit_length)
+
+    def code_length(self, sequence: int) -> int:
+        return self.tree.code_length_of(sequence)
+
+    def compressed_bits(self, table: FrequencyTable) -> int:
+        return self.tree.compressed_bits(table)
+
+    def average_bits(self, table: FrequencyTable) -> float:
+        return self.tree.average_length(table)
+
+
+@register_codec
+class RankGammaCodec(Codec):
+    """Elias-gamma over frequency ranks — the "no tables at all" strawman.
+
+    The fit step only orders sequences by frequency; codes are the
+    universal gamma codes of the 1-based rank, so the decoder needs the
+    rank permutation but no per-block code book.
+    """
+
+    name = "rank-gamma"
+
+    def __init__(self) -> None:
+        self._rank_of: np.ndarray | None = None
+        self._sequence_of: np.ndarray | None = None
+
+    def fit(self, table: FrequencyTable) -> "RankGammaCodec":
+        ranked = table.ranked_sequences()
+        self._sequence_of = ranked
+        self._rank_of = np.empty(NUM_SEQUENCES, dtype=np.int64)
+        self._rank_of[ranked] = np.arange(1, NUM_SEQUENCES + 1)
+        return self
+
+    def _require_fit(self) -> None:
+        if self._rank_of is None:
+            raise RuntimeError("RankGammaCodec used before fit()")
+
+    def encode(self, sequences: np.ndarray) -> Tuple[bytes, int]:
+        self._require_fit()
+        sequences = np.asarray(sequences, dtype=np.int64).reshape(-1)
+        if sequences.size and (
+            sequences.min() < 0 or sequences.max() >= NUM_SEQUENCES
+        ):
+            raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+        writer = BitWriter()
+        for sequence in sequences:
+            rank = int(self._rank_of[sequence])
+            width = rank.bit_length()
+            # gamma: (width - 1) zeros, then rank in width bits (MSB = 1)
+            writer.write(rank, 2 * width - 1)
+        return writer.getvalue(), writer.bit_length
+
+    def decode(
+        self, payload: bytes, count: int, bit_length: int
+    ) -> np.ndarray:
+        self._require_fit()
+        reader = BitReader(payload, bit_length)
+        out = np.empty(count, dtype=np.int64)
+        for index in range(count):
+            zeros = 0
+            while reader.read_bit() == 0:
+                zeros += 1
+            rank = 1
+            for _ in range(zeros):
+                rank = (rank << 1) | reader.read_bit()
+            if not 1 <= rank <= NUM_SEQUENCES:
+                raise ValueError(f"rank {rank} out of range in gamma stream")
+            out[index] = self._sequence_of[rank - 1]
+        return out
+
+    def code_length(self, sequence: int) -> int:
+        self._require_fit()
+        return elias_gamma_length(int(self._rank_of[sequence]))
+
+    def average_bits(self, table: FrequencyTable) -> float:
+        """Average bits/sequence; 9.0 for an empty table (legacy contract)."""
+        total = table.total
+        if total == 0:
+            return float(BITS_PER_SEQUENCE)
+        return self.compressed_bits(table) / total
+
+    def compression_ratio(self, table: FrequencyTable) -> float:
+        # 9 / average, not raw / compressed: keeps the floating-point
+        # value bit-identical to the pre-registry comparison code.
+        return BITS_PER_SEQUENCE / self.average_bits(table)

@@ -8,8 +8,14 @@ The paper's offline flow per group of 3x3 kernels (a basic block):
 3. build the simplified Huffman tree from the (post-clustering) histogram,
 4. encode every kernel's sequences into a compressed stream.
 
-:class:`KernelCompressor` packages those steps and reports the metrics of
-Table V (per-block compression ratio with and without clustering).
+:class:`KernelCompressor` is the historical single-block entry point for
+that flow, now a thin wrapper over
+:class:`~repro.core.pipeline.CompressionPipeline` pinned to the
+``"simplified"`` codec.  It still returns the tree-specific
+:class:`BlockCompressionResult` (with :class:`~repro.core.streams
+.CompressedKernel` streams) that deployment and the hardware model
+consume; codec-generic and whole-model work should use the pipeline
+directly.
 """
 
 from __future__ import annotations
@@ -19,13 +25,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .bitseq import (
-    BITS_PER_SEQUENCE,
-    kernel_to_sequences,
-    sequences_to_kernel,
-)
-from .clustering import ClusteringConfig, ClusteringResult, cluster_sequences
-from .frequency import FrequencyTable, merge_tables
+from .bitseq import BITS_PER_SEQUENCE, sequences_to_kernel
+from .clustering import ClusteringConfig, ClusteringResult
+from .frequency import FrequencyTable
+from .pipeline import CompressionPipeline, PipelineConfig
 from .simplified import DEFAULT_CAPACITIES, SimplifiedTree
 from .streams import CompressedKernel
 
@@ -58,10 +61,14 @@ class BlockCompressionResult:
 
     @property
     def compression_ratio(self) -> float:
-        """The Table V metric for this block."""
+        """The Table V metric for this block.
+
+        An empty compressed payload for a non-empty block is infinitely
+        compressed; 1.0 is reserved for the genuinely empty block.
+        """
         compressed = self.compressed_bits
         if compressed == 0:
-            return 1.0
+            return float("inf") if self.raw_bits > 0 else 1.0
         return self.raw_bits / compressed
 
     def decode_kernels(self) -> List[np.ndarray]:
@@ -94,6 +101,13 @@ class KernelCompressor:
     ) -> None:
         self._capacities = tuple(int(c) for c in capacities)
         self._clustering = clustering
+        self._pipeline = CompressionPipeline(
+            PipelineConfig(
+                codec="simplified",
+                codec_params={"capacities": self._capacities},
+                clustering=clustering,
+            )
+        )
 
     @property
     def capacities(self) -> Tuple[int, ...]:
@@ -105,6 +119,11 @@ class KernelCompressor:
         """Clustering parameters, or ``None`` when disabled."""
         return self._clustering
 
+    @property
+    def pipeline(self) -> CompressionPipeline:
+        """The codec-generic pipeline this wrapper delegates to."""
+        return self._pipeline
+
     def compress_block(
         self, kernels: Sequence[np.ndarray]
     ) -> BlockCompressionResult:
@@ -114,38 +133,20 @@ class KernelCompressor:
         kernels share one frequency table, one clustering pass and one
         tree, exactly as the per-block offline step of Sec. IV-A.
         """
-        if not kernels:
-            raise ValueError("compress_block needs at least one kernel")
-        sequence_arrays = [kernel_to_sequences(kernel) for kernel in kernels]
-        shapes = [
-            (kernel.shape[0], kernel.shape[1]) for kernel in kernels
-        ]
-        table = merge_tables(
-            [FrequencyTable.from_sequences(arr) for arr in sequence_arrays]
-        )
-
-        clustering_result: Optional[ClusteringResult] = None
-        effective_table = table
-        if self._clustering is not None:
-            clustering_result = cluster_sequences(table, self._clustering)
-            sequence_arrays = [
-                clustering_result.apply_to_sequences(arr)
-                for arr in sequence_arrays
-            ]
-            effective_table = clustering_result.apply_to_table(table)
-
-        tree = SimplifiedTree(effective_table, self._capacities)
+        result = self._pipeline.compress_block(kernels)
         streams = [
-            CompressedKernel.from_sequences(arr, shape, tree)
-            for arr, shape in zip(sequence_arrays, shapes)
+            result.codec.to_stream(shape, payload, bit_length)
+            for (payload, bit_length), shape in zip(
+                result.payloads, result.kernel_shapes
+            )
         ]
         return BlockCompressionResult(
-            table=table,
-            effective_table=effective_table,
-            tree=tree,
-            clustering=clustering_result,
+            table=result.table,
+            effective_table=result.effective_table,
+            tree=result.codec.tree,
+            clustering=result.clustering,
             streams=streams,
-            kernel_shapes=shapes,
+            kernel_shapes=result.kernel_shapes,
         )
 
     def compress_sequences(

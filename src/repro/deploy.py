@@ -35,7 +35,8 @@ from .bnn.layers import (
 )
 from .bnn.model import Sequential
 from .core.clustering import ClusteringConfig
-from .core.compressor import KernelCompressor
+from .core.codec import SimplifiedTreeCodec
+from .core.pipeline import CompressionPipeline, PipelineConfig
 from .core.streams import CompressedKernel
 from .bnn.quantize import dequantize_tensor, quantize_tensor, QuantizedTensor
 
@@ -46,7 +47,10 @@ __all__ = [
     "ArtifactReport",
 ]
 
-_FORMAT_VERSION = 1
+#: v1 predates the codec registry (implicit simplified tree); v2 records
+#: the codec name and parameters in the manifest.  Loading accepts both.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _pack_bit_tensor(bits: np.ndarray) -> Tuple[np.ndarray, List[int]]:
@@ -66,16 +70,24 @@ def save_compressed_model(
     model: Sequential,
     path,
     clustering: Optional[ClusteringConfig] = None,
+    codec: str = "simplified",
+    codec_params: Optional[Dict] = None,
 ) -> None:
     """Serialise ``model`` at deployed precision into ``path`` (.npz).
 
-    All 3x3 binary convolutions are compressed together with one
-    :class:`~repro.core.compressor.KernelCompressor` per conv (each conv
+    All 3x3 binary convolutions are compressed through one
+    :class:`~repro.core.pipeline.CompressionPipeline` per conv (each conv
     is one "block" in the paper's sense); 1x1 binary kernels are
     bit-packed; 8-bit layers are actually quantised; everything else is
-    stored as float32.
+    stored as float32.  The codec and its parameters are recorded in the
+    artifact manifest.  Only tree-based codecs can be serialised — the
+    stream container is the hardware decoder's configuration structure.
     """
-    compressor = KernelCompressor(clustering=clustering)
+    config = PipelineConfig(
+        codec=codec, codec_params=dict(codec_params or {}),
+        clustering=clustering,
+    )
+    pipeline = CompressionPipeline(config)
     manifest: List[Dict] = []
     arrays: Dict[str, np.ndarray] = {}
 
@@ -83,8 +95,18 @@ def save_compressed_model(
         key = f"layer{index}"
         entry: Dict = {"index": index, "type": type(layer).__name__}
         if isinstance(layer, BinaryConv2d) and layer.kernel_size == 3:
-            result = compressor.compress_block([layer.binary_weight_bits()])
-            blob = result.streams[0].to_bytes()
+            result = pipeline.compress_block([layer.binary_weight_bits()])
+            fitted = result.codec
+            if not isinstance(fitted, SimplifiedTreeCodec):
+                raise ValueError(
+                    f"codec {codec!r} has no decoder tree; artifacts store "
+                    "hardware-decodable streams (use a tree-based codec)"
+                )
+            payload, bit_length = result.payloads[0]
+            stream = fitted.to_stream(
+                result.kernel_shapes[0], payload, bit_length
+            )
+            blob = stream.to_bytes()
             arrays[f"{key}.stream"] = np.frombuffer(blob, dtype=np.uint8)
             entry["config"] = {
                 "in_channels": layer.in_channels,
@@ -155,8 +177,21 @@ def save_compressed_model(
         "format_version": _FORMAT_VERSION,
         "name": model.name,
         "clustered": clustering is not None,
+        "codec": {
+            "name": config.codec,
+            "params": {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in dict(config.codec_params).items()
+            },
+        },
         "layers": manifest,
     }
+    if clustering is not None:
+        header["clustering"] = {
+            "num_common": clustering.num_common,
+            "num_rare": clustering.num_rare,
+            "max_distance": clustering.max_distance,
+        }
     arrays["manifest"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
@@ -229,7 +264,7 @@ def load_compressed_model(path) -> Sequential:
     """
     with np.load(path) as arrays:
         header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
-        if header["format_version"] != _FORMAT_VERSION:
+        if header["format_version"] not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported artifact version {header['format_version']}"
             )

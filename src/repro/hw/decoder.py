@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.bitseq import BITS_PER_SEQUENCE
+from ..core.codec import SimplifiedTreeCodec
 from ..core.streams import CompressedKernel
 from .cache import Cache
 from .config import DecoderConfig
@@ -54,6 +55,15 @@ class DecoderProgram:
     def compressed_bytes(self) -> int:
         """Field 3 of Table III (stream length)."""
         return (self.stream.bit_length + 7) // 8
+
+    def resolve_codec(self) -> SimplifiedTreeCodec:
+        """Fitted codec whose code-length model matches the stream.
+
+        Field 4 of Table III ships the tree; the decoding unit's length
+        table and uncompressed table are exactly that codec's
+        ``code_length`` model and node tables.
+        """
+        return SimplifiedTreeCodec.from_stream(self.stream)
 
 
 @dataclass
@@ -142,8 +152,8 @@ class DecodingUnit:
         timing.fetch_cycles = float(sum(chunk_costs))
 
         # --- decode pipeline: one sequence per cycle after the first chunk
-        tree = program.stream.rebuild_tree()
-        sequences = tree.decode(
+        codec = program.resolve_codec()
+        sequences = codec.decode(
             program.stream.payload,
             program.num_sequences,
             program.stream.bit_length,

@@ -26,6 +26,16 @@ class TestParser:
         args = build_parser().parse_args(["accuracy", "--epochs", "5"])
         assert args.epochs == 5
 
+    def test_table5_codec_default(self):
+        args = build_parser().parse_args(["table5"])
+        assert args.codec == "simplified"
+
+    def test_table5_codec_choices_follow_registry(self):
+        args = build_parser().parse_args(["table5", "--codec", "huffman"])
+        assert args.codec == "huffman"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table5", "--codec", "nonsense"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -49,6 +59,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table V" in out
         assert "Average" in out
+
+    def test_table5_with_huffman_codec(self, capsys):
+        assert main(["table5", "--codec", "huffman"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "codec: huffman" in out
+
+    def test_coders(self, capsys):
+        assert main(["coders"]) == 0
+        out = capsys.readouterr().out
+        assert "Coder comparison" in out
+        assert "Huffman" in out
 
     def test_mix(self, capsys):
         assert main(["mix"]) == 0

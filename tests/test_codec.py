@@ -1,0 +1,261 @@
+"""Tests for the unified codec protocol and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
+from repro.core.codec import (
+    Codec,
+    FixedCodec,
+    HuffmanCodec,
+    RankGammaCodec,
+    SimplifiedTreeCodec,
+    available_codecs,
+    elias_gamma_length,
+    get_codec,
+    register_codec,
+)
+from repro.core.frequency import FrequencyTable
+from repro.core.huffman import HuffmanEncoder
+from repro.core.simplified import SimplifiedTree
+
+
+@pytest.fixture()
+def skewed_sequences(rng):
+    """Synthetic block: heavy head plus a uniform tail."""
+    seqs = np.concatenate(
+        [
+            np.zeros(400, dtype=np.int64),
+            np.full(200, 511, dtype=np.int64),
+            rng.integers(0, NUM_SEQUENCES, 300),
+        ]
+    )
+    rng.shuffle(seqs)
+    return seqs
+
+
+@pytest.fixture()
+def skewed_table(skewed_sequences):
+    return FrequencyTable.from_sequences(skewed_sequences)
+
+
+class TestRegistry:
+    def test_builtin_codecs_registered(self):
+        names = available_codecs()
+        for expected in ("fixed", "huffman", "simplified", "rank-gamma"):
+            assert expected in names
+
+    def test_names_sorted(self):
+        names = available_codecs()
+        assert list(names) == sorted(names)
+
+    def test_get_codec_returns_fresh_instances(self):
+        assert get_codec("huffman") is not get_codec("huffman")
+
+    def test_unknown_name_rejected_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            get_codec("arithmetic")
+
+    def test_params_forwarded(self):
+        codec = get_codec("simplified", capacities=(256, 256))
+        assert codec.capacities == (256, 256)
+
+    def test_duplicate_registration_rejected(self):
+        class Impostor(FixedCodec):
+            name = "fixed"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec(Impostor)
+
+    def test_unnamed_codec_rejected(self):
+        class Nameless(FixedCodec):
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_codec(Nameless)
+
+
+class TestRoundTrip:
+    """Encode -> decode identity across every registry entry."""
+
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_roundtrip_skewed(self, name, skewed_sequences, skewed_table):
+        codec = get_codec(name).fit(skewed_table)
+        payload, bit_length = codec.encode(skewed_sequences)
+        decoded = codec.decode(payload, skewed_sequences.size, bit_length)
+        assert np.array_equal(decoded, skewed_sequences)
+
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_roundtrip_every_sequence_once(self, name):
+        """A uniform table exercises all 512 code words."""
+        sequences = np.arange(NUM_SEQUENCES, dtype=np.int64)
+        table = FrequencyTable.from_sequences(sequences)
+        codec = get_codec(name).fit(table)
+        payload, bit_length = codec.encode(sequences)
+        decoded = codec.decode(payload, sequences.size, bit_length)
+        assert np.array_equal(decoded, sequences)
+
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_bit_length_matches_code_lengths(
+        self, name, skewed_sequences, skewed_table
+    ):
+        codec = get_codec(name).fit(skewed_table)
+        _, bit_length = codec.encode(skewed_sequences)
+        expected = sum(
+            codec.code_length(int(s)) for s in skewed_sequences
+        )
+        assert bit_length == expected
+
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_compressed_bits_matches_encode(
+        self, name, skewed_sequences, skewed_table
+    ):
+        codec = get_codec(name).fit(skewed_table)
+        _, bit_length = codec.encode(skewed_sequences)
+        assert codec.compressed_bits(skewed_table) == bit_length
+
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_roundtrip_reactnet_block(self, name, reactnet_kernels):
+        from repro.core.bitseq import kernel_to_sequences
+
+        sequences = kernel_to_sequences(reactnet_kernels[1])
+        table = FrequencyTable.from_sequences(sequences)
+        codec = get_codec(name).fit(table)
+        payload, bit_length = codec.encode(sequences)
+        decoded = codec.decode(payload, sequences.size, bit_length)
+        assert np.array_equal(decoded, sequences)
+
+
+class TestFixedCodec:
+    def test_every_code_is_nine_bits(self, skewed_table):
+        codec = FixedCodec().fit(skewed_table)
+        for sequence in (0, 17, 511):
+            assert codec.code_length(sequence) == BITS_PER_SEQUENCE
+
+    def test_ratio_is_exactly_one(self, skewed_table):
+        assert FixedCodec().fit(skewed_table).compression_ratio(
+            skewed_table
+        ) == 1.0
+
+    def test_empty_encode(self):
+        payload, bit_length = FixedCodec().encode(np.empty(0, np.int64))
+        assert payload == b"" and bit_length == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FixedCodec().encode(np.array([512]))
+
+    def test_truncated_stream_raises(self, skewed_table):
+        codec = FixedCodec().fit(skewed_table)
+        payload, bit_length = codec.encode(np.array([1, 2, 3]))
+        with pytest.raises(EOFError):
+            codec.decode(payload, 4, bit_length)
+
+
+class TestWrappedCodecs:
+    """The huffman/simplified codecs must mirror their wrapped coders."""
+
+    def test_huffman_matches_encoder(self, skewed_sequences, skewed_table):
+        codec = HuffmanCodec().fit(skewed_table)
+        encoder = HuffmanEncoder.from_table(skewed_table)
+        assert codec.encode(skewed_sequences) == encoder.encode(
+            skewed_sequences
+        )
+        assert codec.compressed_bits(skewed_table) == encoder.compressed_bits(
+            skewed_table
+        )
+
+    def test_simplified_matches_tree(self, skewed_sequences, skewed_table):
+        codec = SimplifiedTreeCodec().fit(skewed_table)
+        tree = SimplifiedTree(skewed_table)
+        assert codec.encode(skewed_sequences) == tree.encode(skewed_sequences)
+        assert codec.average_bits(skewed_table) == tree.average_length(
+            skewed_table
+        )
+
+    def test_simplified_from_stream_roundtrip(self, skewed_sequences,
+                                              skewed_table):
+        from repro.core.streams import CompressedKernel
+
+        tree = SimplifiedTree(skewed_table)
+        sequences = skewed_sequences[:900]
+        stream = CompressedKernel.from_sequences(sequences, (30, 30), tree)
+        codec = SimplifiedTreeCodec.from_stream(stream)
+        decoded = codec.decode(
+            stream.payload, stream.num_sequences, stream.bit_length
+        )
+        assert np.array_equal(decoded, sequences)
+
+    def test_unfitted_use_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            HuffmanCodec().encode(np.array([0]))
+        with pytest.raises(RuntimeError, match="before fit"):
+            SimplifiedTreeCodec().code_length(0)
+        with pytest.raises(RuntimeError, match="before fit"):
+            RankGammaCodec().encode(np.array([0]))
+
+
+class TestRankGamma:
+    def test_gamma_length_values(self):
+        assert elias_gamma_length(1) == 1
+        assert elias_gamma_length(2) == 3
+        assert elias_gamma_length(4) == 5
+        assert elias_gamma_length(512) == 19
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(ValueError):
+            elias_gamma_length(0)
+
+    def test_most_common_sequence_costs_one_bit(self, skewed_table):
+        codec = RankGammaCodec().fit(skewed_table)
+        # sequence 0 dominates the skewed fixture -> rank 1 -> 1 bit
+        assert codec.code_length(0) == 1
+
+    def test_code_lengths_follow_ranks(self, skewed_table):
+        codec = RankGammaCodec().fit(skewed_table)
+        ranked = skewed_table.ranked_sequences()
+        for rank, sequence in enumerate(ranked[:32], start=1):
+            assert codec.code_length(int(sequence)) == elias_gamma_length(rank)
+
+    def test_empty_table_average_is_nine(self):
+        table = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        codec = RankGammaCodec().fit(table)
+        assert codec.average_bits(table) == float(BITS_PER_SEQUENCE)
+        assert codec.compression_ratio(table) == 1.0
+
+
+class TestCodecAccounting:
+    @pytest.mark.parametrize("name", ("huffman", "simplified", "rank-gamma"))
+    def test_average_bits_beats_fixed_on_skew(self, name, skewed_table):
+        codec = get_codec(name).fit(skewed_table)
+        assert codec.average_bits(skewed_table) < BITS_PER_SEQUENCE
+
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_average_never_beats_entropy(self, name, block1_table):
+        codec = get_codec(name).fit(block1_table)
+        assert codec.average_bits(block1_table) >= (
+            block1_table.entropy_bits() - 1e-9
+        )
+
+    def test_degenerate_ratio_is_inf_for_nonzero_payload(self):
+        """A codec that assigns 0-bit codes reports inf, not 1.0."""
+
+        class ZeroCodec(Codec):
+            name = "zero-test"
+
+            def fit(self, table):
+                return self
+
+            def encode(self, sequences):
+                return b"", 0
+
+            def decode(self, payload, count, bit_length):
+                return np.zeros(count, dtype=np.int64)
+
+            def code_length(self, sequence):
+                return 0
+
+        table = FrequencyTable.from_sequences(np.zeros(10, np.int64))
+        assert ZeroCodec().compression_ratio(table) == float("inf")
+        empty = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        assert ZeroCodec().compression_ratio(empty) == 1.0

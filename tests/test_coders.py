@@ -49,3 +49,58 @@ class TestComparison:
         assert "Coder comparison" in text
         assert "Average" in text
         assert "Entropy" in text
+
+    def test_ratios_dict_carries_every_registry_entry(self, reactnet_kernels):
+        from repro.core.codec import available_codecs
+
+        rows = compare_coders(reactnet_kernels)
+        for row in rows:
+            assert set(row.ratios) == set(available_codecs())
+
+    def test_codecs_subset_restricts_run(self, reactnet_kernels):
+        rows = compare_coders(reactnet_kernels, codecs=("fixed", "huffman"))
+        for row in rows:
+            assert set(row.ratios) == {"fixed", "huffman"}
+            assert row.huffman == row.ratios["huffman"]
+
+
+class TestRegistryParity:
+    """The registry-based comparison pins the legacy hand-rolled math."""
+
+    def test_averages_match_direct_implementations(self, reactnet_kernels):
+        import math
+
+        from repro.core.bitseq import BITS_PER_SEQUENCE
+        from repro.core.frequency import FrequencyTable
+        from repro.core.huffman import HuffmanEncoder
+        from repro.core.simplified import SimplifiedTree
+
+        def rank_gamma_average(table):
+            bits = 0
+            for rank, sequence in enumerate(
+                table.ranked_sequences(), start=1
+            ):
+                length = 2 * int(math.floor(math.log2(rank))) + 1
+                bits += table.count(int(sequence)) * length
+            return bits / table.total
+
+        rows = compare_coders(reactnet_kernels)
+        for row in rows:
+            table = FrequencyTable.from_kernels(
+                [reactnet_kernels[row.block]]
+            )
+            assert row.fixed == 1.0
+            assert row.huffman == HuffmanEncoder.from_table(
+                table
+            ).compression_ratio(table)
+            assert row.simplified == SimplifiedTree(table).compression_ratio(
+                table
+            )
+            assert row.rank_gamma == (
+                BITS_PER_SEQUENCE / rank_gamma_average(table)
+            )
+
+    def test_mean_ratios_in_paper_ballpark(self, reactnet_kernels):
+        rows = compare_coders(reactnet_kernels)
+        mean_simplified = float(np.mean([r.simplified for r in rows]))
+        assert 1.1 < mean_simplified < 1.4

@@ -93,6 +93,18 @@ class TestCompressBlock:
         # 1-bit prefix (0 / 1) + 8-bit table index
         assert result.tree.layout.code_lengths == (9, 9)
 
+    def test_non_4d_kernel_rejected(self):
+        with pytest.raises(ValueError, match="must be 4-D"):
+            KernelCompressor().compress_block(
+                [np.zeros((4, 9), dtype=np.uint8)]
+            )
+
+    def test_non_3x3_kernel_rejected(self):
+        with pytest.raises(ValueError, match="3x3"):
+            KernelCompressor().compress_block(
+                [np.zeros((2, 2, 1, 1), dtype=np.uint8)]
+            )
+
     def test_paper_configuration_on_synthetic_block(self, reactnet_kernels):
         """Block 12 (most skewed) compresses > 1.2x with clustering."""
         compressor = KernelCompressor(
@@ -100,3 +112,40 @@ class TestCompressBlock:
         )
         result = compressor.compress_block([reactnet_kernels[12]])
         assert result.compression_ratio > 1.2
+
+
+class TestCompressionRatioDegenerateCases:
+    """Regression: zero compressed bits with a real payload is inf, not 1."""
+
+    def test_zero_compressed_nonzero_raw_is_inf(self, skewed_kernel):
+        result = KernelCompressor().compress_block([skewed_kernel])
+        result.streams = [
+            type(s)(
+                shape=s.shape,
+                capacities=s.capacities,
+                node_tables=s.node_tables,
+                payload=b"",
+                bit_length=0,
+            )
+            for s in result.streams
+        ]
+        assert result.raw_bits > 0
+        assert result.compression_ratio == float("inf")
+
+    def test_zero_raw_and_zero_compressed_is_one(self, skewed_kernel):
+        from repro.core.frequency import FrequencyTable
+        from repro.core.bitseq import NUM_SEQUENCES
+
+        result = KernelCompressor().compress_block([skewed_kernel])
+        result.effective_table = FrequencyTable(
+            np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        )
+        result.streams = []
+        assert result.raw_bits == 0
+        assert result.compression_ratio == 1.0
+
+    def test_normal_ratio_unchanged(self, skewed_kernel):
+        result = KernelCompressor().compress_block([skewed_kernel])
+        assert result.compression_ratio == (
+            result.raw_bits / result.compressed_bits
+        )

@@ -79,6 +79,99 @@ class TestRoundtrip:
         assert all(not layer.training for layer in loaded.layers)
 
 
+class TestManifestFormat:
+    def test_v2_manifest_records_codec(self, trained_model, tmp_path):
+        import json
+
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        with np.load(path) as arrays:
+            header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        assert header["format_version"] == 2
+        assert header["codec"]["name"] == "simplified"
+
+    def test_v2_manifest_records_clustering_params(
+        self, trained_model, tmp_path
+    ):
+        import json
+
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(
+            model, path,
+            clustering=ClusteringConfig(num_common=32, num_rare=100),
+        )
+        with np.load(path) as arrays:
+            header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        assert header["clustered"] is True
+        assert header["clustering"] == {
+            "num_common": 32, "num_rare": 100, "max_distance": 1,
+        }
+
+    def test_codec_params_recorded(self, trained_model, tmp_path):
+        import json
+
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(
+            model, path, codec_params={"capacities": (32, 64, 64, 512)},
+        )
+        with np.load(path) as arrays:
+            header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        assert header["codec"]["params"]["capacities"] == [32, 64, 64, 512]
+
+    def test_v1_artifact_still_loads(self, trained_model, tmp_path):
+        """Strip the v2 fields back out and the loader must still work."""
+        import json
+
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        with np.load(path) as arrays:
+            stored = {name: arrays[name] for name in arrays.files}
+            header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        header["format_version"] = 1
+        header.pop("codec", None)
+        header.pop("clustering", None)
+        stored["manifest"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        v1_path = tmp_path / "model_v1.npz"
+        np.savez(v1_path, **stored)
+
+        loaded = load_compressed_model(v1_path)
+        for a, b in zip(
+            model.binary_kernel_bits(3), loaded.binary_kernel_bits(3)
+        ):
+            assert np.array_equal(a, b)
+
+    def test_future_version_rejected(self, trained_model, tmp_path):
+        import json
+
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        with np.load(path) as arrays:
+            stored = {name: arrays[name] for name in arrays.files}
+            header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        header["format_version"] = 99
+        stored["manifest"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        future_path = tmp_path / "model_v99.npz"
+        np.savez(future_path, **stored)
+        with pytest.raises(ValueError, match="unsupported artifact version"):
+            load_compressed_model(future_path)
+
+    def test_treeless_codec_rejected(self, trained_model, tmp_path):
+        model, _ = trained_model
+        with pytest.raises(ValueError, match="no decoder tree"):
+            save_compressed_model(
+                model, tmp_path / "bad.npz", codec="rank-gamma"
+            )
+
+
 class TestReport:
     def test_small_model_reports_table_overhead(self, trained_model, tmp_path):
         """For tiny kernels the node tables dominate — the report must

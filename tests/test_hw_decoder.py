@@ -143,3 +143,27 @@ class TestProgram:
         assert program.num_sequences == 64
         assert program.compressed_bytes == (stream.bit_length + 7) // 8
         assert program.base_address == 0x1000
+
+
+class TestCodecResolution:
+    """The unit resolves its code-length model through the codec surface."""
+
+    def test_resolve_codec_matches_stream_tree(self, rng):
+        from repro.core.codec import SimplifiedTreeCodec
+
+        sequences = rng.integers(0, 512, 64)
+        stream = make_stream(sequences, (8, 8))
+        codec = DecoderProgram(stream).resolve_codec()
+        assert isinstance(codec, SimplifiedTreeCodec)
+        assert codec.tree.assignment.node_tables == stream.node_tables
+        decoded = codec.decode(
+            stream.payload, stream.num_sequences, stream.bit_length
+        )
+        assert np.array_equal(decoded, sequences)
+
+    def test_code_lengths_cover_stream_bits(self, rng):
+        sequences = rng.integers(0, 512, 64)
+        stream = make_stream(sequences, (8, 8))
+        codec = DecoderProgram(stream).resolve_codec()
+        total = sum(codec.code_length(int(s)) for s in sequences)
+        assert total == stream.bit_length
