@@ -3,15 +3,35 @@
 Not a paper table — these keep the library's own hot paths honest (the
 repro band notes bit-packing is the usual Python bottleneck) and give
 pytest-benchmark something with enough rounds for stable statistics.
+
+The batch tests are the acceptance gate for the vectorised codec path:
+``encode_batch`` + ``decode_batch`` must beat the per-symbol scalar
+reference (``encode_scalar`` / ``decode_scalar``, the ``BitWriter`` /
+``BitReader`` oracle) by >= 10x for the huffman and simplified codecs
+on a >= 100k-sequence workload, while producing bit-identical streams.
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.bnn.packing import pack_bits, packed_dot, unpack_bits
-from repro.core.bitseq import kernel_to_sequences
+from repro.core.bitseq import NUM_SEQUENCES, kernel_to_sequences
+from repro.core.codec import get_codec
 from repro.core.frequency import FrequencyTable
 from repro.core.simplified import SimplifiedTree
+
+#: the acceptance workload: 512 kernels x 256 channels = 131 072 sequences
+BATCH_ITEMS = 512
+BATCH_ITEM_SIZE = 256
+
+
+def _print_rate(benchmark, count, label):
+    """Report sequences/s when benchmark stats exist (not --benchmark-disable)."""
+    stats = getattr(benchmark, "stats", None)
+    if stats:
+        print(f"\n{label}: {count / stats['mean'] / 1e6:.2f} M sequences/s")
 
 
 @pytest.fixture(scope="module")
@@ -24,11 +44,24 @@ def block7_tree(block7_sequences):
     return SimplifiedTree(FrequencyTable.from_sequences(block7_sequences))
 
 
+@pytest.fixture(scope="module")
+def skewed_batch():
+    """A model-shaped batch: many kernels sharing one skewed table."""
+    rng = np.random.default_rng(0)
+    training = np.concatenate(
+        [rng.integers(0, 8, 120000), rng.integers(0, NUM_SEQUENCES, 24000)]
+    )
+    table = FrequencyTable.from_sequences(training)
+    batch = [
+        rng.choice(training, size=BATCH_ITEM_SIZE) for _ in range(BATCH_ITEMS)
+    ]
+    return table, batch
+
+
 def test_encode_throughput(benchmark, block7_tree, block7_sequences):
     payload, bits = benchmark(block7_tree.encode, block7_sequences)
     assert bits > 0
-    rate = block7_sequences.size / benchmark.stats["mean"]
-    print(f"\nencode: {rate / 1e6:.2f} M sequences/s")
+    _print_rate(benchmark, block7_sequences.size, "encode")
 
 
 def test_decode_throughput(benchmark, block7_tree, block7_sequences):
@@ -37,8 +70,72 @@ def test_decode_throughput(benchmark, block7_tree, block7_sequences):
         block7_tree.decode, payload, block7_sequences.size, bits
     )
     assert np.array_equal(decoded, block7_sequences)
-    rate = block7_sequences.size / benchmark.stats["mean"]
-    print(f"\ndecode: {rate / 1e6:.2f} M sequences/s")
+    _print_rate(benchmark, block7_sequences.size, "decode")
+
+
+def test_batch_encode_throughput(benchmark, block7_tree, block7_sequences):
+    """Single 262k-sequence stream through the batch encoder."""
+    words, offsets = benchmark(block7_tree.encode_batch, [block7_sequences])
+    assert int(offsets[-1]) > 0
+    _print_rate(benchmark, block7_sequences.size, "encode_batch")
+
+
+def test_batch_decode_throughput(benchmark, block7_tree, block7_sequences):
+    """Single large stream: exercises the binary-lifting chain decoder."""
+    words, offsets = block7_tree.encode_batch([block7_sequences])
+    decoded = benchmark(
+        block7_tree.decode_batch, words, [block7_sequences.size], offsets
+    )
+    assert np.array_equal(decoded[0], block7_sequences)
+    _print_rate(benchmark, block7_sequences.size, "decode_batch")
+
+
+@pytest.mark.parametrize("name", ("huffman", "simplified"))
+def test_batch_speedup_vs_scalar_reference(name, skewed_batch):
+    """Acceptance gate: >= 10x encode+decode over the per-symbol oracle.
+
+    Both paths run the identical workload (>= 100k sequences across a
+    whole block's worth of kernels) and must produce bit-identical
+    payloads; speed is measured with plain timers because the scalar
+    reference is far too slow for multi-round benchmarking.
+    """
+    table, batch = skewed_batch
+    total = sum(item.size for item in batch)
+    assert total >= 100_000
+    codec = get_codec(name).fit(table)
+    counts = [item.size for item in batch]
+
+    batch_elapsed = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        words, offsets = codec.encode_batch(batch)
+        decoded = codec.decode_batch(words, counts, offsets)
+        batch_elapsed = min(batch_elapsed, time.perf_counter() - start)
+    for got, expected in zip(decoded, batch):
+        assert np.array_equal(got, expected)
+
+    start = time.perf_counter()
+    payloads = [codec.encode_scalar(item) for item in batch]
+    for (payload, bit_length), expected in zip(payloads, batch):
+        decoded_ref = codec.decode_scalar(payload, expected.size, bit_length)
+        assert np.array_equal(decoded_ref, expected)
+    scalar_elapsed = time.perf_counter() - start
+
+    # bit parity: the batch stream is the concatenated scalar payloads
+    ref_words, ref_offsets = codec.encode_batch_scalar(batch)
+    assert np.array_equal(words, ref_words)
+    assert np.array_equal(offsets, ref_offsets)
+
+    speedup = scalar_elapsed / batch_elapsed
+    print(
+        f"\n{name}: batch {total / batch_elapsed / 1e6:.2f} M seq/s, "
+        f"scalar reference {total / scalar_elapsed / 1e6:.3f} M seq/s "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"{name} batch path is only {speedup:.1f}x over the scalar "
+        "reference (acceptance floor is 10x)"
+    )
 
 
 def test_channel_pack_throughput(benchmark):

@@ -28,3 +28,13 @@ def test_model_compression(benchmark, reactnet_kernels):
         1 - 0.68 + 0.68 / result.conv3x3_ratio
     )
     assert result.model_ratio == pytest.approx(expected_dilution, abs=0.05)
+
+
+def test_model_compression_batch_matches_scalar(reactnet_kernels):
+    """The vectorised batch path measures the exact same model bits."""
+    small = {block: reactnet_kernels[block] for block in (1, 2)}
+    batched = measure_model_compression(small, use_batch=True)
+    scalar = measure_model_compression(small, use_batch=False)
+    assert batched.compressed_bits == scalar.compressed_bits
+    assert batched.baseline_bits == scalar.baseline_bits
+    assert batched.conv3x3_ratio == scalar.conv3x3_ratio

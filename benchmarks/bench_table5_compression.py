@@ -33,3 +33,12 @@ def test_table5_compression(benchmark, reactnet_kernels):
     # block 12 (most skewed per Table II) compresses best, as in the paper
     best = max(rows, key=lambda r: r.clustering_ratio)
     assert best.block == 12
+
+
+def test_table5_batch_matches_scalar(reactnet_kernels):
+    """Table V is identical through the batch and scalar codec paths."""
+    small = {block: reactnet_kernels[block] for block in (1, 12)}
+    batched = measure_table5(small, use_batch=True)
+    scalar = measure_table5(small, use_batch=False)
+    for a, b in zip(batched, scalar):
+        assert a == b

@@ -80,30 +80,40 @@ def measure_table5(
     seed: int = 0,
     codec: str = "simplified",
     codec_params: Optional[Dict] = None,
+    use_batch: bool = True,
+    workers: int = 0,
 ) -> List[Table5Row]:
     """Compress every block twice (encoding only / with clustering).
 
     ``codec`` selects any registry entry; the published numbers are for
     the default ``"simplified"`` scheme, other codecs re-run the same
     experiment with a different coder (the paper-column entries then
-    serve as reference only).
+    serve as reference only).  ``use_batch`` / ``workers`` select the
+    vectorised codec path and the per-block process-pool fan-out; both
+    produce bit-identical payloads to the serial scalar run.
     """
     kernels = kernels or generate_reactnet_kernels(seed=seed)
     params = dict(codec_params or {})
     if codec == "simplified":
         params.setdefault("capacities", tuple(int(c) for c in capacities))
     plain = CompressionPipeline(
-        PipelineConfig(codec=codec, codec_params=params, clustering=None)
+        PipelineConfig(
+            codec=codec, codec_params=params, clustering=None,
+            use_batch=use_batch, workers=workers,
+        )
     )
     clustered = CompressionPipeline(
-        PipelineConfig(codec=codec, codec_params=params, clustering=clustering)
+        PipelineConfig(
+            codec=codec, codec_params=params, clustering=clustering,
+            use_batch=use_batch, workers=workers,
+        )
     )
+    plain_results = plain.compress_model(kernels).blocks
+    clustered_results = clustered.compress_model(kernels).blocks
     rows = []
     for block in sorted(kernels):
-        encoding = plain.compress_block([kernels[block]], block=block)
-        with_clustering = clustered.compress_block(
-            [kernels[block]], block=block
-        )
+        encoding = plain_results[block]
+        with_clustering = clustered_results[block]
         paper = PAPER_TABLE5.get(block, (float("nan"), float("nan")))
         rows.append(
             Table5Row(
@@ -177,25 +187,37 @@ def measure_model_compression(
     kernels: Optional[Dict[int, np.ndarray]] = None,
     clustering: ClusteringConfig = PAPER_CLUSTERING,
     seed: int = 0,
+    use_batch: bool = True,
+    workers: int = 0,
 ) -> ModelCompressionResult:
     """Fold compressed 3x3 payloads into the whole-model storage total.
 
     Only the 3x3 binary kernels are compressed (the paper compresses
-    nothing else); node tables are charged once per block.
+    nothing else); node tables are charged once per block.  The blocks
+    run through ``CompressionPipeline.compress_model``, so ``use_batch``
+    selects the vectorised codec path and ``workers`` fans blocks out
+    over a process pool — the measured bits are identical either way.
     """
     kernels = kernels or generate_reactnet_kernels(seed=seed)
     breakdown = compute_storage_breakdown()
     baseline_bits = breakdown.total_bits
     conv3x3_bits = breakdown.row("Conv 3x3").storage_bits
 
-    compressor = KernelCompressor(clustering=clustering)
+    pipeline = CompressionPipeline(
+        PipelineConfig(
+            codec="simplified", clustering=clustering,
+            use_batch=use_batch, workers=workers,
+        )
+    )
+    model_result = pipeline.compress_model(kernels)
     compressed_payload_bits = 0
     table_bits = 0
     for block in sorted(kernels):
-        result = compressor.compress_block([kernels[block]])
+        result = model_result.blocks[block]
         compressed_payload_bits += result.compressed_bits
         table_bits += sum(
-            len(t) * 2 * 8 for t in result.tree.assignment.node_tables
+            len(t) * 2 * 8
+            for t in result.codec.tree.assignment.node_tables
         )
     compressed_total = (
         baseline_bits - conv3x3_bits + compressed_payload_bits + table_bits

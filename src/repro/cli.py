@@ -47,7 +47,13 @@ def _cmd_table5(args: argparse.Namespace) -> str:
 
     codec = getattr(args, "codec", "simplified")
     return render_table5(
-        measure_table5(seed=args.seed, codec=codec), codec=codec
+        measure_table5(
+            seed=args.seed,
+            codec=codec,
+            use_batch=getattr(args, "use_batch", True),
+            workers=getattr(args, "workers", 0),
+        ),
+        codec=codec,
     )
 
 
@@ -72,7 +78,11 @@ def _cmd_mix(args: argparse.Namespace) -> str:
 def _cmd_model(args: argparse.Namespace) -> str:
     from .analysis.compression import measure_model_compression
 
-    result = measure_model_compression(seed=args.seed)
+    result = measure_model_compression(
+        seed=args.seed,
+        use_batch=getattr(args, "use_batch", True),
+        workers=getattr(args, "workers", 0),
+    )
     return (
         f"baseline model bits:   {result.baseline_bits}\n"
         f"compressed model bits: {result.compressed_bits}\n"
@@ -160,6 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--codec", choices=available_codecs(), default="simplified",
                 help="codec registry entry to measure (default simplified)",
+            )
+        if name in ("table5", "model"):
+            sub.add_argument(
+                "--workers", type=int, default=0,
+                help="process-pool fan-out across blocks (default serial)",
+            )
+            path = sub.add_mutually_exclusive_group()
+            path.add_argument(
+                "--batch", dest="use_batch", action="store_true",
+                default=True,
+                help="vectorised batch codec path (default)",
+            )
+            path.add_argument(
+                "--scalar", dest="use_batch", action="store_false",
+                help="scalar per-kernel reference path (bit-identical)",
             )
         if name in ("accuracy", "all"):
             sub.add_argument(

@@ -47,7 +47,17 @@ from .bitseq import (
     sequences_to_kernel,
     signs_to_bits,
 )
-from .bitstream import BitReader, BitWriter
+# NOTE: the low-level batch packing helpers (``pack_bits``,
+# ``unpack_bits``, ``bits_to_words``) stay namespaced under
+# ``repro.core.bitstream`` — ``repro.bnn`` exports channel-packing
+# functions of the same names with different signatures.
+from .bitstream import (
+    BitReader,
+    BitWriter,
+    bytes_to_words,
+    extract_payload,
+    words_to_bytes,
+)
 from .clustering import ClusteringConfig, ClusteringResult, cluster_sequences
 from .codec import (
     Codec,
@@ -110,10 +120,13 @@ __all__ = [
     "available_codecs",
     "bits_to_signs",
     "build_huffman_code",
+    "bytes_to_words",
     "channels_to_sequences",
     "cluster_sequences",
     "elias_gamma_length",
+    "extract_payload",
     "get_codec",
+    "words_to_bytes",
     "hamming_distance",
     "hamming_neighbours",
     "kernel_to_sequences",

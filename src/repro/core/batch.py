@@ -1,0 +1,416 @@
+"""Vectorised batch coding primitives shared by every registry codec.
+
+The scalar :class:`~repro.core.bitstream.BitWriter` /
+:class:`~repro.core.bitstream.BitReader` path walks one symbol (or one
+bit) at a time through Python loops — fine as a reference oracle,
+orders of magnitude too slow for whole-model runs.  The batch path works
+on arrays end to end:
+
+* **encode** — per-symbol codewords and lengths come from 512-entry
+  lookup tables, then :func:`~repro.core.bitstream.pack_bits` scatters
+  the variable-length codes into ``uint64`` words with cumulative bit
+  offsets (:func:`lut_encode_batch`);
+* **decode** — every bit position's ``max_window``-bit lookahead window
+  is resolved through the code's window LUT, giving a per-position
+  "next code" jump array; binary lifting
+  (:func:`~repro.core.bitstream.chain_positions`) materialises the code
+  boundary chain without a Python loop (:func:`decode_prefix_batch`).
+  Elias-gamma codes get the same treatment with run-of-zeros arithmetic
+  instead of a window LUT (:func:`decode_gamma_batch`).
+
+A batch is laid out as one contiguous MSB-first bit stream: item ``i``
+occupies bits ``[bit_offsets[i], bit_offsets[i + 1])`` of the packed
+words.  Because items are butted against each other with no padding,
+byte-serialising any single item's slice
+(:func:`~repro.core.bitstream.extract_payload`) reproduces the scalar
+path's payload bit for bit — the property suite pins this down.
+
+Decode here requires ``bit_offsets`` to be *exact* code boundaries (as
+``encode_batch`` produces).  The scalar reference decoders tolerate
+trailing slack inside an item's range; the vectorised strategies would
+desynchronise on it, so both reject it — mid-stream desync with
+``ValueError``, slack or exhaustion at the end with ``EOFError``.
+(Only the explicit scalar fallback for degenerate > 16-bit Huffman
+codes retains the per-item lenient behaviour.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .bitseq import NUM_SEQUENCES
+from .bitstream import (
+    _chunk32,
+    bits_to_words,
+    bytes_to_bits,
+    chain_positions,
+    extract_payload,
+    pack_bits,
+    sliding_window_values,
+    unpack_bits,
+    window_values_at,
+)
+
+__all__ = [
+    "MAX_WINDOW_BITS",
+    "validate_batch_layout",
+    "lut_encode_batch",
+    "decode_prefix_batch",
+    "decode_gamma_batch",
+    "scalar_encode_batch",
+    "scalar_decode_batch",
+]
+
+#: Widest lookahead window the LUT decoder will build (2**16 entries).
+#: Codes longer than this (pathological Huffman trees) fall back to the
+#: scalar reference decoder.
+MAX_WINDOW_BITS = 16
+
+#: Bits needed to hold the largest Elias-gamma rank (1..512).
+_RANK_BITS = NUM_SEQUENCES.bit_length()
+
+
+def validate_batch_layout(
+    counts: Sequence[int], bit_offsets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise and sanity-check a batch's ``(counts, bit_offsets)``."""
+    counts = np.asarray(counts, dtype=np.int64).reshape(-1)
+    bit_offsets = np.asarray(bit_offsets, dtype=np.int64).reshape(-1)
+    if bit_offsets.size != counts.size + 1:
+        raise ValueError(
+            f"{counts.size} items need {counts.size + 1} bit offsets, "
+            f"got {bit_offsets.size}"
+        )
+    if counts.size and counts.min() < 0:
+        raise ValueError("item counts must be non-negative")
+    if bit_offsets.size and (
+        bit_offsets[0] < 0 or np.any(np.diff(bit_offsets) < 0)
+    ):
+        raise ValueError("bit offsets must be non-negative and ascending")
+    return counts, bit_offsets
+
+
+def _split_by_counts(
+    values: np.ndarray, counts: np.ndarray
+) -> List[np.ndarray]:
+    """Split a flat decoded array back into per-item arrays."""
+    if counts.size == 0:
+        return []
+    return [
+        part.copy()
+        for part in np.split(values, np.cumsum(counts)[:-1])
+    ]
+
+
+def lut_encode_batch(
+    batch: Sequence[np.ndarray],
+    codes_lut: np.ndarray,
+    lengths_lut: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode many sequence arrays through codeword/length lookup tables.
+
+    Returns ``(packed_words, bit_offsets)``: a ``uint64`` word array
+    holding every item's codes back to back, and ``len(batch) + 1``
+    cumulative bit offsets delimiting each item.  Symbols whose LUT
+    length is zero have no code (zero training frequency) and raise
+    ``KeyError`` exactly like the scalar encoder.
+    """
+    arrays = [
+        np.asarray(item, dtype=np.int64).reshape(-1) for item in batch
+    ]
+    sizes = np.array([item.size for item in arrays], dtype=np.int64)
+    if sizes.sum() == 0:
+        return (
+            np.empty(0, dtype=np.uint64),
+            np.zeros(len(arrays) + 1, dtype=np.int64),
+        )
+    symbols = np.concatenate(arrays) if len(arrays) > 1 else arrays[0]
+    if symbols.min() < 0 or symbols.max() >= NUM_SEQUENCES:
+        raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+    lengths = lengths_lut[symbols]
+    if lengths.min() <= 0:
+        missing = int(symbols[np.argmin(lengths)])
+        raise KeyError(
+            f"sequence {missing} has no code (zero training frequency)"
+        )
+    words, _ = pack_bits(codes_lut[symbols], lengths)
+    cumulative_bits = np.concatenate(([0], np.cumsum(lengths)))
+    item_boundaries = np.concatenate(([0], np.cumsum(sizes)))
+    return words, cumulative_bits[item_boundaries]
+
+
+def _verify_boundaries(
+    positions: np.ndarray,
+    counts: np.ndarray,
+    bit_offsets: np.ndarray,
+) -> None:
+    """Check the decoded chain lands exactly on every item boundary.
+
+    Empty items own no chain position; their (necessarily empty) bit
+    range is validated indirectly by the next non-empty item's start.
+    """
+    starts = np.cumsum(counts) - counts
+    nonempty = np.flatnonzero(counts)
+    if nonempty.size == 0:
+        return
+    found = positions[starts[nonempty]]
+    expected = bit_offsets[:-1][nonempty]
+    if not np.array_equal(found, expected):
+        bad = int(np.flatnonzero(found != expected)[0])
+        raise ValueError(
+            f"batch stream desynchronised at item {int(nonempty[bad])}: "
+            f"code boundary {int(found[bad])} != offset "
+            f"{int(expected[bad])} (offsets must be exact code boundaries)"
+        )
+
+
+def _stream_chunks(words: np.ndarray, bit_length: int) -> np.ndarray:
+    """32-bit per-byte chunks of a packed word stream (zero padded).
+
+    One extra word of zero bytes is appended so a decode cursor clamped
+    to ``bit_length`` (exhausted stream) still reads an in-bounds,
+    all-zero window even when ``bit_length`` fills the words exactly.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if bit_length > words.size * 64:
+        raise ValueError(
+            f"bit_length {bit_length} exceeds {words.size * 64} bits "
+            "of packed words"
+        )
+    stream_bytes = np.concatenate(
+        [words.astype(">u8").view(np.uint8), np.zeros(8, dtype=np.uint8)]
+    )
+    return _chunk32(stream_bytes)
+
+
+def decode_prefix_batch(
+    words: np.ndarray,
+    counts: Sequence[int],
+    bit_offsets: np.ndarray,
+    symbols_lut: np.ndarray,
+    lengths_lut: np.ndarray,
+    max_window: int,
+) -> List[np.ndarray]:
+    """Decode a batch of prefix-coded items through a window LUT.
+
+    ``symbols_lut`` / ``lengths_lut`` map every ``max_window``-bit
+    lookahead window starting at a code boundary to the decoded symbol
+    and its code length (symbol ``-1`` / length ``0`` for windows no
+    code produces).  Works for any prefix-free code — full Huffman and
+    the simplified tree share this path.
+
+    Two vectorised strategies cover the two batch shapes: many items
+    decode in lockstep (one pass per within-item symbol index, all
+    items at once); few large items use binary lifting over the
+    per-position jump table.  Both are bit-exact with the scalar
+    reference decoder on well-formed streams.
+    """
+    if not 1 <= max_window <= 25:
+        raise ValueError(
+            f"window width must be in [1, 25], got {max_window}"
+        )
+    counts, bit_offsets = validate_batch_layout(counts, bit_offsets)
+    total = int(counts.sum())
+    if total == 0:
+        return _split_by_counts(np.empty(0, dtype=np.int64), counts)
+    bit_length = int(bit_offsets[-1])
+    chunks = _stream_chunks(words, bit_length)
+    if counts.size >= 16 and int(counts.max()) * 16 <= total:
+        decoded = _decode_lockstep(
+            chunks, counts, bit_offsets, symbols_lut, lengths_lut, max_window
+        )
+        return _split_by_counts(decoded, counts)
+
+    positions_domain = np.arange(bit_length, dtype=np.int64)
+    windows = window_values_at(chunks, positions_domain, max_window)
+    code_lengths = lengths_lut[windows]
+    jump = np.where(
+        code_lengths > 0,
+        np.minimum(positions_domain + code_lengths, bit_length),
+        positions_domain,  # invalid window: stall, symbol check reports it
+    )
+    positions = chain_positions(jump, total, start=int(bit_offsets[0]))
+    if np.any(positions >= bit_length):
+        exhausted = int(np.argmax(positions >= bit_length))
+        raise EOFError(
+            f"stream exhausted after {exhausted} of {total} sequences"
+        )
+    decoded = symbols_lut[windows[positions]]
+    if decoded.min() < 0:
+        bad = int(positions[np.argmin(decoded)])
+        raise ValueError(f"invalid code at bit {bad}")
+    final_end = int(positions[-1] + code_lengths[positions[-1]])
+    if final_end != bit_length:
+        raise EOFError(
+            f"last item's codes end at bit {final_end}, declared "
+            f"{bit_length} (offsets must be exact code boundaries)"
+        )
+    _verify_boundaries(positions, counts, bit_offsets)
+    return _split_by_counts(decoded, counts)
+
+
+def _decode_lockstep(
+    chunks: np.ndarray,
+    counts: np.ndarray,
+    bit_offsets: np.ndarray,
+    symbols_lut: np.ndarray,
+    lengths_lut: np.ndarray,
+    max_window: int,
+) -> np.ndarray:
+    """Decode many items in lockstep: one vector pass per symbol index.
+
+    Items are sorted by count so the active set is always a prefix;
+    per-item error states (exhausted stream, invalid code, desync) are
+    detected after the loop from the decoded symbols and final cursor
+    positions, keeping the hot loop free of Python-level branching.
+    """
+    num_items = counts.size
+    total = int(counts.sum())
+    bit_length = int(bit_offsets[-1])
+    order = np.argsort(-counts, kind="stable")
+    sorted_counts = counts[order]
+    max_count = int(sorted_counts[0])
+    cursors = bit_offsets[:-1][order].astype(np.int64)
+    item_ends = bit_offsets[1:][order]
+    # active item count per symbol index (items sorted by count, so the
+    # active set is always a prefix)
+    actives = num_items - np.searchsorted(
+        sorted_counts[::-1], np.arange(max_count), side="right"
+    )
+    out = np.zeros((num_items, max_count), dtype=np.int64)
+    mask = (1 << max_window) - 1
+    base_shift = 32 - max_window
+    # overrunning cursors are clamped strictly *past* every declared end
+    # (the chunk stream is zero-padded by a full word, so reads up to
+    # bit_length + 48 stay in bounds); landing anywhere but the item's
+    # own end bit is then always detectable below
+    ceiling = bit_length + 48
+    for index in range(max_count):
+        active = int(actives[index])
+        front = cursors[:active]
+        windows = (chunks[front >> 3] >> (base_shift - (front & 7))) & mask
+        out[:active, index] = symbols_lut[windows]
+        np.minimum(
+            front + lengths_lut[windows], ceiling, out=cursors[:active]
+        )
+    # every item's cursor must land exactly on its declared end bit —
+    # anything else means an invalid code (stalled cursor), an early
+    # exhaustion or an overrunning final code
+    if not np.array_equal(cursors, item_ends):
+        mismatch = int(np.flatnonzero(cursors != item_ends)[0])
+        item = int(order[mismatch])
+        if out[mismatch].min() < 0:
+            raise ValueError("invalid code word in stream")
+        raise EOFError(
+            f"item {item}: decode consumed "
+            f"{int(cursors[mismatch] - bit_offsets[item])} bits, declared "
+            f"{int(item_ends[mismatch] - bit_offsets[item])} "
+            "(offsets must be exact code boundaries)"
+        )
+    if out.min(initial=0) < 0:
+        raise ValueError("invalid code word in stream")
+    if max_count and int(sorted_counts[-1]) == max_count:
+        # uniform item sizes: undo the sort with one gather
+        inverse = np.empty(num_items, dtype=np.int64)
+        inverse[order] = np.arange(num_items)
+        return out[inverse].reshape(-1)
+    decoded = np.empty(total, dtype=np.int64)
+    write_starts = np.cumsum(counts) - counts
+    for sorted_index in range(num_items):
+        item = int(order[sorted_index])
+        start = int(write_starts[item])
+        decoded[start:start + int(counts[item])] = out[
+            sorted_index, : int(counts[item])
+        ]
+    return decoded
+
+
+def scalar_encode_batch(encode, batch) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference batch encoder: per-item scalar ``encode``, then repack.
+
+    Produces the exact ``(packed_words, bit_offsets)`` layout of
+    :func:`lut_encode_batch` by concatenating the scalar payloads'
+    bits, so any vectorised ``encode_batch`` can be checked against it
+    bit for bit.
+    """
+    payloads = [encode(np.asarray(item)) for item in batch]
+    bit_offsets = np.zeros(len(payloads) + 1, dtype=np.int64)
+    bit_offsets[1:] = np.cumsum(
+        [bit_length for _, bit_length in payloads], dtype=np.int64
+    )
+    if bit_offsets[-1] == 0:
+        return np.empty(0, dtype=np.uint64), bit_offsets
+    bits = np.concatenate(
+        [
+            bytes_to_bits(payload, bit_length)
+            for payload, bit_length in payloads
+        ]
+    )
+    return bits_to_words(bits), bit_offsets
+
+
+def scalar_decode_batch(
+    decode, words: np.ndarray, counts: Sequence[int], bit_offsets: np.ndarray
+) -> List[np.ndarray]:
+    """Reference batch decoder: slice each item out, scalar ``decode``."""
+    counts, bit_offsets = validate_batch_layout(counts, bit_offsets)
+    out = []
+    for index, count in enumerate(counts):
+        payload, bit_length = extract_payload(
+            words, int(bit_offsets[index]), int(bit_offsets[index + 1])
+        )
+        out.append(decode(payload, int(count), bit_length))
+    return out
+
+
+def decode_gamma_batch(
+    words: np.ndarray,
+    counts: Sequence[int],
+    bit_offsets: np.ndarray,
+    sequence_of: np.ndarray,
+) -> List[np.ndarray]:
+    """Decode a batch of Elias-gamma rank streams without a window LUT.
+
+    A gamma code is ``z`` zeros followed by the ``z + 1``-bit rank
+    (MSB ``1``), so the code length at any boundary is ``2 z + 1`` where
+    ``z`` is the distance to the next set bit — computable for *every*
+    bit position at once with a reversed cumulative minimum.
+    """
+    counts, bit_offsets = validate_batch_layout(counts, bit_offsets)
+    total = int(counts.sum())
+    if total == 0:
+        return _split_by_counts(np.empty(0, dtype=np.int64), counts)
+    bit_length = int(bit_offsets[-1])
+    bits = unpack_bits(words, bit_length)
+    here = np.arange(bit_length, dtype=np.int64)
+    one_positions = np.where(bits == 1, here, bit_length)
+    next_one = np.minimum.accumulate(one_positions[::-1])[::-1]
+    zeros = next_one - here
+    jump = np.minimum(here + 2 * zeros + 1, bit_length)
+    positions = chain_positions(jump, total, start=int(bit_offsets[0]))
+    if np.any(positions >= bit_length):
+        exhausted = int(np.argmax(positions >= bit_length))
+        raise EOFError(
+            f"stream exhausted after {exhausted} of {total} sequences"
+        )
+    run = zeros[positions]
+    ends = positions + 2 * run + 1
+    if np.any(ends > bit_length):
+        raise EOFError("bit stream exhausted")
+    if int(ends[-1]) != bit_length:
+        raise EOFError(
+            f"last item's codes end at bit {int(ends[-1])}, declared "
+            f"{bit_length} (offsets must be exact code boundaries)"
+        )
+    if np.any(run + 1 > _RANK_BITS):
+        bad_rank = 1 << int(run.max())
+        raise ValueError(f"rank {bad_rank} out of range in gamma stream")
+    windows = sliding_window_values(bits, _RANK_BITS)
+    ranks = windows[next_one[positions]] >> (_RANK_BITS - (run + 1))
+    if np.any(ranks > NUM_SEQUENCES):
+        bad = int(ranks.max())
+        raise ValueError(f"rank {bad} out of range in gamma stream")
+    _verify_boundaries(positions, counts, bit_offsets)
+    return _split_by_counts(sequence_of[ranks - 1], counts)

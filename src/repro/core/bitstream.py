@@ -17,7 +17,23 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-__all__ = ["BitWriter", "BitReader", "bits_to_bytes", "bytes_to_bits"]
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "pack_bits",
+    "unpack_bits",
+    "words_to_bytes",
+    "bytes_to_words",
+    "extract_payload",
+    "sliding_window_values",
+    "window_values_at",
+    "chain_positions",
+]
+
+#: Bits per packed word of the batch layout (one ``uint64`` each).
+WORD_BITS = 64
 
 
 class BitWriter:
@@ -142,6 +158,241 @@ class BitReader:
                 f"position {bit_position} outside [0, {self._bit_length}]"
             )
         self._pos = bit_position
+
+
+# ----------------------------------------------------------------------
+# Batch (array) layout: uint64 words + cumulative bit offsets
+# ----------------------------------------------------------------------
+# The batch codec path stores a whole block's worth of variable-length
+# codes in one contiguous MSB-first stream packed into ``uint64`` words:
+# stream bit ``p`` lives in word ``p // 64`` at bit ``63 - p % 64``.  The
+# byte serialisation of that word array (big-endian, truncated to the
+# payload length) is bit-for-bit the byte stream the scalar
+# :class:`BitWriter` path produces, so the two layouts interconvert
+# loss-lessly and hardware/software equivalence stays testable.
+
+
+def pack_bits(
+    codes: np.ndarray, lengths: np.ndarray
+) -> Tuple[np.ndarray, int]:
+    """Pack per-symbol ``(codeword, bit length)`` pairs into uint64 words.
+
+    Vectorised equivalent of ``BitWriter.write`` called once per symbol:
+    codes are concatenated MSB-first via cumulative bit offsets.  Returns
+    ``(words, total_bits)`` where ``words`` is a ``uint64`` array padded
+    with zero bits to a word boundary.
+    """
+    codes = np.asarray(codes, dtype=np.int64).reshape(-1)
+    lengths = np.asarray(lengths, dtype=np.int64).reshape(-1)
+    if codes.shape != lengths.shape:
+        raise ValueError(
+            f"codes and lengths disagree: {codes.shape} vs {lengths.shape}"
+        )
+    if lengths.size and lengths.min() < 0:
+        raise ValueError("code lengths must be non-negative")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.uint64), 0
+    starts = np.cumsum(lengths) - lengths
+    offsets = np.arange(total) - np.repeat(starts, lengths)
+    code_rep = np.repeat(codes, lengths)
+    length_rep = np.repeat(lengths, lengths)
+    bits = ((code_rep >> (length_rep - 1 - offsets)) & 1).astype(np.uint8)
+    packed = np.packbits(bits).tobytes()
+    pad = (-len(packed)) % 8
+    return (
+        np.frombuffer(packed + b"\x00" * pad, dtype=">u8").astype(np.uint64),
+        total,
+    )
+
+
+def bits_to_words(bits: np.ndarray) -> np.ndarray:
+    """Pack a flat bit array (MSB first) into uint64 words, zero padded."""
+    bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+    if bits.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    packed = np.packbits(bits).tobytes()
+    pad = (-len(packed)) % 8
+    return np.frombuffer(packed + b"\x00" * pad, dtype=">u8").astype(
+        np.uint64
+    )
+
+
+def unpack_bits(words: np.ndarray, bit_length: int) -> np.ndarray:
+    """Unpack a uint64 word array into its first ``bit_length`` bits."""
+    words = np.asarray(words, dtype=np.uint64)
+    if bit_length > words.size * WORD_BITS:
+        raise ValueError(
+            f"bit_length {bit_length} exceeds {words.size * WORD_BITS} "
+            "bits of packed words"
+        )
+    bits = np.unpackbits(words.astype(">u8").view(np.uint8))
+    return bits[:bit_length]
+
+
+def words_to_bytes(words: np.ndarray, bit_length: int) -> bytes:
+    """Serialise packed words to the scalar path's byte layout.
+
+    The result is exactly ``BitWriter.getvalue()`` of the same bit
+    stream: big-endian bytes truncated to ``ceil(bit_length / 8)``.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if bit_length > words.size * WORD_BITS:
+        raise ValueError(
+            f"bit_length {bit_length} exceeds {words.size * WORD_BITS} "
+            "bits of packed words"
+        )
+    return words.astype(">u8").tobytes()[: (bit_length + 7) // 8]
+
+
+def bytes_to_words(payload: bytes, bit_length: int | None = None) -> np.ndarray:
+    """Inverse of :func:`words_to_bytes` (zero-pads to a word boundary)."""
+    if bit_length is not None and bit_length > len(payload) * 8:
+        raise ValueError(
+            f"bit_length {bit_length} exceeds buffer of {len(payload) * 8} bits"
+        )
+    pad = (-len(payload)) % 8
+    return np.frombuffer(payload + b"\x00" * pad, dtype=">u8").astype(
+        np.uint64
+    )
+
+
+def extract_payload(
+    words: np.ndarray, start: int, stop: int
+) -> Tuple[bytes, int]:
+    """Slice bits ``[start, stop)`` out of packed words as a byte payload.
+
+    This recovers one batch item's stand-alone payload, bit-for-bit
+    identical to encoding that item alone through the scalar path.  Cost
+    is proportional to the slice, not the whole batch.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if not 0 <= start <= stop <= words.size * WORD_BITS:
+        raise ValueError(
+            f"bit slice [{start}, {stop}) outside "
+            f"[0, {words.size * WORD_BITS}]"
+        )
+    if start == stop:
+        return b"", 0
+    first = start // WORD_BITS
+    last = (stop + WORD_BITS - 1) // WORD_BITS
+    bits = np.unpackbits(words[first:last].astype(">u8").view(np.uint8))
+    segment = bits[start - first * WORD_BITS : stop - first * WORD_BITS]
+    return np.packbits(segment).tobytes(), stop - start
+
+
+def _chunk32(data: np.ndarray) -> np.ndarray:
+    """Per-byte 32-bit big-endian chunks: ``chunk[i]`` = bytes ``i..i+3``.
+
+    Zero-padded past the end, so a chunk read never falls off the
+    buffer.  Lets a ``width``-bit window at any *bit* position ``p``
+    (``width <= 25``) be read as
+    ``(chunk[p >> 3] >> (32 - width - (p & 7))) & mask`` — one gather
+    and two arithmetic ops instead of a ``width``-wide matmul.
+    """
+    padded = np.concatenate(
+        [np.asarray(data, dtype=np.uint8).reshape(-1),
+         np.zeros(4, dtype=np.uint8)]
+    ).astype(np.int64)
+    return (
+        (padded[:-4] << 24)
+        | (padded[1:-3] << 16)
+        | (padded[2:-2] << 8)
+        | padded[3:-1]
+    )
+
+
+def window_values_at(
+    chunks: np.ndarray, positions: np.ndarray, width: int
+) -> np.ndarray:
+    """``width``-bit window values at the given bit ``positions``.
+
+    ``chunks`` comes from :func:`_chunk32` over the stream bytes;
+    ``width`` must be at most 25 so the window plus the in-byte offset
+    fits one 32-bit chunk.
+    """
+    if not 1 <= width <= 25:
+        raise ValueError(f"window width must be in [1, 25], got {width}")
+    mask = (1 << width) - 1
+    shifts = 32 - width - (positions & 7)
+    return (chunks[positions >> 3] >> shifts) & mask
+
+
+def sliding_window_values(bits: np.ndarray, width: int) -> np.ndarray:
+    """Value of the ``width``-bit window starting at every bit position.
+
+    Positions near the end are zero-padded, mirroring the scalar LUT
+    decoder's padded reads.  Returns an ``int64`` array of
+    ``bits.size`` window values.
+    """
+    if width < 1:
+        raise ValueError(f"window width must be >= 1, got {width}")
+    bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+    if bits.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if width <= 25:
+        chunks = _chunk32(np.packbits(bits))
+        return window_values_at(
+            chunks, np.arange(bits.size, dtype=np.int64), width
+        )
+    padded = np.concatenate([bits, np.zeros(width, dtype=np.uint8)])
+    windows = np.lib.stride_tricks.sliding_window_view(padded, width)
+    weights = (1 << np.arange(width - 1, -1, -1)).astype(np.int64)
+    return windows[: bits.size].astype(np.int64) @ weights
+
+
+def chain_positions(
+    jump: np.ndarray, count: int, start: int = 0
+) -> np.ndarray:
+    """First ``count`` positions of the chain ``start, jump[start], ...``.
+
+    ``jump[p]`` is the bit position of the code following the one at
+    ``p``; ``jump.size`` acts as an absorbing sink (out-of-stream).  The
+    chain is materialised with binary lifting — :math:`O(\\log count)`
+    vectorised passes instead of a Python loop per symbol — which is
+    what makes LUT-based prefix decoding array-speed.
+    """
+    jump = np.asarray(jump, dtype=np.int64).reshape(-1)
+    sink = jump.size
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if not 0 <= start <= sink:
+        raise ValueError(f"start {start} outside [0, {sink}]")
+    if jump.size and (jump.min() < 0 or jump.max() > sink):
+        raise ValueError("jump targets must lie in [0, jump.size]")
+
+    step = np.append(jump, sink).astype(np.int32)  # sink maps to itself
+
+    # Small chains: a plain walk beats building lifted tables.
+    if count <= 128:
+        positions = np.empty(count, dtype=np.int64)
+        position = start
+        for index in range(count):
+            positions[index] = position
+            position = int(step[position])
+        return positions
+
+    # Anchored walk: square the jump table ``log2(span)`` times to get
+    # ``jump^span``, walk anchors ``span`` symbols apart, then fill each
+    # segment in lockstep (one vectorised pass per within-segment index).
+    span = 64
+    lifted = step
+    for _ in range(span.bit_length() - 1):
+        lifted = lifted[lifted]
+    num_anchors = -(-count // span)
+    anchors = np.empty(num_anchors, dtype=np.int64)
+    position = start
+    for index in range(num_anchors):
+        anchors[index] = position
+        position = int(lifted[position])
+    segments = np.empty((num_anchors, span), dtype=np.int64)
+    current = anchors.astype(np.int32)
+    for offset in range(span):
+        segments[:, offset] = current
+        current = step[current]
+    return segments.reshape(-1)[:count]
 
 
 def bits_to_bytes(bits: Iterable[int]) -> bytes:

@@ -22,14 +22,22 @@ iterate the registry rather than hard-coding the four schemes.
 
 from __future__ import annotations
 
+import functools
 import math
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Type
 
 import numpy as np
 
+from .batch import (
+    decode_gamma_batch,
+    lut_encode_batch,
+    scalar_decode_batch,
+    scalar_encode_batch,
+    validate_batch_layout,
+)
 from .bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
-from .bitstream import BitReader, BitWriter
+from .bitstream import BitReader, BitWriter, unpack_bits
 from .frequency import FrequencyTable
 from .huffman import HuffmanEncoder
 from .simplified import DEFAULT_CAPACITIES, SimplifiedTree
@@ -68,6 +76,28 @@ class Codec(ABC):
     #: registry key; subclasses must override
     name: str = ""
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Wrap every concrete ``fit`` to drop the scalar-oracle cache.
+
+        Refitting rebuilds codewords, so the cached
+        ``(codeword, length) -> sequence`` table of
+        :meth:`decode_scalar` must not survive it; hooking ``fit`` here
+        means third-party registry codecs get the invalidation for
+        free instead of by convention.
+        """
+        super().__init_subclass__(**kwargs)
+        fit = cls.__dict__.get("fit")
+        if fit is None:
+            return
+
+        @functools.wraps(fit)
+        def fit_and_invalidate(self, *args, _fit=fit, **kw):
+            result = _fit(self, *args, **kw)
+            self._scalar_table_cache = None
+            return result
+
+        cls.fit = fit_and_invalidate
+
     @abstractmethod
     def fit(self, table: FrequencyTable) -> "Codec":
         """Build per-block coder state from ``table``; returns ``self``."""
@@ -85,6 +115,130 @@ class Codec(ABC):
     @abstractmethod
     def code_length(self, sequence: int) -> int:
         """Length in bits of the code assigned to ``sequence``."""
+
+    def codeword(self, sequence: int) -> Tuple[int, int]:
+        """``(codeword, bit length)`` assigned to ``sequence``.
+
+        The codeword protocol is what makes one per-symbol reference
+        implementation (:meth:`encode_scalar` / :meth:`decode_scalar`)
+        serve every prefix-free coder in the registry.  Optional for
+        codecs that only need the production ``encode`` / ``decode``
+        surface.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose per-symbol codewords"
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar per-symbol reference path (the oracle)
+    # ------------------------------------------------------------------
+    # One symbol at a time through ``BitWriter`` / ``BitReader``, driven
+    # purely by the ``codeword`` protocol.  Deliberately unoptimised:
+    # this is the reference implementation the vectorised batch path is
+    # proven bit-identical to (property suite) and benchmarked against.
+
+    def encode_scalar(self, sequences: np.ndarray) -> Tuple[bytes, int]:
+        """Per-symbol reference encoder: one ``BitWriter.write`` per id."""
+        sequences = np.asarray(sequences, dtype=np.int64).reshape(-1)
+        if sequences.size and (
+            sequences.min() < 0 or sequences.max() >= NUM_SEQUENCES
+        ):
+            raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+        writer = BitWriter()
+        for sequence in sequences:
+            code, width = self.codeword(int(sequence))
+            writer.write(code, width)
+        return writer.getvalue(), writer.bit_length
+
+    def _codeword_table(self) -> Dict[Tuple[int, int], int]:
+        """``(codeword, length) -> sequence`` for every coded sequence.
+
+        Cached per fitted codec (``__init_subclass__`` invalidates it
+        whenever ``fit`` runs), so repeated ``decode_scalar`` calls
+        measure decoding, not table construction.
+        """
+        cached = getattr(self, "_scalar_table_cache", None)
+        if cached is not None:
+            return cached
+        table: Dict[Tuple[int, int], int] = {}
+        for sequence in range(NUM_SEQUENCES):
+            try:
+                table[self.codeword(sequence)] = sequence
+            except KeyError:
+                continue  # no code: zero training frequency
+        self._scalar_table_cache = table
+        return table
+
+    def decode_scalar(
+        self, payload: bytes, count: int, bit_length: int
+    ) -> np.ndarray:
+        """Per-symbol reference decoder: one ``read_bit`` at a time."""
+        table = self._codeword_table()
+        max_width = max(
+            (width for _, width in table), default=0
+        )
+        reader = BitReader(payload, bit_length)
+        out = np.empty(count, dtype=np.int64)
+        for index in range(count):
+            value = 0
+            width = 0
+            while (value, width) not in table:
+                if width > max_width:
+                    raise ValueError(
+                        f"invalid code word at bit {reader.position - width}"
+                    )
+                value = (value << 1) | reader.read_bit()
+                width += 1
+            out[index] = table[(value, width)]
+        return out
+
+    # ------------------------------------------------------------------
+    # Batch path (uint64 words + cumulative bit offsets)
+    # ------------------------------------------------------------------
+    # ``encode_batch`` / ``decode_batch`` are the array-speed interface
+    # the pipeline and benchmarks use; the ``*_scalar`` variants are the
+    # per-symbol reference path every vectorised override must match bit
+    # for bit (the property suite enforces this).  Subclasses without a
+    # vectorised implementation inherit the scalar behaviour, so the
+    # batch interface is universal across the registry.
+
+    def encode_batch(
+        self, batch: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode many sequence arrays into ``(packed_words, bit_offsets)``.
+
+        Item ``i`` occupies bits ``[bit_offsets[i], bit_offsets[i + 1])``
+        of the ``uint64`` word stream; see :mod:`repro.core.batch`.
+        """
+        return self.encode_batch_scalar(batch)
+
+    def encode_batch_scalar(
+        self, batch: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Reference batch encoder built on the per-symbol ``encode``."""
+        return scalar_encode_batch(self.encode, batch)
+
+    def decode_batch(
+        self,
+        words: np.ndarray,
+        counts: Sequence[int],
+        bit_offsets: np.ndarray,
+    ) -> List[np.ndarray]:
+        """Decode every batch item back to its flat sequence ids.
+
+        ``bit_offsets`` must be the exact code boundaries produced by
+        ``encode_batch``.
+        """
+        return self.decode_batch_scalar(words, counts, bit_offsets)
+
+    def decode_batch_scalar(
+        self,
+        words: np.ndarray,
+        counts: Sequence[int],
+        bit_offsets: np.ndarray,
+    ) -> List[np.ndarray]:
+        """Reference batch decoder built on the per-symbol ``decode``."""
+        return scalar_decode_batch(self.decode, words, counts, bit_offsets)
 
     def compressed_bits(self, table: FrequencyTable) -> int:
         """Exact compressed payload size in bits for ``table``'s channels."""
@@ -184,6 +338,42 @@ class FixedCodec(Codec):
     def code_length(self, sequence: int) -> int:
         return BITS_PER_SEQUENCE
 
+    def codeword(self, sequence: int) -> Tuple[int, int]:
+        if not 0 <= sequence < NUM_SEQUENCES:
+            raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+        return int(sequence), BITS_PER_SEQUENCE
+
+    def encode_batch(
+        self, batch: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        codes = np.arange(NUM_SEQUENCES, dtype=np.int64)
+        lengths = np.full(NUM_SEQUENCES, BITS_PER_SEQUENCE, dtype=np.int64)
+        return lut_encode_batch(batch, codes, lengths)
+
+    def decode_batch(
+        self,
+        words: np.ndarray,
+        counts: Sequence[int],
+        bit_offsets: np.ndarray,
+    ) -> List[np.ndarray]:
+        counts, bit_offsets = validate_batch_layout(counts, bit_offsets)
+        if counts.size == 0:
+            return []
+        widths = np.diff(bit_offsets)
+        if not np.array_equal(widths, counts * BITS_PER_SEQUENCE):
+            # offsets with slack: defer to the per-item reference decoder
+            return self.decode_batch_scalar(words, counts, bit_offsets)
+        start, stop = int(bit_offsets[0]), int(bit_offsets[-1])
+        bits = unpack_bits(words, stop)[start:]
+        weights = 1 << np.arange(BITS_PER_SEQUENCE - 1, -1, -1)
+        values = (
+            bits.reshape(-1, BITS_PER_SEQUENCE).astype(np.int64) @ weights
+        )
+        return [
+            part.copy()
+            for part in np.split(values, np.cumsum(counts)[:-1])
+        ]
+
 
 @register_codec
 class HuffmanCodec(Codec):
@@ -213,8 +403,29 @@ class HuffmanCodec(Codec):
     ) -> np.ndarray:
         return self.encoder.decode(payload, count, bit_length)
 
+    def encode_batch(
+        self, batch: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.encoder.encode_batch(batch)
+
+    def decode_batch(
+        self,
+        words: np.ndarray,
+        counts: Sequence[int],
+        bit_offsets: np.ndarray,
+    ) -> List[np.ndarray]:
+        return self.encoder.decode_batch(words, counts, bit_offsets)
+
     def code_length(self, sequence: int) -> int:
         return self.encoder.code.code_length(sequence)
+
+    def codeword(self, sequence: int) -> Tuple[int, int]:
+        code = self.encoder.code
+        if sequence not in code.codewords:
+            raise KeyError(
+                f"sequence {sequence} has no code (zero training frequency)"
+            )
+        return code.codewords[sequence], code.lengths[sequence]
 
     def compressed_bits(self, table: FrequencyTable) -> int:
         return self.encoder.compressed_bits(table)
@@ -286,8 +497,24 @@ class SimplifiedTreeCodec(Codec):
     ) -> np.ndarray:
         return self.tree.decode(payload, count, bit_length)
 
+    def encode_batch(
+        self, batch: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.tree.encode_batch(batch)
+
+    def decode_batch(
+        self,
+        words: np.ndarray,
+        counts: Sequence[int],
+        bit_offsets: np.ndarray,
+    ) -> List[np.ndarray]:
+        return self.tree.decode_batch(words, counts, bit_offsets)
+
     def code_length(self, sequence: int) -> int:
         return self.tree.code_length_of(sequence)
+
+    def codeword(self, sequence: int) -> Tuple[int, int]:
+        return self.tree.code_of(sequence)
 
     def compressed_bits(self, table: FrequencyTable) -> int:
         return self.tree.compressed_bits(table)
@@ -310,12 +537,20 @@ class RankGammaCodec(Codec):
     def __init__(self) -> None:
         self._rank_of: np.ndarray | None = None
         self._sequence_of: np.ndarray | None = None
+        self._gamma_lengths: np.ndarray | None = None
 
     def fit(self, table: FrequencyTable) -> "RankGammaCodec":
         ranked = table.ranked_sequences()
         self._sequence_of = ranked
         self._rank_of = np.empty(NUM_SEQUENCES, dtype=np.int64)
         self._rank_of[ranked] = np.arange(1, NUM_SEQUENCES + 1)
+        self._gamma_lengths = np.array(
+            [
+                2 * int(self._rank_of[s]).bit_length() - 1
+                for s in range(NUM_SEQUENCES)
+            ],
+            dtype=np.int64,
+        )
         return self
 
     def _require_fit(self) -> None:
@@ -355,9 +590,35 @@ class RankGammaCodec(Codec):
             out[index] = self._sequence_of[rank - 1]
         return out
 
+    def encode_batch(
+        self, batch: Sequence[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # gamma(rank) is (width - 1) zeros then rank in width bits, i.e.
+        # exactly the value ``rank`` emitted in ``2 * width - 1`` bits
+        self._require_fit()
+        return lut_encode_batch(batch, self._rank_of, self._gamma_lengths)
+
+    def decode_batch(
+        self,
+        words: np.ndarray,
+        counts: Sequence[int],
+        bit_offsets: np.ndarray,
+    ) -> List[np.ndarray]:
+        self._require_fit()
+        return decode_gamma_batch(words, counts, bit_offsets, self._sequence_of)
+
     def code_length(self, sequence: int) -> int:
         self._require_fit()
         return elias_gamma_length(int(self._rank_of[sequence]))
+
+    def codeword(self, sequence: int) -> Tuple[int, int]:
+        # gamma(rank): (width - 1) zeros then rank in width bits, i.e.
+        # the value ``rank`` written in ``2 * width - 1`` bits
+        self._require_fit()
+        if not 0 <= sequence < NUM_SEQUENCES:
+            raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
+        rank = int(self._rank_of[sequence])
+        return rank, 2 * rank.bit_length() - 1
 
     def average_bits(self, table: FrequencyTable) -> float:
         """Average bits/sequence; 9.0 for an empty table (legacy contract)."""

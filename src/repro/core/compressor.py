@@ -92,12 +92,21 @@ class KernelCompressor:
         ``None`` disables the replacement pass ("Encoding" column of
         Table V); a :class:`ClusteringConfig` enables it ("Clustering"
         column).
+    use_batch:
+        encode blocks through the vectorised batch codec path (the
+        default); ``False`` selects the scalar per-kernel reference
+        path, which produces bit-identical streams.
+    workers:
+        process-pool fan-out for multi-block runs driven through the
+        underlying pipeline (0 = serial).
     """
 
     def __init__(
         self,
         capacities: Sequence[int] = DEFAULT_CAPACITIES,
         clustering: Optional[ClusteringConfig] = None,
+        use_batch: bool = True,
+        workers: int = 0,
     ) -> None:
         self._capacities = tuple(int(c) for c in capacities)
         self._clustering = clustering
@@ -106,6 +115,8 @@ class KernelCompressor:
                 codec="simplified",
                 codec_params={"capacities": self._capacities},
                 clustering=clustering,
+                use_batch=use_batch,
+                workers=workers,
             )
         )
 

@@ -121,6 +121,8 @@ class HuffmanEncoder:
     def __init__(self, code: HuffmanCode) -> None:
         self._code = code
         self._decode_root = self._build_decode_tree()
+        self._coding_luts_cache: Tuple[np.ndarray, np.ndarray] | None = None
+        self._window_luts_cache: Tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_table(cls, table: FrequencyTable) -> "HuffmanEncoder":
@@ -177,6 +179,66 @@ class HuffmanEncoder:
                     raise ValueError("invalid code word in stream")
             out[index] = node[2]
         return out
+
+    # ------------------------------------------------------------------
+    # Batch coding (uint64 words + cumulative bit offsets)
+    # ------------------------------------------------------------------
+    @property
+    def max_code_length(self) -> int:
+        """Longest code in the book, in bits."""
+        return max(self._code.lengths.values())
+
+    def _coding_luts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sequence ``(codeword, length)`` arrays; length 0 = no code."""
+        if self._coding_luts_cache is None:
+            codes = np.full(NUM_SEQUENCES, -1, dtype=np.int64)
+            lengths = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+            for symbol, length in self._code.lengths.items():
+                codes[symbol] = self._code.codewords[symbol]
+                lengths[symbol] = length
+            self._coding_luts_cache = (codes, lengths)
+        return self._coding_luts_cache
+
+    def _window_luts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``max_code_length``-bit window -> (symbol, code length) tables."""
+        if self._window_luts_cache is None:
+            width = self.max_code_length
+            symbols = np.full(1 << width, -1, dtype=np.int64)
+            lengths = np.zeros(1 << width, dtype=np.int64)
+            for symbol, length in self._code.lengths.items():
+                pad = width - length
+                base = self._code.codewords[symbol] << pad
+                symbols[base:base + (1 << pad)] = symbol
+                lengths[base:base + (1 << pad)] = length
+            self._window_luts_cache = (symbols, lengths)
+        return self._window_luts_cache
+
+    def encode_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode many sequence arrays into one packed word stream."""
+        from .batch import lut_encode_batch
+
+        codes, lengths = self._coding_luts()
+        return lut_encode_batch(batch, codes, lengths)
+
+    def decode_batch(self, words, counts, bit_offsets) -> List[np.ndarray]:
+        """Decode every item of a packed word stream at array speed.
+
+        Degenerate codes longer than
+        :data:`~repro.core.batch.MAX_WINDOW_BITS` (possible only for
+        extremely skewed tables) fall back to the scalar trie walk.
+        """
+        from .batch import (
+            MAX_WINDOW_BITS,
+            decode_prefix_batch,
+            scalar_decode_batch,
+        )
+
+        if self.max_code_length > MAX_WINDOW_BITS:
+            return scalar_decode_batch(self.decode, words, counts, bit_offsets)
+        symbols, lengths = self._window_luts()
+        return decode_prefix_batch(
+            words, counts, bit_offsets, symbols, lengths, self.max_code_length
+        )
 
     def compressed_bits(self, table: FrequencyTable) -> int:
         """Total compressed size in bits of everything ``table`` counted."""

@@ -36,6 +36,7 @@ from .bitseq import (
     kernel_to_sequences,
     sequences_to_kernel,
 )
+from .bitstream import extract_payload
 from .clustering import ClusteringConfig, ClusteringResult, cluster_sequences
 from .codec import Codec, get_codec
 from .frequency import FrequencyTable, merge_tables
@@ -83,6 +84,16 @@ class PipelineConfig:
     codec_params: Mapping[str, Any] = field(default_factory=dict)
     clustering: Optional[ClusteringConfig] = None
     merge_blocks: bool = False
+    #: encode whole blocks through the vectorised batch codec path; the
+    #: scalar per-kernel path (``False``) is the bit-identical reference
+    use_batch: bool = True
+    #: process-pool fan-out across blocks in ``compress_model``
+    #: (0 or 1 = in-process serial)
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
 
     def make_codec(self) -> Codec:
         """Instantiate an unfitted codec from the registry."""
@@ -105,6 +116,11 @@ class BlockCodecResult:
     payloads: List[Tuple[bytes, int]]
     #: per-kernel ``(out_channels, in_channels)``
     kernel_shapes: List[Tuple[int, int]]
+    #: batch layout: every kernel's codes in one uint64 word stream
+    #: (``None`` when the block was encoded through the scalar path)
+    packed_words: Optional[np.ndarray] = None
+    #: kernel ``i`` occupies bits ``[bit_offsets[i], bit_offsets[i+1])``
+    bit_offsets: Optional[np.ndarray] = None
 
     @property
     def raw_bits(self) -> int:
@@ -129,7 +145,16 @@ class BlockCodecResult:
         return self.raw_bits / compressed
 
     def decode_sequences(self) -> List[np.ndarray]:
-        """Decode every payload back into flat sequence ids."""
+        """Decode every payload back into flat sequence ids.
+
+        Uses the batch decoder over the packed-word layout when the
+        block was batch-encoded, the per-kernel scalar path otherwise.
+        """
+        if self.packed_words is not None and self.bit_offsets is not None:
+            counts = [shape[0] * shape[1] for shape in self.kernel_shapes]
+            return self.codec.decode_batch(
+                self.packed_words, counts, self.bit_offsets
+            )
         out = []
         for (payload, bit_length), shape in zip(
             self.payloads, self.kernel_shapes
@@ -273,10 +298,30 @@ class CompressionPipeline:
         block: Optional[Any] = None,
         codec: Optional[Codec] = None,
     ) -> BlockCodecResult:
-        """Fit (unless injected) and encode one prepared block."""
+        """Fit (unless injected) and encode one prepared block.
+
+        The batch path encodes the whole block in one ``encode_batch``
+        call; per-kernel payloads are sliced back out of the packed
+        words, bit-for-bit identical to the scalar path's.
+        """
         if codec is None:
             codec = self._config.make_codec().fit(prepared.effective_table)
-        payloads = [codec.encode(arr) for arr in prepared.sequence_arrays]
+        packed_words: Optional[np.ndarray] = None
+        bit_offsets: Optional[np.ndarray] = None
+        if self._config.use_batch:
+            packed_words, bit_offsets = codec.encode_batch(
+                prepared.sequence_arrays
+            )
+            payloads = [
+                extract_payload(
+                    packed_words, int(bit_offsets[i]), int(bit_offsets[i + 1])
+                )
+                for i in range(len(prepared.sequence_arrays))
+            ]
+        else:
+            payloads = [
+                codec.encode(arr) for arr in prepared.sequence_arrays
+            ]
         return BlockCodecResult(
             block=block,
             table=prepared.table,
@@ -285,41 +330,85 @@ class CompressionPipeline:
             clustering=prepared.clustering,
             payloads=payloads,
             kernel_shapes=prepared.kernel_shapes,
+            packed_words=packed_words,
+            bit_offsets=bit_offsets,
         )
 
     # ------------------------------------------------------------------
     # Whole model
     # ------------------------------------------------------------------
     def compress_model(
-        self, kernels: Mapping[Any, np.ndarray | Sequence[np.ndarray]]
+        self,
+        kernels: Mapping[Any, np.ndarray | Sequence[np.ndarray]],
+        workers: Optional[int] = None,
     ) -> ModelCompressionResult:
         """Compress every block of a model in one call.
 
         ``kernels`` maps block ids to one 4-D kernel or a sequence of
         them (e.g. the output of
         :func:`~repro.synth.weights.generate_reactnet_kernels`).
+
+        ``workers`` (default: the config's ``workers``) fans the
+        independent per-block compressions out over a process pool.
+        Results are keyed and ordered exactly as in the serial run; the
+        shared-codec path (``merge_blocks``) parallelises the prepare
+        phase and fits/encodes under the one shared codec serially.
         """
         if not kernels:
             raise ValueError("compress_model needs at least one block")
-        prepared = {
-            block: self._prepare_block(self._as_kernel_list(block, entry))
+        workers = self._config.workers if workers is None else workers
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        block_kernels = [
+            (block, self._as_kernel_list(block, entry))
             for block, entry in sorted(kernels.items())
-        }
+        ]
 
-        shared: Optional[Codec] = None
-        if self._config.merge_blocks:
-            # one codec fitted on the merged (post-clustering) histogram
-            shared = self._config.make_codec().fit(
-                merge_tables(
-                    [entry.effective_table for entry in prepared.values()]
+        if not self._config.merge_blocks:
+            if workers > 1:
+                blocks = dict(
+                    self._map_parallel(
+                        workers, _compress_block_job, block_kernels
+                    )
                 )
-            )
+            else:
+                blocks = {
+                    block: self.compress_block(entry, block=block)
+                    for block, entry in block_kernels
+                }
+            return ModelCompressionResult(config=self._config, blocks=blocks)
 
+        if workers > 1:
+            prepared = dict(
+                self._map_parallel(workers, _prepare_block_job, block_kernels)
+            )
+        else:
+            prepared = {
+                block: self._prepare_block(entry)
+                for block, entry in block_kernels
+            }
+        # one codec fitted on the merged (post-clustering) histogram
+        shared = self._config.make_codec().fit(
+            merge_tables(
+                [entry.effective_table for entry in prepared.values()]
+            )
+        )
         blocks = {
             block: self._encode_prepared(entry, block=block, codec=shared)
             for block, entry in prepared.items()
         }
         return ModelCompressionResult(config=self._config, blocks=blocks)
+
+    def _map_parallel(self, workers: int, job, block_kernels):
+        """Run ``job(config, block, kernels)`` per block in a process pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(job, self._config, block, entry)
+                for block, entry in block_kernels
+            ]
+            return [future.result() for future in futures]
 
     @staticmethod
     def _as_kernel_list(block: Any, entry) -> List[np.ndarray]:
@@ -341,3 +430,17 @@ class _PreparedBlock:
     table: FrequencyTable
     effective_table: FrequencyTable
     clustering: Optional[ClusteringResult]
+
+
+# ----------------------------------------------------------------------
+# Process-pool jobs (module level so they pickle)
+# ----------------------------------------------------------------------
+def _compress_block_job(config: PipelineConfig, block, kernels):
+    """Fully compress one block in a worker process."""
+    result = CompressionPipeline(config).compress_block(kernels, block=block)
+    return block, result
+
+
+def _prepare_block_job(config: PipelineConfig, block, kernels):
+    """Run the prepare phase (validate/sequence/cluster) in a worker."""
+    return block, CompressionPipeline(config)._prepare_block(kernels)

@@ -27,7 +27,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from .bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
-from .bitstream import BitReader
+from .bitstream import BitReader, pack_bits, words_to_bytes
 from .frequency import FrequencyTable
 
 __all__ = [
@@ -261,15 +261,10 @@ class SimplifiedTree:
             return b"", 0
         if sequences.min() < 0 or sequences.max() >= NUM_SEQUENCES:
             raise ValueError(f"sequence ids must lie in [0, {NUM_SEQUENCES})")
-        codes = self._code_lut[sequences]
-        lengths = self._length_lut[sequences]
-        total = int(lengths.sum())
-        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-        offsets = np.arange(total) - np.repeat(starts, lengths)
-        code_rep = np.repeat(codes, lengths)
-        length_rep = np.repeat(lengths, lengths)
-        bits = ((code_rep >> (length_rep - 1 - offsets)) & 1).astype(np.uint8)
-        return np.packbits(bits).tobytes(), total
+        words, total = pack_bits(
+            self._code_lut[sequences], self._length_lut[sequences]
+        )
+        return words_to_bytes(words, total), total
 
     def _decode_lut(self) -> Tuple[np.ndarray, np.ndarray]:
         """``max_length``-bit window -> (sequence, code length) tables.
@@ -325,6 +320,57 @@ class SimplifiedTree:
         if position > bit_length:
             raise EOFError("final code ran past the declared bit length")
         return out
+
+    # ------------------------------------------------------------------
+    # Batch coding (uint64 words + cumulative bit offsets)
+    # ------------------------------------------------------------------
+    def encode_batch(self, batch) -> Tuple[np.ndarray, np.ndarray]:
+        """Encode many sequence arrays into one packed word stream.
+
+        Returns ``(packed_words, bit_offsets)`` — see
+        :mod:`repro.core.batch` for the layout.  Bit-for-bit identical
+        to concatenating per-item :meth:`encode` payloads.
+        """
+        from .batch import lut_encode_batch
+
+        return lut_encode_batch(batch, self._code_lut, self._length_lut)
+
+    def decode_batch(self, words, counts, bit_offsets) -> List[np.ndarray]:
+        """Decode every item of a packed word stream at array speed.
+
+        Layouts whose longest code exceeds
+        :data:`~repro.core.batch.MAX_WINDOW_BITS` (many-node custom
+        capacity configurations) fall back to the per-item scalar
+        decoder, exactly as the Huffman coder does for degenerate
+        trees.
+        """
+        from .batch import (
+            MAX_WINDOW_BITS,
+            decode_prefix_batch,
+            scalar_decode_batch,
+        )
+
+        if self._max_length > MAX_WINDOW_BITS:
+            # the per-symbol tree walk avoids the 2**max_length LUT
+            def decode_item(payload, count, bit_length):
+                return np.fromiter(
+                    (
+                        sequence
+                        for sequence, _, _ in self.decode_steps(
+                            payload, count, bit_length
+                        )
+                    ),
+                    dtype=np.int64,
+                    count=count,
+                )
+
+            return scalar_decode_batch(
+                decode_item, words, counts, bit_offsets
+            )
+        symbols, lengths = self._decode_lut()
+        return decode_prefix_batch(
+            words, counts, bit_offsets, symbols, lengths, self._max_length
+        )
 
     def _read_node(self, reader: BitReader) -> int:
         """Consume prefix bits and return the matching node id."""

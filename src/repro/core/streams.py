@@ -17,6 +17,7 @@ from typing import Tuple
 import numpy as np
 
 from .bitseq import BITS_PER_SEQUENCE, NUM_SEQUENCES
+from .bitstream import extract_payload
 from .simplified import SimplifiedTree, TreeLayout
 from .frequency import FrequencyTable
 
@@ -52,6 +53,33 @@ class CompressedKernel:
                 f"{sequences.size} sequences do not fill shape {shape}"
             )
         payload, bit_length = tree.encode(sequences)
+        return cls(
+            shape=tuple(shape),
+            capacities=tree.layout.capacities,
+            node_tables=tree.assignment.node_tables,
+            payload=payload,
+            bit_length=bit_length,
+        )
+
+    @classmethod
+    def from_packed_words(
+        cls,
+        words: np.ndarray,
+        bit_offsets: np.ndarray,
+        index: int,
+        shape: Tuple[int, int],
+        tree: SimplifiedTree,
+    ) -> "CompressedKernel":
+        """Wrap item ``index`` of a batch-encoded word stream.
+
+        The batch codec path emits one contiguous ``uint64`` word
+        stream per block (see :mod:`repro.core.batch`); this slices one
+        kernel's bits back out as a stand-alone hardware-decodable
+        stream, bit-identical to encoding that kernel alone.
+        """
+        payload, bit_length = extract_payload(
+            words, int(bit_offsets[index]), int(bit_offsets[index + 1])
+        )
         return cls(
             shape=tuple(shape),
             capacities=tree.layout.capacities,

@@ -46,6 +46,29 @@ class DecoderProgram:
     stream: CompressedKernel
     base_address: int = 0
 
+    @classmethod
+    def from_packed_words(
+        cls,
+        codec: SimplifiedTreeCodec,
+        words: np.ndarray,
+        bit_offsets: np.ndarray,
+        index: int,
+        shape,
+        base_address: int = 0,
+    ) -> "DecoderProgram":
+        """Program the unit straight from the batch codec layout.
+
+        ``words`` / ``bit_offsets`` are one block's packed word stream
+        (``Codec.encode_batch``); item ``index`` is sliced out with its
+        exact bit boundaries, so the decoding unit consumes the same
+        layout the software batch decoder does — keeping hw/sw
+        equivalence testable end to end.
+        """
+        stream = CompressedKernel.from_packed_words(
+            words, bit_offsets, index, tuple(shape), codec.tree
+        )
+        return cls(stream=stream, base_address=base_address)
+
     @property
     def num_sequences(self) -> int:
         """Field 1 of Table III."""

@@ -1,0 +1,67 @@
+"""Regenerate the golden deploy artifacts checked in next to this script.
+
+The goldens pin the *shipped* artifact formats: ``golden_deploy_v2.npz``
+is the current format as ``save_compressed_model`` writes it, and
+``golden_deploy_v1.npz`` is the same payload re-headered as the
+pre-registry v1 format (no ``codec`` manifest entry).  The regression
+test (``tests/test_golden_artifacts.py``) asserts both still load and
+that re-encoding reproduces every compressed stream byte for byte, so a
+codec change can never silently break artifacts already in the field.
+
+Run from the repository root only when the format version is
+*intentionally* bumped:
+
+.. code-block:: console
+
+   PYTHONPATH=src python tests/data/make_goldens.py
+"""
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bnn.reactnet import build_small_bnn
+from repro.deploy import save_compressed_model
+
+HERE = Path(__file__).resolve().parent
+SEED = 2023  # the paper's conference year; never change casually
+
+
+def build_golden_model():
+    """The deterministic tiny model both goldens serialise."""
+    model = build_small_bnn(
+        in_channels=1, num_classes=4, image_size=8, channels=(8, 16),
+        seed=SEED,
+    )
+    model.eval()
+    return model
+
+
+def rewrite_as_v1(v2_path: Path, v1_path: Path) -> None:
+    """Re-header a v2 artifact as the pre-registry v1 format."""
+    with np.load(v2_path) as arrays:
+        data = {name: arrays[name] for name in arrays.files}
+    header = json.loads(bytes(data["manifest"]).decode("utf-8"))
+    header["format_version"] = 1
+    header.pop("codec", None)  # v1 predates the codec registry
+    data["manifest"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez(buffer, **data)
+    v1_path.write_bytes(buffer.getvalue())
+
+
+def main() -> None:
+    model = build_golden_model()
+    v2 = HERE / "golden_deploy_v2.npz"
+    v1 = HERE / "golden_deploy_v1.npz"
+    save_compressed_model(model, v2)
+    rewrite_as_v1(v2, v1)
+    print(f"wrote {v2} ({v2.stat().st_size} B) and {v1} ({v1.stat().st_size} B)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Smoke coverage for every benchmark script.
+
+Several ``benchmarks/bench_*.py`` drivers previously had no test
+coverage at all: a refactor could break an experiment script and
+nothing would notice until someone reran the paper's tables.  Each
+bench file is executed here in a subprocess on a tiny configuration —
+a single benchmark round with warmup off, which runs every experiment
+exactly once — and any exception (import error, API drift, assertion
+failure inside the bench) fails the corresponding smoke test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+#: single-round, no-warmup flags: the "tiny config" every bench runs on
+TINY_CONFIG = (
+    "--benchmark-min-rounds=1",
+    "--benchmark-max-time=0",
+    "--benchmark-warmup=off",
+)
+
+
+def test_benchmark_suite_is_discovered():
+    """The glob must keep finding the suite (guards against moves)."""
+    assert len(BENCH_FILES) >= 20
+    names = {path.name for path in BENCH_FILES}
+    assert "bench_codec_throughput.py" in names
+    assert "bench_table5_compression.py" in names
+    assert "bench_model_compression.py" in names
+
+
+@pytest.mark.parametrize("bench", BENCH_FILES, ids=lambda path: path.stem)
+def test_benchmark_runs_clean(bench):
+    env_path = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "pytest", str(bench),
+            "-q", "-p", "no:cacheprovider", *TINY_CONFIG,
+        ],
+        cwd=REPO_ROOT,
+        env={
+            "PYTHONPATH": env_path,
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+            "HOME": str(REPO_ROOT),
+        },
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if result.returncode != 0:
+        tail = "\n".join(result.stdout.splitlines()[-30:])
+        pytest.fail(
+            f"{bench.name} exited with {result.returncode}:\n{tail}\n"
+            f"{result.stderr[-2000:]}"
+        )

@@ -1,0 +1,356 @@
+"""Property suite: the vectorised batch codec path is bit-exact.
+
+For every registry codec, across random tables, batch shapes and edge
+cases, this pins down the tentpole invariants:
+
+* ``decode_batch(encode_batch(x)) == x`` (round trip),
+* batch output is bit-for-bit identical to the scalar reference path
+  (``encode_batch_scalar`` / per-item ``encode_scalar``), so the packed
+  word layout is provably the same stream the per-symbol
+  ``BitWriter`` oracle produces,
+* every item's slice of the packed words re-serialises to the exact
+  stand-alone payload of the scalar ``encode``.
+
+Both vectorised decode strategies (lockstep over many items, binary
+lifting over few large items) are exercised explicitly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import MAX_WINDOW_BITS
+from repro.core.bitstream import (
+    bits_to_words,
+    bytes_to_words,
+    chain_positions,
+    extract_payload,
+    pack_bits,
+    sliding_window_values,
+    unpack_bits,
+    words_to_bytes,
+)
+from repro.core.bitseq import ALL_PLUS_ONE, NUM_SEQUENCES
+from repro.core.codec import available_codecs, get_codec
+from repro.core.frequency import FrequencyTable
+
+ALL_CODECS = available_codecs()
+
+
+def skewed_training(rng, head=4000, tail=800):
+    """A head-heavy sample like real kernel distributions."""
+    return np.concatenate(
+        [rng.integers(0, 8, head), rng.integers(0, NUM_SEQUENCES, tail)]
+    )
+
+
+def make_batch(rng, training, num_items, max_count):
+    sizes = rng.integers(0, max_count + 1, num_items)
+    return [rng.choice(training, size=int(size)) for size in sizes]
+
+
+def assert_batch_matches_scalar(codec, batch):
+    """The three tentpole invariants for one fitted codec and batch."""
+    counts = [item.size for item in batch]
+    words, offsets = codec.encode_batch(batch)
+    ref_words, ref_offsets = codec.encode_batch_scalar(batch)
+    assert np.array_equal(offsets, ref_offsets)
+    assert np.array_equal(words, ref_words)
+
+    for decoded in (
+        codec.decode_batch(words, counts, offsets),
+        codec.decode_batch_scalar(words, counts, offsets),
+    ):
+        assert len(decoded) == len(batch)
+        for got, expected in zip(decoded, batch):
+            assert np.array_equal(got, expected)
+
+    for index, item in enumerate(batch):
+        payload, bit_length = extract_payload(
+            words, int(offsets[index]), int(offsets[index + 1])
+        )
+        assert (payload, bit_length) == codec.encode(item)
+        assert (payload, bit_length) == codec.encode_scalar(item)
+        assert np.array_equal(
+            codec.decode_scalar(payload, item.size, bit_length), item
+        )
+
+
+class TestRandomisedRoundTrips:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(ALL_CODECS),
+        st.integers(1, 8),
+        st.integers(0, 400),
+    )
+    def test_few_large_items(self, seed, name, num_items, max_count):
+        """Few items: exercises the binary-lifting chain decoder."""
+        rng = np.random.default_rng(seed)
+        training = skewed_training(rng)
+        codec = get_codec(name).fit(FrequencyTable.from_sequences(training))
+        assert_batch_matches_scalar(
+            codec, make_batch(rng, training, num_items, max_count)
+        )
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(ALL_CODECS),
+        st.integers(20, 64),
+    )
+    def test_many_small_items(self, seed, name, num_items):
+        """Many uniform items: exercises the lockstep decoder."""
+        rng = np.random.default_rng(seed)
+        training = skewed_training(rng)
+        codec = get_codec(name).fit(FrequencyTable.from_sequences(training))
+        batch = [rng.choice(training, size=12) for _ in range(num_items)]
+        assert_batch_matches_scalar(codec, batch)
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(ALL_CODECS))
+    def test_ragged_many_items(self, seed, name):
+        """Mixed sizes with empty items sprinkled in."""
+        rng = np.random.default_rng(seed)
+        training = skewed_training(rng)
+        codec = get_codec(name).fit(FrequencyTable.from_sequences(training))
+        batch = make_batch(rng, training, 24, 40)
+        batch[::5] = [np.empty(0, dtype=np.int64)] * len(batch[::5])
+        assert_batch_matches_scalar(codec, batch)
+
+
+class TestEdgeShapes:
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_empty_batch_and_empty_items(self, name, block1_table):
+        codec = get_codec(name).fit(block1_table)
+        words, offsets = codec.encode_batch([])
+        assert words.size == 0 and np.array_equal(offsets, [0])
+        assert codec.decode_batch(words, [], offsets) == []
+        assert_batch_matches_scalar(
+            codec, [np.empty(0, dtype=np.int64)] * 3
+        )
+
+    @pytest.mark.parametrize("name", ("fixed", "simplified", "rank-gamma"))
+    def test_empty_table_fit_still_codes(self, name):
+        """An all-zero histogram: tie-break ranking covers every id."""
+        empty = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        codec = get_codec(name).fit(empty)
+        rng = np.random.default_rng(7)
+        batch = [rng.integers(0, NUM_SEQUENCES, 50) for _ in range(3)]
+        assert_batch_matches_scalar(codec, batch)
+
+    def test_empty_table_rejected_by_huffman(self):
+        empty = FrequencyTable(np.zeros(NUM_SEQUENCES, dtype=np.int64))
+        with pytest.raises(ValueError, match="empty table"):
+            get_codec("huffman").fit(empty)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_single_symbol_table(self, name):
+        """One coded symbol — Huffman's degenerate 1-bit code."""
+        counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        counts[37] = 100
+        codec = get_codec(name).fit(FrequencyTable(counts))
+        batch = [np.full(n, 37, dtype=np.int64) for n in (1, 9, 100)]
+        assert_batch_matches_scalar(codec, batch)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_all_zero_sequences(self, name, block1_table):
+        """The all -1 kernel (sequence id 0) round-trips."""
+        codec = get_codec(name).fit(block1_table)
+        assert_batch_matches_scalar(
+            codec, [np.zeros(64, dtype=np.int64)] * 4
+        )
+
+    def test_max_rank_gamma_code(self):
+        """The rarest sequence gets rank 512 — the 19-bit gamma code."""
+        counts = np.arange(NUM_SEQUENCES, 0, -1, dtype=np.int64)
+        codec = get_codec("rank-gamma").fit(FrequencyTable(counts))
+        worst = int(np.argmin(counts))
+        assert codec.code_length(worst) == 19
+        batch = [np.full(30, worst, dtype=np.int64), np.arange(512)]
+        assert_batch_matches_scalar(codec, batch)
+
+    def test_max_sequence_id(self, block1_table):
+        """ALL_PLUS_ONE (id 511) survives every codec."""
+        for name in ALL_CODECS:
+            codec = get_codec(name).fit(block1_table)
+            assert_batch_matches_scalar(
+                codec, [np.full(17, ALL_PLUS_ONE, dtype=np.int64)]
+            )
+
+    def test_huffman_rejects_unseen_symbol_in_batch(self, block1_table):
+        rng = np.random.default_rng(3)
+        counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        counts[:8] = rng.integers(1, 50, 8)
+        codec = get_codec("huffman").fit(FrequencyTable(counts))
+        with pytest.raises(KeyError, match="no code"):
+            codec.encode_batch([np.array([0, 1, 2]), np.array([300])])
+
+
+class TestDecodeErrors:
+    def test_truncated_stream_raises_eof(self, block1_table):
+        codec = get_codec("simplified").fit(block1_table)
+        words, offsets = codec.encode_batch([np.arange(100)])
+        short = offsets.copy()
+        short[-1] -= 8
+        with pytest.raises(EOFError):
+            codec.decode_batch(words, [100], short)
+
+    def test_desynchronised_offsets_raise(self, block1_table):
+        codec = get_codec("simplified").fit(block1_table)
+        words, offsets = codec.encode_batch([np.arange(64), np.arange(64)])
+        skewed = offsets.copy()
+        skewed[1] += 1  # no longer a code boundary
+        with pytest.raises((ValueError, EOFError)):
+            codec.decode_batch(words, [64, 64], skewed)
+
+    def test_overrun_on_word_aligned_stream_raises_eof(self, block1_table):
+        """Inflated counts on an exactly word-filling stream: EOFError,
+        not an out-of-bounds chunk read (lockstep regression)."""
+        codec = get_codec("simplified").fit(block1_table)
+        top = int(np.argmax(block1_table.counts))  # 6-bit code
+        assert codec.code_length(top) == 6
+        batch = [np.full(16, top, dtype=np.int64) for _ in range(32)]
+        words, offsets = codec.encode_batch(batch)
+        assert int(offsets[-1]) == words.size * 64  # no padding bits
+        counts = [16] * 31 + [21]
+        with pytest.raises(EOFError):
+            codec.decode_batch(words, counts, offsets)
+
+    def test_offset_count_mismatch_raises(self, block1_table):
+        codec = get_codec("fixed").fit(block1_table)
+        words, offsets = codec.encode_batch([np.arange(10)])
+        with pytest.raises(ValueError, match="offsets"):
+            codec.decode_batch(words, [10, 10], offsets)
+
+    @pytest.mark.parametrize("num_items", (3, 32))
+    @pytest.mark.parametrize("name", ("simplified", "rank-gamma"))
+    def test_trailing_slack_rejected_by_both_strategies(
+        self, name, num_items, block1_table
+    ):
+        """Word-aligned final offsets fail identically whether the
+        chain or the lockstep strategy handles the batch."""
+        codec = get_codec(name).fit(block1_table)
+        rng = np.random.default_rng(5)
+        batch = [rng.integers(0, 16, 20) for _ in range(num_items)]
+        words, offsets = codec.encode_batch(batch)
+        padded = offsets.copy()
+        padded[-1] = words.size * 64  # pad the final item to a word edge
+        if padded[-1] == offsets[-1]:
+            pytest.skip("stream happened to fill its words exactly")
+        with pytest.raises(EOFError, match="exact code boundaries"):
+            codec.decode_batch(words, [20] * num_items, padded)
+
+
+class TestCustomLayouts:
+    def test_deep_simplified_tree_falls_back_to_scalar(self, block1_table):
+        """Max code length past the window cap still batch-decodes."""
+        from repro.core.batch import MAX_WINDOW_BITS
+
+        capacities = (1,) * 20 + (512,)
+        codec = get_codec("simplified", capacities=capacities).fit(
+            block1_table
+        )
+        assert codec.tree._max_length > MAX_WINDOW_BITS
+        rng = np.random.default_rng(9)
+        batch = [rng.integers(0, NUM_SEQUENCES, 30) for _ in range(20)]
+        words, offsets = codec.encode_batch(batch)
+        decoded = codec.decode_batch(words, [30] * 20, offsets)
+        for got, expected in zip(decoded, batch):
+            assert np.array_equal(got, expected)
+
+    def test_refit_invalidates_scalar_oracle(self):
+        """decode_scalar must track the latest fit, not the first."""
+        skew_a = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        skew_a[:4] = (100, 50, 25, 12)
+        skew_b = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        skew_b[300:304] = (100, 50, 25, 12)
+        codec = get_codec("huffman").fit(FrequencyTable(skew_a))
+        payload, bits = codec.encode_scalar(np.array([0, 1, 2, 3]))
+        assert np.array_equal(
+            codec.decode_scalar(payload, 4, bits), [0, 1, 2, 3]
+        )
+        codec.fit(FrequencyTable(skew_b))
+        expected = np.array([300, 301, 302, 303])
+        payload, bits = codec.encode_scalar(expected)
+        assert np.array_equal(
+            codec.decode_scalar(payload, 4, bits), expected
+        )
+
+
+class TestBitstreamHelpers:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 300))
+    def test_pack_unpack_round_trip(self, seed, num_codes):
+        rng = np.random.default_rng(seed)
+        lengths = rng.integers(1, 20, num_codes)
+        codes = rng.integers(0, 1 << 19, num_codes) & ((1 << lengths) - 1)
+        words, total = pack_bits(codes, lengths)
+        assert total == int(lengths.sum())
+        bits = unpack_bits(words, total)
+        assert np.array_equal(bits_to_words(bits), words)
+        # byte layout round-trips through the scalar representation
+        payload = words_to_bytes(words, total)
+        assert np.array_equal(bytes_to_words(payload, total), words)
+        cursor = 0
+        for code, length in zip(codes, lengths):
+            segment = bits[cursor:cursor + length]
+            weights = 1 << np.arange(length - 1, -1, -1)
+            assert int(segment @ weights) == int(code)
+            cursor += length
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 500))
+    def test_extract_payload_any_slice(self, seed, num_bits):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, num_bits).astype(np.uint8)
+        words = bits_to_words(bits)
+        start = int(rng.integers(0, num_bits + 1))
+        stop = int(rng.integers(start, num_bits + 1))
+        payload, got_bits = extract_payload(words, start, stop)
+        assert got_bits == stop - start
+        expected = bits[start:stop]
+        recovered = unpack_bits(bytes_to_words(payload), got_bits)
+        assert np.array_equal(recovered, expected)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 2000), st.integers(1, 25))
+    def test_sliding_windows_match_naive(self, seed, num_bits, width):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, num_bits).astype(np.uint8)
+        values = sliding_window_values(bits, width)
+        padded = np.concatenate([bits, np.zeros(width, dtype=np.uint8)])
+        for position in rng.integers(0, num_bits, min(num_bits, 16)):
+            window = padded[position:position + width]
+            weights = 1 << np.arange(width - 1, -1, -1)
+            assert int(values[position]) == int(window @ weights)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 700))
+    def test_chain_positions_match_walk(self, seed, count):
+        """Binary-lifting chain == naive sequential walk."""
+        rng = np.random.default_rng(seed)
+        domain = int(rng.integers(1, 2000))
+        jump = np.minimum(
+            np.arange(domain) + rng.integers(1, 9, domain), domain
+        )
+        positions = chain_positions(jump, count)
+        expected = np.empty(count, dtype=np.int64)
+        position = 0
+        for index in range(count):
+            expected[index] = position
+            position = int(jump[position]) if position < domain else domain
+        assert np.array_equal(positions, expected)
+
+    def test_window_cap_forces_scalar_fallback(self):
+        """A pathological Huffman tree (> 16-bit codes) still decodes."""
+        counts = np.zeros(NUM_SEQUENCES, dtype=np.int64)
+        fib_a, fib_b = 1, 1
+        for sequence in range(24):  # fibonacci counts force a deep tree
+            counts[sequence] = fib_a
+            fib_a, fib_b = fib_b, fib_a + fib_b
+        codec = get_codec("huffman").fit(FrequencyTable(counts))
+        assert codec.encoder.max_code_length > MAX_WINDOW_BITS
+        rng = np.random.default_rng(11)
+        batch = [rng.integers(0, 24, 60) for _ in range(3)]
+        assert_batch_matches_scalar(codec, batch)

@@ -1,0 +1,105 @@
+"""Golden-artifact regression: shipped deploy formats must keep working.
+
+``tests/data`` holds one deploy artifact per shipped format version
+(v1: pre-registry implicit simplified tree; v2: codec recorded in the
+manifest).  These tests assert that both still load, that their
+compressed streams re-encode byte-identically through today's codec —
+scalar and batch paths alike — and that re-serialising the loaded
+model reproduces the stored streams.  Any codec change that would
+corrupt artifacts already in the field fails here, not in production.
+
+Regenerate (only on an intentional format bump) with
+``PYTHONPATH=src python tests/data/make_goldens.py``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.bitseq import sequences_to_kernel
+from repro.core.codec import SimplifiedTreeCodec
+from repro.core.bitstream import words_to_bytes
+from repro.core.streams import CompressedKernel
+from repro.deploy import load_compressed_model, save_compressed_model
+
+DATA = Path(__file__).resolve().parent / "data"
+GOLDENS = {
+    1: DATA / "golden_deploy_v1.npz",
+    2: DATA / "golden_deploy_v2.npz",
+}
+
+
+def _manifest(path):
+    with np.load(path) as arrays:
+        return json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+
+
+def _compressed_streams(path):
+    """``{layer key: stream bytes}`` for every compressed 3x3 layer."""
+    streams = {}
+    with np.load(path) as arrays:
+        header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        for entry in header["layers"]:
+            if entry.get("storage") == "compressed3x3":
+                key = f"layer{entry['index']}"
+                streams[key] = arrays[f"{key}.stream"].tobytes()
+    return streams
+
+
+@pytest.mark.parametrize("version", sorted(GOLDENS))
+class TestGoldenArtifacts:
+    def test_header_version(self, version):
+        header = _manifest(GOLDENS[version])
+        assert header["format_version"] == version
+        assert ("codec" in header) == (version == 2)
+
+    def test_loads_and_runs(self, version):
+        model = load_compressed_model(GOLDENS[version])
+        out = model.forward(np.zeros((2, 1, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 4)
+        assert np.all(np.isfinite(out))
+
+    def test_streams_reencode_byte_identically(self, version):
+        """Today's codec must reproduce the shipped streams exactly."""
+        streams = _compressed_streams(GOLDENS[version])
+        assert streams, "golden artifact has no compressed 3x3 layers"
+        for key, blob in streams.items():
+            stream = CompressedKernel.from_bytes(blob)
+            sequences = stream.decode()
+            codec = SimplifiedTreeCodec.from_stream(stream)
+
+            payload, bit_length = codec.encode(sequences)
+            assert (payload, bit_length) == (
+                stream.payload, stream.bit_length
+            ), f"{key}: scalar re-encode diverged from shipped stream"
+
+            words, offsets = codec.encode_batch([sequences])
+            assert int(offsets[-1]) == stream.bit_length
+            assert words_to_bytes(words, bit_length) == stream.payload, (
+                f"{key}: batch re-encode diverged from shipped stream"
+            )
+
+            rebuilt = codec.to_stream(
+                stream.shape, payload, bit_length
+            )
+            assert rebuilt.to_bytes() == blob, (
+                f"{key}: stream container serialisation changed"
+            )
+
+    def test_roundtrip_resave_preserves_streams(self, version, tmp_path):
+        """Load -> save must reproduce every compressed stream."""
+        model = load_compressed_model(GOLDENS[version])
+        resaved = tmp_path / "resaved.npz"
+        save_compressed_model(model, resaved)
+        original = _compressed_streams(GOLDENS[version])
+        rewritten = _compressed_streams(resaved)
+        assert original == rewritten
+
+    def test_kernels_decode_to_valid_bits(self, version):
+        for blob in _compressed_streams(GOLDENS[version]).values():
+            stream = CompressedKernel.from_bytes(blob)
+            kernel = sequences_to_kernel(stream.decode(), stream.shape)
+            assert kernel.shape == (*stream.shape, 3, 3)
+            assert set(np.unique(kernel)) <= {0, 1}

@@ -9,6 +9,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bitseq import NUM_SEQUENCES
+from repro.core.codec import SimplifiedTreeCodec
 from repro.core.frequency import FrequencyTable
 from repro.core.simplified import SimplifiedTree
 from repro.core.streams import CompressedKernel
@@ -57,6 +58,53 @@ def test_three_decoders_agree(seed, count, concentration):
     assert np.array_equal(rtl_sequences, sequences)
     assert rtl_words == behavioural_words
     assert stats.sequences_decoded == count
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 6),
+    st.integers(1, 120),
+    st.floats(0.0, 0.95),
+)
+def test_hw_decodes_batch_packed_words(seed, num_kernels, count, concentration):
+    """The decoding unit consumes the batch codec layout bit-exactly.
+
+    A randomised model block is batch-encoded into one packed word
+    stream; every kernel is then decoded three ways — software
+    ``decode_batch``, the behavioural decoding unit programmed straight
+    from the packed words, and the cycle-accurate FSM — and all three
+    must agree with the original kernels.
+    """
+    rng = np.random.default_rng(seed)
+    kernels = []
+    for _ in range(num_kernels):
+        head = rng.integers(0, 4, int(count * concentration))
+        tail = rng.integers(0, NUM_SEQUENCES, count - head.size)
+        sequences = np.concatenate([head, tail])
+        rng.shuffle(sequences)
+        kernels.append(sequences)
+    table = FrequencyTable.from_sequences(np.concatenate(kernels))
+    codec = SimplifiedTreeCodec().fit(table)
+
+    words, bit_offsets = codec.encode_batch(kernels)
+    counts = [kernel.size for kernel in kernels]
+    software = codec.decode_batch(words, counts, bit_offsets)
+
+    for index, original in enumerate(kernels):
+        assert np.array_equal(software[index], original)
+        program = DecoderProgram.from_packed_words(
+            codec, words, bit_offsets, index, (1, original.size)
+        )
+        behavioural = DecodingUnit(DecoderConfig(), register_bits=128)
+        behavioural.configure(program)
+        behavioural_words = [int(w) for w in behavioural.drain_words()]
+
+        rtl = RtlDecodingUnit(memory_latency=3, register_bits=128)
+        rtl_sequences, rtl_words, stats = rtl.run(program.stream)
+        assert np.array_equal(rtl_sequences, original)
+        assert rtl_words == behavioural_words
+        assert stats.sequences_decoded == original.size
 
 
 @settings(deadline=None, max_examples=10)
