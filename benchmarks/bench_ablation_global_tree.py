@@ -3,56 +3,48 @@
 The paper builds one Huffman tree per group of kernels and ships it in
 the decoding-unit configuration (Table III).  A single network-wide tree
 would remove the per-block table reloads but must serve every block's
-distribution at once; this sweep quantifies the ratio cost of that
-simplification.
+distribution at once; sweeping the ``pipeline.merge_blocks`` axis of one
+scenario quantifies the ratio cost of that simplification.
 """
 
-import numpy as np
-
-from conftest import run_once
+from conftest import KERNEL_SEED, run_once
 from repro.analysis.report import format_ratio, render_table
-from repro.core.frequency import FrequencyTable, merge_tables
-from repro.core.simplified import SimplifiedTree
+from repro.core.pipeline import PipelineConfig
+from repro.sim import Scenario, Simulator
 
-
-def measure(kernels):
-    tables = {
-        block: FrequencyTable.from_kernels([kernel])
-        for block, kernel in kernels.items()
-    }
-    global_table = merge_tables(list(tables.values()))
-    global_tree = SimplifiedTree(global_table)
-
-    rows = []
-    per_block_bits = 0
-    global_bits = 0
-    raw_bits = 0
-    for block in sorted(tables):
-        table = tables[block]
-        own_tree = SimplifiedTree(table)
-        own_ratio = own_tree.compression_ratio(table)
-        shared_ratio = global_tree.compression_ratio(table)
-        per_block_bits += own_tree.compressed_bits(table)
-        global_bits += global_tree.compressed_bits(table)
-        raw_bits += table.total * 9
-        rows.append(
-            (f"Block {block}", format_ratio(own_ratio),
-             format_ratio(shared_ratio))
-        )
-    rows.append(
-        (
-            "Overall",
-            format_ratio(raw_bits / per_block_bits),
-            format_ratio(raw_bits / global_bits),
-        )
+def measure(seed):
+    # the facade regenerates this seed's kernels internally (cached), so
+    # the bench measures exactly the session fixture's kernels
+    base = Scenario(
+        name="A4",
+        seed=seed,
+        pipeline=PipelineConfig(codec="simplified", clustering=None),
+        backends=("compression",),
     )
-    return rows, raw_bits / per_block_bits, raw_bits / global_bits
+    per_block_report, global_report = Simulator().sweep(
+        base, axes={"pipeline.merge_blocks": [False, True]}
+    )
+    own = per_block_report.sections["compression"]
+    shared = global_report.sections["compression"]
+
+    rows = [
+        (
+            f"Block {block}",
+            format_ratio(own["block_ratios"][block]),
+            format_ratio(shared["block_ratios"][block]),
+        )
+        for block in sorted(own["block_ratios"], key=int)
+    ]
+    per_block = per_block_report.compression_ratio
+    global_ratio = global_report.compression_ratio
+    rows.append(
+        ("Overall", format_ratio(per_block), format_ratio(global_ratio))
+    )
+    return rows, per_block, global_ratio
 
 
 def test_global_tree_ablation(benchmark, reactnet_kernels):
-    rows, per_block, global_ratio = run_once(
-        benchmark, measure, reactnet_kernels
-    )
+    rows, per_block, global_ratio = run_once(benchmark, measure, KERNEL_SEED)
     print()
     print(
         render_table(

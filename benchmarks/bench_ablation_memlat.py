@@ -3,29 +3,48 @@
 The decoding unit's benefit comes from removing weight-load stalls, so
 the speedup must grow with DRAM latency and shrink when the L2 is large
 enough to hold the working set — the implied motivation of Sec. IV.
+Each sensitivity sweep is one ``Simulator.sweep`` call over a config
+axis of the same base scenario.
 """
 
 from conftest import run_once
 from repro.analysis.report import format_ratio, render_table
-from repro.hw.config import SystemConfig
-from repro.hw.perf import PerfModel
+from repro.sim import Scenario, Simulator
 
 RATIOS = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
 LATENCIES = (40, 100, 200, 400)
 L2_SIZES = (128 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024)
 
+BASE = Scenario(
+    name="A3",
+    compression_ratios=RATIOS,
+    backends=("analytic",),
+    modes=("baseline", "hw_compressed"),
+)
+
 
 def sweep():
-    latency_rows = []
-    for latency in LATENCIES:
-        model = PerfModel(
-            SystemConfig.paper_default().with_memory_latency(latency)
+    simulator = Simulator()
+    latency_rows = [
+        (
+            f"{report.scenario.axis_values['system.memory.latency_cycles']}"
+            " cycles",
+            report.hw_speedup,
         )
-        latency_rows.append((f"{latency} cycles", model.speedup(RATIOS)))
-    l2_rows = []
-    for size in L2_SIZES:
-        model = PerfModel(SystemConfig.paper_default().with_l2_size(size))
-        l2_rows.append((f"{size // 1024} KB", model.speedup(RATIOS)))
+        for report in simulator.sweep(
+            BASE, axes={"system.memory.latency_cycles": LATENCIES}
+        )
+    ]
+    l2_rows = [
+        (
+            f"{report.scenario.axis_values['system.l2.size_bytes'] // 1024}"
+            " KB",
+            report.hw_speedup,
+        )
+        for report in simulator.sweep(
+            BASE, axes={"system.l2.size_bytes": L2_SIZES}
+        )
+    ]
     return latency_rows, l2_rows
 
 

@@ -1,35 +1,38 @@
 """A5 — ablation: sensitivity of the software slowdown to decode cost.
 
 The paper measures a single software implementation (1.47x slower); our
-model charges ``sw_decode_cycles_per_seq`` per sequence.  This sweep
-shows how the slowdown scales with that cost and locates the break-even
-point — the budget below which a software-only implementation would
-stop losing, which bounds how much the decoding unit is really worth.
+model charges ``sw_decode_cycles_per_seq`` per sequence.  This sweep —
+one ``Simulator.sweep`` call over the CPU-config axis — shows how the
+slowdown scales with that cost and locates the break-even point, which
+bounds how much the decoding unit is really worth.
 """
-
-from dataclasses import replace
 
 from conftest import run_once
 from repro.analysis.report import format_ratio, render_table
-from repro.hw.config import SystemConfig
-from repro.hw.perf import PerfModel
+from repro.sim import Scenario, Simulator
 
 RATIOS = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
 COSTS = (2.0, 4.0, 8.0, 12.0, 16.0, 24.0)
 
+BASE = Scenario(
+    name="A5",
+    compression_ratios=RATIOS,
+    backends=("analytic",),
+    modes=("baseline", "sw_compressed"),
+)
+
 
 def sweep():
-    rows = []
-    for cost in COSTS:
-        config = SystemConfig.paper_default()
-        config = replace(config, cpu=replace(
-            config.cpu, sw_decode_cycles_per_seq=cost
-        ))
-        model = PerfModel(config)
-        base = model.simulate_model("baseline")
-        sw = model.simulate_model("sw_compressed", RATIOS)
-        rows.append((cost, sw.total_cycles / base.total_cycles))
-    return rows
+    reports = Simulator().sweep(
+        BASE, axes={"system.cpu.sw_decode_cycles_per_seq": COSTS}
+    )
+    return [
+        (
+            report.scenario.axis_values["system.cpu.sw_decode_cycles_per_seq"],
+            report.sw_slowdown,
+        )
+        for report in reports
+    ]
 
 
 def test_sw_cost_sensitivity(benchmark):

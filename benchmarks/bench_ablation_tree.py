@@ -1,18 +1,20 @@
 """A1 — ablation: simplified-tree size vs compression vs decoder cost.
 
 Sec. III-B argues four nodes are "a good trade-off between simplicity and
-compression rate".  This sweep quantifies the trade-off: more/larger
-nodes approach the unrestricted Huffman bound but grow the decoder's
-uncompressed table.
+compression rate".  This sweep quantifies the trade-off by sweeping the
+``pipeline.codec_params.capacities`` axis of one shared-tree scenario
+(``merge_blocks=True`` fits a single coder on the whole-network
+histogram): more/larger nodes approach the unrestricted Huffman bound
+but grow the decoder's uncompressed table.
 """
 
-import numpy as np
+from dataclasses import replace
 
-from conftest import run_once
+from conftest import KERNEL_SEED, run_once
 from repro.analysis.report import format_ratio, render_table
 from repro.core.frequency import FrequencyTable, merge_tables
-from repro.core.huffman import HuffmanEncoder
-from repro.core.simplified import SimplifiedTree
+from repro.core.pipeline import PipelineConfig
+from repro.sim import Scenario, Simulator
 
 LAYOUTS = {
     "2 nodes (64/512)": (64, 512),
@@ -23,23 +25,47 @@ LAYOUTS = {
     "8 nodes (8..512)": (8, 16, 32, 32, 64, 64, 128, 512),
 }
 
+BASE = Scenario(
+    name="A1",
+    seed=KERNEL_SEED,  # the facade's kernels match the session fixture's
+    pipeline=PipelineConfig(
+        codec="simplified",
+        codec_params={"capacities": (32, 64, 64, 512)},
+        clustering=None,
+        merge_blocks=True,
+    ),
+    backends=("compression",),
+)
+
 
 def sweep(kernels):
-    table = merge_tables(
-        [FrequencyTable.from_kernels([k]) for k in kernels.values()]
+    simulator = Simulator()
+    reports = simulator.sweep(
+        BASE,
+        axes={"pipeline.codec_params.capacities": list(LAYOUTS.values())},
     )
-    huffman = HuffmanEncoder.from_table(table).compression_ratio(table)
     rows = []
-    for name, capacities in LAYOUTS.items():
-        tree = SimplifiedTree(table, capacities)
+    for name, report in zip(LAYOUTS, reports):
+        section = report.sections["compression"]
         rows.append(
             (
                 name,
-                format_ratio(tree.compression_ratio()),
-                f"{tree.layout.decoder_table_bytes()} B",
-                tree.layout.code_lengths,
+                format_ratio(section["overall_ratio"]),
+                f"{section['decoder_table_bytes']} B",
+                tuple(section["code_lengths"]),
             )
         )
+    huffman_report = simulator.run(
+        replace(
+            BASE,
+            name="A1-huffman-bound",
+            pipeline=PipelineConfig(codec="huffman", merge_blocks=True),
+        )
+    )
+    huffman = huffman_report.compression_ratio
+    table = merge_tables(
+        [FrequencyTable.from_kernels([k]) for k in kernels.values()]
+    )
     return rows, huffman, table
 
 

@@ -2,27 +2,33 @@
 
 The paper's mechanism (fewer DRAM bytes, decode in a small dedicated
 unit) is an energy optimisation as much as a performance one; this bench
-prices the simulated activity with standard per-component energies and
-checks the decoder's own cost does not eat the DRAM saving.
+runs one facade scenario with the ``energy`` backend, which prices the
+simulated activity with standard per-component energies and checks the
+decoder's own cost does not eat the DRAM saving.
 """
 
 from conftest import run_once
 from repro.analysis.compression import measure_table5
 from repro.analysis.performance import ratios_from_table5
 from repro.analysis.report import render_table
-from repro.hw.energy import EnergyModel
+from repro.sim import Scenario, Simulator
 
 
 def measure(kernels):
     ratios = ratios_from_table5(measure_table5(kernels))
-    model = EnergyModel()
-    return model.compare(ratios)
+    scenario = Scenario(
+        name="bench-energy",
+        compression_ratios=ratios,
+        backends=("energy",),
+        modes=("baseline", "hw_compressed"),
+    )
+    return Simulator().run(scenario)
 
 
 def test_energy_per_inference(benchmark, reactnet_kernels):
-    reports = run_once(benchmark, measure, reactnet_kernels)
-    base = reports["baseline"]
-    compressed = reports["hw_compressed"]
+    report = run_once(benchmark, measure, reactnet_kernels)
+    base = report.energy["baseline"]
+    compressed = report.energy["hw_compressed"]
 
     rows = []
     for component in ("dram", "compute", "decoder", "static"):
@@ -44,9 +50,11 @@ def test_energy_per_inference(benchmark, reactnet_kernels):
             title="Extension — energy per inference",
         )
     )
-    saving = base.total_uj / compressed.total_uj
+    saving = report.energy_saving
     print(f"energy reduction: {saving:.2f}x")
 
+    # the JSON section and the rich reports must agree
+    assert saving == base.total_uj / compressed.total_uj
     # compression must save DRAM energy...
     assert compressed.dram_uj < base.dram_uj
     # ...the decoder must cost something (honesty check)...

@@ -2,31 +2,43 @@
 
 Same compressed kernels, but decoded by plain CPU instructions into a
 scratch buffer before each layer: the decode loop lands on the critical
-path and the network gets slower than the uncompressed baseline.
+path and the network gets slower than the uncompressed baseline.  The
+whole comparison is one facade scenario.
 """
 
 from conftest import run_once
 from repro.analysis.compression import measure_table5
 from repro.analysis.performance import (
     ratios_from_table5,
-    run_performance_experiment,
+    speedup_result_from_report,
 )
+from repro.sim import Scenario, Simulator
+
+
+def run_scenario(ratios):
+    scenario = Scenario(
+        name="bench-slowdown-sw",
+        compression_ratios=ratios,
+        backends=("analytic",),
+    )
+    return Simulator().run(scenario)
 
 
 def test_sw_slowdown(benchmark, reactnet_kernels):
     ratios = ratios_from_table5(measure_table5(reactnet_kernels))
-    result = run_once(
-        benchmark, run_performance_experiment, compression_ratios=ratios
-    )
+    report = run_once(benchmark, run_scenario, ratios)
+    result = speedup_result_from_report(report)
     print()
     print(f"software-decode slowdown: {result.sw_slowdown:.2f}x "
           "(paper 1.47x)")
-    decode_cycles = sum(
-        l.decode_cycles for l in result.sw_compressed.layers
-    )
+    decode_cycles = report.sections["analytic"]["modes"]["sw_compressed"][
+        "decode_cycles"
+    ]
     print(f"decode cycles on the critical path: {decode_cycles:.3e} "
           f"({decode_cycles / result.sw_compressed.total_cycles:.0%} of total)")
 
+    # the report's headline number is the SpeedupResult's, bit for bit
+    assert report.sw_slowdown == result.sw_slowdown
     # paper: 1.47x slower; assert the neighbourhood and the mechanism
     assert 1.2 < result.sw_slowdown < 1.8
     assert decode_cycles > 0.2 * result.baseline.total_cycles

@@ -1,6 +1,7 @@
 """E6 — end-to-end speedup with the decoding unit (Sec. VI: 1.35x).
 
-Runs the trace-driven simulator over the full network in baseline and
+Runs a declarative :class:`~repro.sim.Scenario` through the simulator
+facade's ``analytic`` backend over the full network in baseline and
 hardware-compressed modes, using the per-block clustering ratios measured
 by the Table V experiment.
 """
@@ -10,18 +11,29 @@ from repro.analysis.compression import measure_table5
 from repro.analysis.performance import (
     ratios_from_table5,
     render_speedup,
-    run_performance_experiment,
+    speedup_result_from_report,
 )
+from repro.sim import Scenario, Simulator
+
+
+def run_scenario(ratios):
+    scenario = Scenario(
+        name="bench-speedup-hw",
+        compression_ratios=ratios,
+        backends=("analytic",),
+    )
+    return Simulator().run(scenario)
 
 
 def test_hw_speedup(benchmark, reactnet_kernels):
     ratios = ratios_from_table5(measure_table5(reactnet_kernels))
-    result = run_once(
-        benchmark, run_performance_experiment, compression_ratios=ratios
-    )
+    report = run_once(benchmark, run_scenario, ratios)
+    result = speedup_result_from_report(report)
     print()
     print(render_speedup(result))
 
+    # the report's headline number is the SpeedupResult's, bit for bit
+    assert report.hw_speedup == result.hw_speedup
     # paper: 1.35x; our simulator should land in the same neighbourhood
     assert 1.2 < result.hw_speedup < 1.7
     # the win comes from the memory-bound conv3x3 layers
@@ -37,6 +49,6 @@ def test_hw_speedup(benchmark, reactnet_kernels):
     )
     assert conv3x3_base / conv3x3_hw > result.hw_speedup
     # DRAM weight traffic drops by roughly the compression ratio
-    dram_base = sum(l.dram_bytes for l in result.baseline.layers)
-    dram_hw = sum(l.dram_bytes for l in result.hw_compressed.layers)
+    dram_base = report.sections["analytic"]["modes"]["baseline"]["dram_bytes"]
+    dram_hw = report.sections["analytic"]["modes"]["hw_compressed"]["dram_bytes"]
     assert dram_hw < dram_base

@@ -11,11 +11,14 @@ import pytest
 
 from repro.synth.weights import generate_reactnet_kernels
 
+#: the seed every session-wide fixture and facade scenario agrees on
+KERNEL_SEED = 0
+
 
 @pytest.fixture(scope="session")
 def reactnet_kernels():
-    """Calibrated synthetic per-block kernels (seed 0)."""
-    return generate_reactnet_kernels(seed=0)
+    """Calibrated synthetic per-block kernels (seed ``KERNEL_SEED``)."""
+    return generate_reactnet_kernels(seed=KERNEL_SEED)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -4,15 +4,18 @@
 2. Program the decoding unit with ``lddu`` (Table III configuration).
 3. Drain channel-packed words with ``ldps`` and verify them against the
    software channel-packing path.
-4. Run the whole-network performance experiment (baseline vs. hardware-
-   and software-decoded compressed kernels).
+4. Declare one ``Scenario`` and run the whole hardware-evaluation stack
+   — analytic timing, per-cycle RTL decode, instruction-level pipeline
+   and energy — through the ``Simulator`` facade in a single call.
 
 Run:  python examples/hardware_simulation.py
 """
 
 import numpy as np
 
-from repro.analysis import render_speedup, run_performance_experiment
+from repro.analysis import render_speedup
+from repro.analysis.performance import speedup_result_from_report
+from repro.sim import Scenario, Simulator
 from repro.bnn.packing import unpack_bits
 from repro.core import (
     CompressedKernel,
@@ -71,8 +74,16 @@ def drive_decoding_unit() -> None:
 
 def main() -> None:
     drive_decoding_unit()
-    result = run_performance_experiment(seed=0)
-    print(render_speedup(result))
+    # one declarative scenario drives the entire evaluation stack
+    scenario = Scenario(
+        name="example-hardware-simulation",
+        seed=0,
+        backends=("compression", "analytic", "rtl", "pipeline", "energy"),
+    )
+    report = Simulator().run(scenario)
+    print(render_speedup(speedup_result_from_report(report)))
+    print()
+    print(report.render())
 
 
 if __name__ == "__main__":

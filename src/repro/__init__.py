@@ -10,12 +10,17 @@ Subpackages:
   published distributions.
 * :mod:`repro.hw` — cycle-approximate hardware model (caches, memory,
   decoding unit) standing in for the paper's Gem5 + ARM A53 platform.
+* :mod:`repro.sim` — scenario-driven simulation facade unifying the
+  hardware stack: declarative ``Scenario`` -> ``Simulator.run`` /
+  ``Simulator.sweep`` -> composable ``SimulationReport``.
 * :mod:`repro.analysis` — experiment drivers reproducing every table and
   figure of the evaluation.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analysis, bnn, core, deploy, hw, synth
+from . import analysis, bnn, core, deploy, hw, sim, synth
 
-__all__ = ["analysis", "bnn", "core", "deploy", "hw", "synth", "__version__"]
+__all__ = [
+    "analysis", "bnn", "core", "deploy", "hw", "sim", "synth", "__version__",
+]

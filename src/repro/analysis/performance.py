@@ -1,8 +1,10 @@
 """Performance experiments: the 1.35x hw speedup and 1.47x sw slowdown.
 
-The drivers wire the measured per-block compression ratios (Table V) into
-the trace-driven performance model, compare the three execution modes and
-print the end-to-end results next to the paper's.
+The drivers build a declarative :class:`~repro.sim.Scenario` wiring the
+measured per-block compression ratios (Table V) into the trace-driven
+performance model, run it through the :class:`~repro.sim.Simulator`
+facade's ``analytic`` backend, and print the end-to-end comparison of
+the three execution modes next to the paper's numbers.
 """
 
 from __future__ import annotations
@@ -11,13 +13,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..hw.config import SystemConfig
-from ..hw.perf import ModelTiming, PerfModel
-from .compression import Table5Row, measure_table5
-from .report import format_percent, format_ratio, render_table
+from ..hw.perf import ModelTiming
+from ..sim import Scenario, SimulationReport, Simulator
+from .compression import Table5Row
+from .report import format_cycles, format_percent, format_ratio, render_table
 
 __all__ = [
     "SpeedupResult",
     "ratios_from_table5",
+    "speedup_result_from_report",
     "run_performance_experiment",
     "render_speedup",
 ]
@@ -37,12 +41,25 @@ class SpeedupResult:
 
     @property
     def hw_speedup(self) -> float:
-        """Baseline cycles over hardware-compressed cycles (paper 1.35x)."""
+        """Baseline cycles over hardware-compressed cycles (paper 1.35x).
+
+        A zero-cycle compressed run is infinitely faster (``inf``)
+        unless the baseline is empty too (1.0) — the same degenerate
+        contract as ``compression_ratio``.
+        """
+        if self.hw_compressed.total_cycles == 0:
+            return float("inf") if self.baseline.total_cycles > 0 else 1.0
         return self.baseline.total_cycles / self.hw_compressed.total_cycles
 
     @property
     def sw_slowdown(self) -> float:
-        """Software-compressed cycles over baseline (paper 1.47x)."""
+        """Software-compressed cycles over baseline (paper 1.47x).
+
+        A zero-cycle baseline makes any software-decode cost infinitely
+        slow (``inf``) unless that run is empty too (1.0).
+        """
+        if self.baseline.total_cycles == 0:
+            return float("inf") if self.sw_compressed.total_cycles > 0 else 1.0
         return self.sw_compressed.total_cycles / self.baseline.total_cycles
 
 
@@ -53,21 +70,49 @@ def ratios_from_table5(rows: List[Table5Row]) -> Dict[str, float]:
     }
 
 
+def speedup_result_from_report(report: SimulationReport) -> SpeedupResult:
+    """Repackage an ``analytic`` facade report as a :class:`SpeedupResult`.
+
+    The report must have timed all three execution modes (the scenario's
+    default ``modes``).
+    """
+    missing = [
+        mode
+        for mode in ("baseline", "hw_compressed", "sw_compressed")
+        if mode not in report.timings
+    ]
+    if missing:
+        raise ValueError(
+            f"report lacks timings for {', '.join(missing)}; run the "
+            "'analytic' backend with all three modes"
+        )
+    return SpeedupResult(
+        baseline=report.timings["baseline"],
+        hw_compressed=report.timings["hw_compressed"],
+        sw_compressed=report.timings["sw_compressed"],
+        compression_ratios=dict(report.layer_ratios),
+    )
+
+
 def run_performance_experiment(
     config: Optional[SystemConfig] = None,
     compression_ratios: Optional[Dict[str, float]] = None,
     seed: int = 0,
 ) -> SpeedupResult:
-    """Run baseline / hw / sw simulations with measured compression ratios."""
-    if compression_ratios is None:
-        compression_ratios = ratios_from_table5(measure_table5(seed=seed))
-    model = PerfModel(config)
-    return SpeedupResult(
-        baseline=model.simulate_model("baseline"),
-        hw_compressed=model.simulate_model("hw_compressed", compression_ratios),
-        sw_compressed=model.simulate_model("sw_compressed", compression_ratios),
+    """Run baseline / hw / sw simulations with measured compression ratios.
+
+    Thin wrapper over the :class:`~repro.sim.Simulator` facade: when
+    ``compression_ratios`` is ``None`` the scenario's paper-default
+    pipeline measures them (the Table V clustering column, bit for bit).
+    """
+    scenario = Scenario(
+        name="performance-experiment",
+        seed=seed,
+        system=config if config is not None else SystemConfig.paper_default(),
+        backends=("analytic",),
         compression_ratios=compression_ratios,
     )
+    return speedup_result_from_report(Simulator().run(scenario))
 
 
 def render_speedup(result: SpeedupResult) -> str:
@@ -75,19 +120,19 @@ def render_speedup(result: SpeedupResult) -> str:
     rows = [
         (
             "baseline (daBNN-style)",
-            f"{result.baseline.total_cycles:.3e}",
+            format_cycles(result.baseline.total_cycles),
             "1.00x",
             "-",
         ),
         (
             "hw compressed (decoding unit)",
-            f"{result.hw_compressed.total_cycles:.3e}",
+            format_cycles(result.hw_compressed.total_cycles),
             format_ratio(result.hw_speedup),
             format_ratio(PAPER_HW_SPEEDUP),
         ),
         (
             "sw compressed (software decode)",
-            f"{result.sw_compressed.total_cycles:.3e}",
+            format_cycles(result.sw_compressed.total_cycles),
             format_ratio(
                 result.baseline.total_cycles
                 / result.sw_compressed.total_cycles

@@ -8,12 +8,21 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["render_table", "format_ratio", "format_percent"]
+__all__ = ["render_table", "format_ratio", "format_percent", "format_cycles"]
 
 
 def format_ratio(value: float) -> str:
     """Compression ratios / speedups with two decimals, e.g. ``1.32x``."""
     return f"{value:.2f}x"
+
+
+def format_cycles(value: float) -> str:
+    """Cycle counts in scientific notation, e.g. ``1.234e+08``.
+
+    Shared by the speedup renderer and the simulation-report renderer so
+    cycle columns stay diff-comparable across experiment outputs.
+    """
+    return f"{value:.3e}"
 
 
 def format_percent(value: float, decimals: int = 1) -> str:

@@ -18,12 +18,26 @@ aligned text report used in EXPERIMENTS.md:
    python -m repro export --out r/ # all data series as CSV/JSON
    python -m repro all             # everything, in order
 
+The simulator facade has two subcommands of its own:
+
+.. code-block:: console
+
+   # one scenario through any set of backends
+   python -m repro simulate --backends analytic energy
+   python -m repro simulate --backends rtl pipeline --json
+
+   # expand config axes into a scenario grid (cartesian product)
+   python -m repro sweep --axis "system.memory.latency_cycles=[40,100,400]" \
+                         --axis "system.l2.size_bytes=[131072,1048576]" \
+                         --modes baseline hw_compressed --workers 4
+
 Every subcommand accepts ``--seed`` for the synthetic kernels.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -111,6 +125,94 @@ def _cmd_feasibility(args: argparse.Namespace) -> str:
     return render_feasibility(analyze_feasibility())
 
 
+def _scenario_from_args(args: argparse.Namespace, name: str):
+    """Build the Scenario a ``simulate`` / ``sweep`` invocation describes."""
+    from .core.pipeline import PipelineConfig
+    from .sim import Scenario, paper_pipeline
+
+    pipeline = paper_pipeline()
+    codec = getattr(args, "codec", "simplified")
+    if codec != "simplified":
+        pipeline = PipelineConfig(codec=codec, clustering=pipeline.clustering)
+    return Scenario(
+        name=name,
+        model=args.model,
+        seed=args.seed,
+        pipeline=pipeline,
+        backends=tuple(args.backends),
+        modes=tuple(args.modes),
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    from .sim import Simulator
+
+    report = Simulator().run(
+        _scenario_from_args(args, f"cli-simulate-seed{args.seed}")
+    )
+    if args.json:
+        return report.to_json(indent=2)
+    return report.render()
+
+
+def _parse_axis(text: str):
+    """``path=[v1,v2,...]`` -> ``(path, values)`` with JSON-typed values."""
+    path, separator, raw = text.partition("=")
+    if not separator or not path:
+        raise argparse.ArgumentTypeError(
+            f"axis {text!r} is not of the form path=[v1,v2,...]"
+        )
+    try:
+        values = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise argparse.ArgumentTypeError(
+            f"axis {path!r} values are not valid JSON: {error}"
+        ) from None
+    if not isinstance(values, list) or not values:
+        raise argparse.ArgumentTypeError(
+            f"axis {path!r} needs a non-empty JSON array of values"
+        )
+    return path, [tuple(v) if isinstance(v, list) else v for v in values]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from .analysis.report import render_table
+    from .sim import Simulator
+
+    base = _scenario_from_args(args, f"cli-sweep-seed{args.seed}")
+    axes = dict(args.axis)
+    reports = Simulator().sweep(base, axes, workers=args.workers)
+    if args.json:
+        return json.dumps([report.to_dict() for report in reports], indent=2)
+    metrics = (
+        ("hw speedup", "hw_speedup"),
+        ("sw slowdown", "sw_slowdown"),
+        ("ratio", "compression_ratio"),
+        ("energy saving", "energy_saving"),
+    )
+    live = [
+        (label, attr)
+        for label, attr in metrics
+        if any(getattr(report, attr) is not None for report in reports)
+    ]
+    rows = []
+    for report in reports:
+        axis_cells = [
+            str(report.scenario.axis_values[path]) for path in axes
+        ]
+        metric_cells = [
+            "-" if getattr(report, attr) is None
+            else f"{getattr(report, attr):.4f}"
+            for _, attr in live
+        ]
+        rows.append(axis_cells + metric_cells)
+    headers = [path.rsplit(".", 1)[-1] for path in axes]
+    headers += [label for label, _ in live]
+    return render_table(
+        headers, rows, title=f"sweep over {len(reports)} scenarios"
+    )
+
+
 def _cmd_export(args: argparse.Namespace) -> str:
     from .analysis.export import export_all
 
@@ -129,6 +231,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "mix": _cmd_mix,
     "model": _cmd_model,
     "speedup": _cmd_speedup,
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "accuracy": _cmd_accuracy,
     "feasibility": _cmd_feasibility,
     "export": _cmd_export,
@@ -154,6 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("mix", "Sec. VI: share of channels per code length"),
         ("model", "Sec. VI: whole-model compression ratio"),
         ("speedup", "Sec. VI: hw speedup and sw slowdown"),
+        ("simulate", "run one declarative Scenario through the Simulator"),
+        ("sweep", "expand config axes into a scenario grid and run it"),
         ("accuracy", "Sec. III-C: clustering vs accuracy"),
         ("feasibility", "LP consistency check of Tables II vs V"),
         ("export", "write all experiment data as CSV/JSON"),
@@ -185,6 +291,45 @@ def build_parser() -> argparse.ArgumentParser:
             path.add_argument(
                 "--scalar", dest="use_batch", action="store_false",
                 help="scalar per-kernel reference path (bit-identical)",
+            )
+        if name in ("simulate", "sweep"):
+            from .core.codec import available_codecs
+            from .sim import SIMULATION_MODES, available_backends, available_models
+
+            sub.add_argument(
+                "--model", choices=available_models(), default="reactnet",
+                help="workload model registry entry (default reactnet)",
+            )
+            sub.add_argument(
+                "--codec", choices=available_codecs(), default="simplified",
+                help="compression codec for the measurement stage",
+            )
+            sub.add_argument(
+                "--backends", nargs="+", choices=available_backends(),
+                default=["analytic"],
+                help="evaluation backends to run (default: analytic)",
+            )
+            sub.add_argument(
+                "--modes", nargs="+", choices=SIMULATION_MODES,
+                default=list(SIMULATION_MODES),
+                help="execution modes the analytic backend times",
+            )
+            sub.add_argument(
+                "--json", action="store_true",
+                help="emit the serialised report instead of text tables",
+            )
+        if name == "sweep":
+            sub.add_argument(
+                "--axis", action="append", type=_parse_axis, required=True,
+                metavar="PATH=[V1,V2,...]",
+                help=(
+                    "sweep axis: dotted config path and a JSON array of "
+                    "values; repeat for a cartesian grid"
+                ),
+            )
+            sub.add_argument(
+                "--workers", type=int, default=0,
+                help="process-pool fan-out across scenarios (default serial)",
             )
         if name in ("accuracy", "all"):
             sub.add_argument(

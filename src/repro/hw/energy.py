@@ -114,16 +114,34 @@ class EnergyModel:
             static_uj=static_pj / 1e6,
         )
 
+    def price_modes(
+        self, timings: Dict[str, ModelTiming]
+    ) -> Dict[str, EnergyReport]:
+        """Price several simulated runs, keyed like ``timings``.
+
+        This is the shared pricing path: the scenario facade's
+        ``energy`` backend feeds it the timings already computed by the
+        analytic backend, so the comparison never re-simulates.
+        """
+        return {mode: self.price(timing) for mode, timing in timings.items()}
+
     def compare(
         self,
         compression_ratios: Dict[str, float],
         perf: Optional[PerfModel] = None,
     ) -> Dict[str, EnergyReport]:
-        """Energy of baseline vs. hardware-compressed inference."""
+        """Energy of baseline vs. hardware-compressed inference.
+
+        Thin legacy entry point: simulates the two modes itself and
+        defers the pricing to :meth:`price_modes`.  New code should go
+        through :class:`repro.sim.Simulator` with the ``energy`` backend.
+        """
         perf = perf or PerfModel(self.system)
-        baseline = perf.simulate_model("baseline")
-        compressed = perf.simulate_model("hw_compressed", compression_ratios)
-        return {
-            "baseline": self.price(baseline),
-            "hw_compressed": self.price(compressed),
-        }
+        return self.price_modes(
+            {
+                "baseline": perf.simulate_model("baseline"),
+                "hw_compressed": perf.simulate_model(
+                    "hw_compressed", compression_ratios
+                ),
+            }
+        )

@@ -1,0 +1,81 @@
+"""Scenario-driven simulation facade over the hardware-evaluation stack.
+
+The paper's evaluation is one cycle-approximate model of an ARM A53 plus
+a decoding unit, interrogated from several angles.  This package unifies
+those angles behind a single declarative API:
+
+* a frozen :class:`~repro.sim.scenario.Scenario` names the workload
+  model, the compression pipeline, the Table IV platform configuration
+  and the backends to run;
+* :class:`~repro.sim.simulator.Simulator` executes scenarios
+  (:meth:`~repro.sim.simulator.Simulator.run`) and parameter grids
+  (:meth:`~repro.sim.simulator.Simulator.sweep`, the Table IV ablation
+  machine with optional ``workers=N`` process-pool fan-out);
+* every run returns one JSON-serialisable
+  :class:`~repro.sim.report.SimulationReport` combining timing, energy,
+  decode statistics and compression metrics.
+
+Backend -> paper mapping (see :mod:`repro.sim.backends`):
+
+===============  ======================================================
+``compression``  Table V per-block ratios; Sec. VI 1.32x payload figure
+``analytic``     Sec. VI end-to-end timing — 1.35x hw speedup (Table IV
+                 platform), Sec. IV-B 1.47x software-decode slowdown
+``pipeline``     Sec. V instruction-level evaluation (Gem5/A53 stand-in)
+``rtl``          Fig. 6 decoding unit, per-cycle FSM (Sec. V Verilog)
+``energy``       per-inference energy extension (DATE venue axis)
+===============  ======================================================
+
+Quickstart::
+
+    from repro.sim import Scenario, Simulator
+
+    report = Simulator().run(
+        Scenario(name="paper", backends=("analytic", "energy"))
+    )
+    print(report.hw_speedup, report.energy_saving)
+
+    reports = Simulator().sweep(
+        Scenario(name="ablation", modes=("baseline", "hw_compressed")),
+        axes={
+            "system.memory.latency_cycles": [40, 100, 400],
+            "system.l2.size_bytes": [128 * 1024, 1024 * 1024],
+        },
+    )
+"""
+
+from .backends import (
+    SimulationBackend,
+    SimulationContext,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .report import SimulationReport
+from .scenario import (
+    SIMULATION_MODES,
+    ModelSpec,
+    Scenario,
+    available_models,
+    get_model,
+    paper_pipeline,
+    register_model,
+)
+from .simulator import Simulator
+
+__all__ = [
+    "ModelSpec",
+    "SIMULATION_MODES",
+    "Scenario",
+    "SimulationBackend",
+    "SimulationContext",
+    "SimulationReport",
+    "Simulator",
+    "available_backends",
+    "available_models",
+    "get_backend",
+    "get_model",
+    "paper_pipeline",
+    "register_backend",
+    "register_model",
+]

@@ -1,0 +1,439 @@
+"""Evaluation backends: each one regenerates one slice of the paper.
+
+A backend is a strategy object resolved from a string-keyed registry
+(mirroring :mod:`repro.core.codec`'s codec registry) that turns the
+shared :class:`SimulationContext` into one JSON-ready report section:
+
+* ``compression`` — the offline pipeline of Sec. IV-A; per-block and
+  whole-payload ratios (Table V, the Sec. VI 1.32x payload figure);
+* ``analytic``    — the trace-driven :class:`~repro.hw.perf.PerfModel`
+  timing of the three execution modes (Sec. VI: 1.35x hw speedup,
+  Sec. IV-B: 1.47x sw slowdown; platform of Table IV);
+* ``pipeline``    — instruction-level cross-validation on the in-order
+  dual-issue core model (the Gem5/A53 substitute of Sec. V);
+* ``rtl``         — the per-cycle FSM of the decoding unit (Fig. 6 /
+  Sec. V Verilog implementation), decode-verified against the input;
+* ``energy``      — per-inference energy pricing of the simulated
+  activity (the DATE-venue extension axis).
+
+The context lazily computes and caches everything backends share —
+workloads, synthetic kernels, measured compression ratios and per-mode
+timings — so one scenario run never simulates the same thing twice.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.bitseq import kernel_to_sequences
+from ..core.codec import SimplifiedTreeCodec
+from ..core.frequency import FrequencyTable
+from ..core.pipeline import CompressionPipeline, ModelCompressionResult
+from ..core.simplified import DEFAULT_CAPACITIES, SimplifiedTree
+from ..core.streams import CompressedKernel
+from ..hw.cache import build_hierarchy
+from ..hw.energy import EnergyModel, EnergyReport
+from ..hw.memory import MainMemory
+from ..hw.microkernel import (
+    baseline_row_pass,
+    hw_ldps_row_pass,
+    sw_decode_prologue,
+)
+from ..hw.perf import LayerWorkload, ModelTiming, PerfModel
+from ..hw.pipeline import InOrderPipeline, PipelineStats
+from ..hw.rtl import RtlDecodingUnit
+from .scenario import Scenario, get_model
+
+__all__ = [
+    "SimulationBackend",
+    "SimulationContext",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+
+class SimulationContext:
+    """Shared lazily-computed state for one scenario run."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.spec = get_model(scenario.model)
+        self._workloads: Optional[List[LayerWorkload]] = None
+        self._kernels: Optional[Dict[Any, np.ndarray]] = None
+        self._perf: Optional[PerfModel] = None
+        self._compression: Optional[ModelCompressionResult] = None
+        self._layer_ratios: Optional[Dict[str, float]] = None
+        self.timings: Dict[str, ModelTiming] = {}
+        self.energy_reports: Dict[str, EnergyReport] = {}
+
+    @property
+    def workloads(self) -> List[LayerWorkload]:
+        """The model's layer list (built once)."""
+        if self._workloads is None:
+            self._workloads = list(self.spec.workloads())
+        return self._workloads
+
+    @property
+    def kernels(self) -> Dict[Any, np.ndarray]:
+        """Per-block synthetic kernels for the scenario's seed."""
+        if self._kernels is None:
+            self._kernels = dict(self.spec.kernels(self.scenario.seed))
+        return self._kernels
+
+    @property
+    def perf(self) -> PerfModel:
+        """The analytic performance model over the scenario's system."""
+        if self._perf is None:
+            self._perf = PerfModel(self.scenario.system)
+        return self._perf
+
+    @property
+    def compression(self) -> ModelCompressionResult:
+        """The scenario pipeline run over the model's kernels (cached)."""
+        if self._compression is None:
+            pipeline = CompressionPipeline(self.scenario.pipeline)
+            self._compression = pipeline.compress_model(self.kernels)
+        return self._compression
+
+    @property
+    def layer_ratios(self) -> Dict[str, float]:
+        """Layer name -> compression ratio driving the timing model.
+
+        Explicit ``scenario.compression_ratios`` win; otherwise the
+        ratios are measured with the scenario's pipeline, matching the
+        Table V clustering column bit for bit.
+        """
+        if self._layer_ratios is None:
+            if self.scenario.compression_ratios is not None:
+                self._layer_ratios = dict(self.scenario.compression_ratios)
+            else:
+                self._layer_ratios = {
+                    self.spec.layer_name(block): ratio
+                    for block, ratio in self.compression.block_ratios().items()
+                }
+        return self._layer_ratios
+
+    @property
+    def layer_ratios_if_measured(self) -> Dict[str, float]:
+        """The ratios, if some backend already resolved them; else empty.
+
+        Lets the report assembly read what was computed without forcing
+        a compression measurement no backend asked for.
+        """
+        return dict(self._layer_ratios) if self._layer_ratios is not None else {}
+
+    def timing(self, mode: str) -> ModelTiming:
+        """Whole-model timing under ``mode`` (cached per mode).
+
+        The baseline never consults the ratios, so requesting it does
+        not trigger a compression measurement.
+        """
+        if mode not in self.timings:
+            ratios = None if mode == "baseline" else self.layer_ratios
+            self.timings[mode] = self.perf.simulate_model(
+                mode, ratios, self.workloads
+            )
+        return self.timings[mode]
+
+
+class SimulationBackend(ABC):
+    """One evaluation strategy; ``run`` returns a JSON-ready section."""
+
+    #: registry key; subclasses must override
+    name: str = ""
+    #: which paper table/figure the backend reproduces
+    paper_ref: str = ""
+
+    @abstractmethod
+    def run(self, context: SimulationContext) -> Dict[str, Any]:
+        """Evaluate the scenario; returns one serialisable section."""
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[SimulationBackend]] = {}
+
+
+def register_backend(cls: Type[SimulationBackend]) -> Type[SimulationBackend]:
+    """Class decorator: register ``cls`` under its ``name`` attribute."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"backend name {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str, **params) -> SimulationBackend:
+    """Instantiate the backend registered as ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return cls(**params)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+@register_backend
+class CompressionBackend(SimulationBackend):
+    """Offline compression metrics (Table V / Sec. VI payload ratio)."""
+
+    name = "compression"
+    paper_ref = "Table V, Sec. VI 1.32x payload ratio"
+
+    def run(self, context: SimulationContext) -> Dict[str, Any]:
+        result = context.compression
+        section: Dict[str, Any] = {
+            "codec": context.scenario.pipeline.codec,
+            "merge_blocks": context.scenario.pipeline.merge_blocks,
+            "num_blocks": result.num_blocks,
+            "raw_bits": int(result.raw_bits),
+            "compressed_bits": int(result.compressed_bits),
+            "overall_ratio": float(result.compression_ratio),
+            "block_ratios": {
+                str(block): float(ratio)
+                for block, ratio in result.block_ratios().items()
+            },
+            "layer_ratios": {
+                name: float(ratio)
+                for name, ratio in context.layer_ratios.items()
+            },
+        }
+        first = result.blocks[min(result.blocks)]
+        if isinstance(first.codec, SimplifiedTreeCodec):
+            layout = first.codec.tree.layout
+            section["decoder_table_bytes"] = int(layout.decoder_table_bytes())
+            section["code_lengths"] = [int(c) for c in layout.code_lengths]
+        return section
+
+
+@register_backend
+class AnalyticBackend(SimulationBackend):
+    """Trace-driven whole-network timing of the execution modes."""
+
+    name = "analytic"
+    paper_ref = "Sec. VI 1.35x hw speedup, Sec. IV-B 1.47x sw slowdown"
+
+    def run(self, context: SimulationContext) -> Dict[str, Any]:
+        modes: Dict[str, Dict[str, Any]] = {}
+        for mode in context.scenario.modes:
+            timing = context.timing(mode)
+            modes[mode] = {
+                "total_cycles": float(timing.total_cycles),
+                "dram_bytes": int(
+                    sum(layer.dram_bytes for layer in timing.layers)
+                ),
+                "decode_cycles": float(
+                    sum(layer.decode_cycles for layer in timing.layers)
+                ),
+                "weight_stall_cycles": float(
+                    sum(layer.weight_stall_cycles for layer in timing.layers)
+                ),
+                "input_stall_cycles": float(
+                    sum(layer.input_stall_cycles for layer in timing.layers)
+                ),
+                "cycles_by_kind": {
+                    kind: float(cycles)
+                    for kind, cycles in timing.cycles_by_kind().items()
+                },
+            }
+        section: Dict[str, Any] = {"modes": modes}
+        if "baseline" in modes and "hw_compressed" in modes:
+            section["hw_speedup"] = _guarded_ratio(
+                modes["baseline"]["total_cycles"],
+                modes["hw_compressed"]["total_cycles"],
+            )
+        if "baseline" in modes and "sw_compressed" in modes:
+            section["sw_slowdown"] = _guarded_ratio(
+                modes["sw_compressed"]["total_cycles"],
+                modes["baseline"]["total_cycles"],
+            )
+        return section
+
+
+@register_backend
+class PipelineBackend(SimulationBackend):
+    """Instruction-level microkernel validation on the in-order core."""
+
+    name = "pipeline"
+    paper_ref = "Sec. V Gem5/A53 instruction-level evaluation"
+
+    def __init__(self, max_outputs: int = 8, decode_sequences: int = 64):
+        self.max_outputs = max_outputs
+        self.decode_sequences = decode_sequences
+
+    def _fresh_core(self, context: SimulationContext) -> InOrderPipeline:
+        system = context.scenario.system
+        hierarchy = build_hierarchy(
+            system.l1, system.l2, MainMemory(system.memory)
+        )
+        return InOrderPipeline(
+            hierarchy, issue_width=system.cpu.issue_width
+        )
+
+    @staticmethod
+    def _stats_dict(stats: PipelineStats) -> Dict[str, Any]:
+        return {
+            "cycles": int(stats.cycles),
+            "instructions": int(stats.instructions),
+            "ipc": float(stats.ipc),
+            "issue_stall_cycles": int(stats.issue_stall_cycles),
+            "memory_stall_cycles": int(stats.memory_stall_cycles),
+            "fifo_stall_cycles": int(stats.fifo_stall_cycles),
+        }
+
+    def run(self, context: SimulationContext) -> Dict[str, Any]:
+        system = context.scenario.system
+        workload = next(
+            (w for w in context.workloads if w.kind == "conv3x3"), None
+        )
+        if workload is None:
+            raise ValueError(
+                f"model {context.scenario.model!r} has no conv3x3 layer "
+                "for the pipeline backend to validate"
+            )
+        vector_bits = system.cpu.vector_bits
+
+        baseline_program = baseline_row_pass(
+            workload, vector_bits, max_outputs=self.max_outputs
+        )
+        baseline_stats = self._fresh_core(context).run(baseline_program)
+
+        ldps_program = hw_ldps_row_pass(
+            workload, vector_bits, max_outputs=self.max_outputs
+        )
+        num_words = sum(1 for i in ldps_program if i.kind == "ldps")
+        sequences_per_word = vector_bits / 9.0
+        ready_times = [
+            (index + 1)
+            * sequences_per_word
+            / system.decoder.sequences_per_cycle
+            for index in range(num_words)
+        ]
+        ldps_stats = self._fresh_core(context).run(
+            ldps_program, fifo_ready_times=ready_times
+        )
+
+        decode_program = sw_decode_prologue(self.decode_sequences)
+        decode_stats = self._fresh_core(context).run(decode_program)
+
+        return {
+            "workload": workload.name,
+            "max_outputs": self.max_outputs,
+            "modes": {
+                "baseline": self._stats_dict(baseline_stats),
+                "hw_ldps": self._stats_dict(ldps_stats),
+                "sw_decode": self._stats_dict(decode_stats),
+            },
+            "ldps_speedup": _guarded_ratio(
+                float(baseline_stats.cycles), float(ldps_stats.cycles)
+            ),
+            "sw_decode_cycles_per_sequence": (
+                decode_stats.cycles / max(self.decode_sequences, 1)
+            ),
+        }
+
+
+@register_backend
+class RtlBackend(SimulationBackend):
+    """Per-cycle FSM decode of one block, verified bit-for-bit."""
+
+    name = "rtl"
+    paper_ref = "Fig. 6 decoding unit, Sec. V Verilog timing"
+
+    def run(self, context: SimulationContext) -> Dict[str, Any]:
+        scenario = context.scenario
+        block = min(context.kernels)
+        kernel = context.kernels[block]
+        sequences = kernel_to_sequences(kernel)
+        capacities = dict(scenario.pipeline.codec_params).get(
+            "capacities", DEFAULT_CAPACITIES
+        )
+        tree = SimplifiedTree(
+            FrequencyTable.from_sequences(sequences), capacities
+        )
+        stream = CompressedKernel.from_sequences(
+            sequences, (kernel.shape[0], kernel.shape[1]), tree
+        )
+        unit = RtlDecodingUnit(
+            scenario.system.decoder,
+            memory_latency=max(scenario.system.memory.latency_cycles, 1),
+            parse_rate=max(
+                1, int(scenario.system.decoder.sequences_per_cycle)
+            ),
+        )
+        decoded, packed_words, stats = unit.run(stream)
+        return {
+            "block": str(block),
+            "num_sequences": int(stream.num_sequences),
+            "compressed_bits": int(stream.bit_length),
+            "compression_ratio": float(stream.compression_ratio),
+            "cycles": int(stats.cycles),
+            "stall_cycles": int(stats.stall_cycles),
+            "fetch_requests": int(stats.fetch_requests),
+            "utilisation": float(stats.utilisation),
+            "packed_words": len(packed_words),
+            "decode_verified": bool(np.array_equal(decoded, sequences)),
+        }
+
+
+@register_backend
+class EnergyBackend(SimulationBackend):
+    """Per-inference energy of baseline vs. hardware-compressed runs."""
+
+    name = "energy"
+    paper_ref = "extension axis: DRAM-traffic energy (Horowitz ISSCC'14)"
+
+    def run(self, context: SimulationContext) -> Dict[str, Any]:
+        scenario = context.scenario
+        model = EnergyModel(scenario.energy, scenario.system)
+        reports = model.price_modes(
+            {
+                "baseline": context.timing("baseline"),
+                "hw_compressed": context.timing("hw_compressed"),
+            }
+        )
+        context.energy_reports.update(reports)
+        section: Dict[str, Any] = {
+            "modes": {
+                mode: {
+                    **{
+                        component: float(value)
+                        for component, value in report.breakdown().items()
+                    },
+                    "total_uj": float(report.total_uj),
+                }
+                for mode, report in reports.items()
+            }
+        }
+        section["energy_saving"] = _guarded_ratio(
+            reports["baseline"].total_uj,
+            reports["hw_compressed"].total_uj,
+        )
+        return section
+
+
+def _guarded_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the degenerate cases pinned.
+
+    Mirrors the ``compression_ratio`` contract: an empty denominator is
+    infinitely better (``inf``) unless the numerator is empty too (1.0).
+    """
+    if denominator == 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator

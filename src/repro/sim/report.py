@@ -1,0 +1,203 @@
+"""Composable simulation reports: one object per scenario run.
+
+:class:`SimulationReport` aggregates every backend's section (timing +
+energy + decode stats + compression metrics) behind one surface.  The
+``sections`` mapping is JSON-ready — :meth:`SimulationReport.to_json` /
+:meth:`SimulationReport.from_json` round-trip the serialisable view for
+the analysis/export layer — while ``timings`` / ``energy`` keep the rich
+in-memory objects (:class:`~repro.hw.perf.ModelTiming`,
+:class:`~repro.hw.energy.EnergyReport`) for callers that drill into
+per-layer detail.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..hw.energy import EnergyReport
+from ..hw.perf import ModelTiming
+from .scenario import Scenario
+
+__all__ = ["SimulationReport"]
+
+
+@dataclass
+class SimulationReport:
+    """Everything one :class:`~repro.sim.simulator.Simulator` run produced.
+
+    ``sections`` is keyed by backend name in execution order; the rich
+    companions (``timings`` per execution mode, ``energy`` per mode,
+    ``layer_ratios``) are populated by whichever backends ran and are
+    not part of the serialised form.
+    """
+
+    scenario: Scenario
+    sections: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    timings: Dict[str, ModelTiming] = field(default_factory=dict, repr=False)
+    energy: Dict[str, EnergyReport] = field(default_factory=dict, repr=False)
+    layer_ratios: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Convenience metrics
+    # ------------------------------------------------------------------
+    def total_cycles(self, mode: str) -> float:
+        """Whole-network cycles of ``mode`` from the analytic section."""
+        return float(self.sections["analytic"]["modes"][mode]["total_cycles"])
+
+    @property
+    def hw_speedup(self) -> Optional[float]:
+        """Baseline over hardware-compressed cycles (paper: 1.35x)."""
+        return self.sections.get("analytic", {}).get("hw_speedup")
+
+    @property
+    def sw_slowdown(self) -> Optional[float]:
+        """Software-compressed over baseline cycles (paper: 1.47x)."""
+        return self.sections.get("analytic", {}).get("sw_slowdown")
+
+    @property
+    def compression_ratio(self) -> Optional[float]:
+        """Whole-payload ratio from the compression section, if run."""
+        return self.sections.get("compression", {}).get("overall_ratio")
+
+    @property
+    def energy_saving(self) -> Optional[float]:
+        """Baseline over compressed energy from the energy section."""
+        return self.sections.get("energy", {}).get("energy_saving")
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-ready view: scenario + every backend section."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "sections": self.sections,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise :meth:`to_dict` as strict RFC-compliant JSON.
+
+        Non-finite floats (the degenerate-ratio ``inf`` contract) are
+        encoded as the strings ``"Infinity"`` / ``"-Infinity"`` /
+        ``"NaN"`` so the output stays parseable by jq / ``JSON.parse``;
+        :meth:`from_json` restores them.
+        """
+        return json.dumps(
+            _encode_nonfinite(self.to_dict()), indent=indent, allow_nan=False
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationReport":
+        """Rebuild the serialisable view (rich objects stay empty)."""
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            sections=dict(data.get("sections", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationReport":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(_decode_nonfinite(json.loads(text)))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Aligned text rendition of every section (CLI ``simulate``)."""
+        # lazy import: repro.analysis.performance imports repro.sim, so
+        # the renderer must not pull analysis in at module-import time
+        from ..analysis.report import format_ratio, render_table
+
+        scenario = self.scenario
+        lines = [
+            f"scenario {scenario.name!r}  "
+            f"(model={scenario.model}, seed={scenario.seed}, "
+            f"codec={scenario.pipeline.codec}, "
+            f"backends={'+'.join(scenario.backends)})"
+        ]
+        for name, section in self.sections.items():
+            lines.append("")
+            lines.append(self._render_section(name, section, format_ratio,
+                                              render_table))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_section(name, section, format_ratio, render_table) -> str:
+        if "modes" in section:
+            modes = section["modes"]
+            headers = ["metric"] + list(modes)
+            metrics = sorted(
+                {
+                    key
+                    for per_mode in modes.values()
+                    for key, value in per_mode.items()
+                    if not isinstance(value, dict)
+                }
+            )
+            rows = [
+                [metric]
+                + [_format_cell(modes[mode].get(metric)) for mode in modes]
+                for metric in metrics
+            ]
+            table = render_table(headers, rows, title=f"[{name}]")
+            ratio_keys = ("speedup", "slowdown", "ratio", "saving")
+            extras = [
+                f"{key}: "
+                + (
+                    format_ratio(value)
+                    if any(marker in key for marker in ratio_keys)
+                    else _format_cell(value)
+                )
+                for key, value in section.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+            return table + ("\n" + "\n".join(extras) if extras else "")
+        rows = [
+            (key, _format_cell(value))
+            for key, value in section.items()
+            if not isinstance(value, (dict, list))
+        ]
+        return render_table(("field", "value"), rows, title=f"[{name}]")
+
+
+#: strict-JSON stand-ins for the floats ``json.dumps`` cannot emit
+_NONFINITE = {
+    math.inf: "Infinity",
+    -math.inf: "-Infinity",
+}
+
+
+def _encode_nonfinite(value: Any) -> Any:
+    """Replace non-finite floats with string sentinels, recursively."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return "NaN" if math.isnan(value) else _NONFINITE[value]
+    if isinstance(value, dict):
+        return {key: _encode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_encode_nonfinite(item) for item in value]
+    return value
+
+
+def _decode_nonfinite(value: Any) -> Any:
+    """Inverse of :func:`_encode_nonfinite`."""
+    if value in ("Infinity", "-Infinity", "NaN"):
+        return float(value.lower().replace("infinity", "inf"))
+    if isinstance(value, dict):
+        return {key: _decode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_nonfinite(item) for item in value]
+    return value
+
+
+def _format_cell(value: Any) -> str:
+    """Compact cell formatting for mixed int/float sections."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,347 @@
+"""Declarative scenarios: one frozen object names a whole evaluation.
+
+A :class:`Scenario` bundles everything one simulator run depends on — the
+workload model, the RNG seed for the synthetic kernels, the compression
+:class:`~repro.core.pipeline.PipelineConfig`, the hardware
+:class:`~repro.hw.config.SystemConfig`, the
+:class:`~repro.hw.energy.EnergyConfig` price list, and the evaluation
+backends to execute — so an experiment is data, not wiring code.
+Scenarios serialise to/from JSON (:meth:`Scenario.to_dict` /
+:meth:`Scenario.from_dict`), which is what makes parameter sweeps and the
+analysis/export layer composable.
+
+Workload models are resolved from a string-keyed registry mirroring the
+codec registry of :mod:`repro.core.codec`: :func:`register_model` /
+:func:`get_model` / :func:`available_models`.  The built-in entries are
+
+* ``reactnet`` — the full ReActNet-like topology of the paper;
+* ``reactnet-head`` — the stem plus the first blocks, for fast tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+from ..core.clustering import ClusteringConfig
+from ..core.pipeline import PipelineConfig
+from ..core.simplified import DEFAULT_CAPACITIES
+from ..hw.config import (
+    CacheConfig,
+    CpuConfig,
+    DecoderConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+from ..hw.energy import EnergyConfig
+from ..hw.perf import LayerWorkload, reactnet_workloads
+from ..synth.weights import generate_reactnet_kernels
+
+__all__ = [
+    "ModelSpec",
+    "SIMULATION_MODES",
+    "Scenario",
+    "available_models",
+    "get_model",
+    "paper_pipeline",
+    "register_model",
+]
+
+#: execution modes the analytic backend understands
+SIMULATION_MODES = ("baseline", "hw_compressed", "sw_compressed")
+
+
+def paper_pipeline() -> PipelineConfig:
+    """The paper's offline compression flow (Sec. IV-A / Table V).
+
+    Simplified four-node tree with the published capacities, plus the
+    Sec. VI clustering pass (M=64, N=256, radius 1).
+    """
+    return PipelineConfig(
+        codec="simplified",
+        codec_params={"capacities": tuple(int(c) for c in DEFAULT_CAPACITIES)},
+        clustering=ClusteringConfig(
+            num_common=64, num_rare=256, max_distance=1
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload-model registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelSpec:
+    """One named workload: layer list plus synthetic kernels.
+
+    ``workloads`` builds the :class:`~repro.hw.perf.LayerWorkload` list
+    the timing model replays; ``kernels`` generates the per-block 3x3
+    kernels (``{block_id: bit tensor}``) the compression stage measures.
+    """
+
+    name: str
+    workloads: Callable[[], List[LayerWorkload]]
+    kernels: Callable[[int], Dict[Any, np.ndarray]]
+
+    def layer_name(self, block: Any) -> str:
+        """Map a kernel block id onto its perf-model layer name."""
+        return f"block{block}_conv3x3"
+
+
+_MODELS: Dict[str, ModelSpec] = {}
+
+
+def register_model(spec: ModelSpec) -> ModelSpec:
+    """Register ``spec`` under its name; returns it for chaining."""
+    if not spec.name:
+        raise ValueError("model spec must have a non-empty name")
+    if spec.name in _MODELS and _MODELS[spec.name] is not spec:
+        raise ValueError(f"model name {spec.name!r} is already registered")
+    _MODELS[spec.name] = spec
+    return spec
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a registered workload model by name."""
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+
+
+def available_models() -> Tuple[str, ...]:
+    """Registered model names, sorted."""
+    return tuple(sorted(_MODELS))
+
+
+def _reactnet_head_workloads() -> List[LayerWorkload]:
+    """Stem + the first three residual blocks (fast-test model)."""
+    head = reactnet_workloads()[: 1 + 3 * 3]
+    return list(head)
+
+
+def _reactnet_head_kernels(seed: int) -> Dict[Any, np.ndarray]:
+    full = generate_reactnet_kernels(seed=seed)
+    return {block: full[block] for block in sorted(full)[:3]}
+
+
+register_model(
+    ModelSpec(
+        name="reactnet",
+        workloads=reactnet_workloads,
+        kernels=lambda seed: generate_reactnet_kernels(seed=seed),
+    )
+)
+register_model(
+    ModelSpec(
+        name="reactnet-head",
+        workloads=_reactnet_head_workloads,
+        kernels=_reactnet_head_kernels,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One complete, declarative evaluation configuration.
+
+    ``backends`` names registry entries (see
+    :func:`repro.sim.backends.available_backends`); ``modes`` limits the
+    execution modes the analytic backend times; ``compression_ratios``
+    (layer name -> ratio) short-circuits the measurement stage — when
+    ``None`` the ratios are measured by running ``pipeline`` over the
+    model's kernels, exactly as the Table V experiment does.
+    """
+
+    name: str = "paper-default"
+    model: str = "reactnet"
+    seed: int = 0
+    pipeline: PipelineConfig = field(default_factory=paper_pipeline)
+    system: SystemConfig = field(default_factory=SystemConfig.paper_default)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    backends: Tuple[str, ...] = ("analytic",)
+    modes: Tuple[str, ...] = SIMULATION_MODES
+    compression_ratios: Optional[Mapping[str, float]] = None
+    #: the sweep axis values that produced this scenario (set by
+    #: ``Simulator.sweep``; ``None`` for hand-built scenarios)
+    axis_values: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(self, "modes", tuple(self.modes))
+        if self.compression_ratios is not None:
+            object.__setattr__(
+                self, "compression_ratios", dict(self.compression_ratios)
+            )
+        if self.axis_values is not None:
+            object.__setattr__(self, "axis_values", dict(self.axis_values))
+        for mode in self.modes:
+            if mode not in SIMULATION_MODES:
+                raise ValueError(
+                    f"unknown mode {mode!r}; valid: {SIMULATION_MODES}"
+                )
+        if not self.modes:
+            raise ValueError("a scenario needs at least one mode")
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary (tuples become lists)."""
+        pipeline = self.pipeline
+        return {
+            "name": self.name,
+            "model": self.model,
+            "seed": self.seed,
+            "pipeline": {
+                "codec": pipeline.codec,
+                "codec_params": {
+                    key: _jsonify(value)
+                    for key, value in dict(pipeline.codec_params).items()
+                },
+                "clustering": (
+                    asdict(pipeline.clustering)
+                    if pipeline.clustering is not None
+                    else None
+                ),
+                "merge_blocks": pipeline.merge_blocks,
+                "use_batch": pipeline.use_batch,
+                "workers": pipeline.workers,
+            },
+            "system": asdict(self.system),
+            "energy": asdict(self.energy),
+            "backends": list(self.backends),
+            "modes": list(self.modes),
+            "compression_ratios": (
+                dict(self.compression_ratios)
+                if self.compression_ratios is not None
+                else None
+            ),
+            "axis_values": (
+                {key: _jsonify(value) for key, value in self.axis_values.items()}
+                if self.axis_values is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        pipeline_data = data.get("pipeline", {})
+        clustering_data = pipeline_data.get("clustering")
+        pipeline = PipelineConfig(
+            codec=pipeline_data.get("codec", "simplified"),
+            codec_params={
+                key: _tuplify(value)
+                for key, value in pipeline_data.get("codec_params", {}).items()
+            },
+            clustering=(
+                ClusteringConfig(**clustering_data)
+                if clustering_data is not None
+                else None
+            ),
+            merge_blocks=pipeline_data.get("merge_blocks", False),
+            use_batch=pipeline_data.get("use_batch", True),
+            workers=pipeline_data.get("workers", 0),
+        )
+        system_data = data.get("system", {})
+        system = SystemConfig(
+            cpu=CpuConfig(**system_data.get("cpu", {})),
+            l1=CacheConfig(**system_data.get("l1", {"size_bytes": 32 * 1024})),
+            l2=CacheConfig(**system_data.get("l2", {"size_bytes": 256 * 1024})),
+            memory=MemoryConfig(**system_data.get("memory", {})),
+            decoder=DecoderConfig(**system_data.get("decoder", {})),
+        )
+        ratios = data.get("compression_ratios")
+        axis_values = data.get("axis_values")
+        return cls(
+            name=data.get("name", "scenario"),
+            model=data.get("model", "reactnet"),
+            seed=data.get("seed", 0),
+            pipeline=pipeline,
+            system=system,
+            energy=EnergyConfig(**data.get("energy", {})),
+            backends=tuple(data.get("backends", ("analytic",))),
+            modes=tuple(data.get("modes", SIMULATION_MODES)),
+            compression_ratios=ratios,
+            axis_values=axis_values,
+        )
+
+    # ------------------------------------------------------------------
+    # Axis substitution (the sweep primitive)
+    # ------------------------------------------------------------------
+    def with_value(self, path: str, value: Any) -> "Scenario":
+        """Copy with the dotted-``path`` field replaced by ``value``.
+
+        Paths walk nested frozen dataclasses and mappings, e.g.
+        ``"system.memory.latency_cycles"`` or
+        ``"pipeline.codec_params.capacities"``.
+        """
+        parts = path.split(".")
+        if not all(parts):
+            raise ValueError(f"malformed axis path {path!r}")
+        return _with_path(self, parts, value)
+
+
+def _jsonify(value: Any) -> Any:
+    """Tuples -> lists, recursively, so the dict is JSON-clean."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, Mapping):
+        return {key: _jsonify(item) for key, item in value.items()}
+    return value
+
+
+def _tuplify(value: Any) -> Any:
+    """Lists -> tuples, the inverse of :func:`_jsonify` for params."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _with_path(obj: Any, parts: List[str], value: Any) -> Any:
+    """Immutable deep-set: rebuild ``obj`` with ``parts`` -> ``value``."""
+    if not parts:
+        return value
+    head = parts[0]
+    if isinstance(obj, Mapping):
+        updated = dict(obj)
+        if head not in updated:
+            # inserting unknown keys would make a typo'd sweep axis run
+            # the whole grid as identical scenarios with no error
+            raise KeyError(
+                f"mapping has no key {head!r}; "
+                f"present: {', '.join(map(repr, sorted(updated))) or 'none'}"
+            )
+        if parts[1:]:
+            updated[head] = _with_path(updated[head], parts[1:], value)
+        else:
+            updated[head] = value
+        return updated
+    field_names = {f.name for f in fields(obj)} if hasattr(obj, "__dataclass_fields__") else None
+    if field_names is None:
+        raise KeyError(
+            f"cannot descend into {type(obj).__name__} at segment {head!r}"
+        )
+    if head not in field_names:
+        raise KeyError(
+            f"{type(obj).__name__} has no field {head!r}; "
+            f"valid: {', '.join(sorted(field_names))}"
+        )
+    return replace(
+        obj, **{head: _with_path(getattr(obj, head), parts[1:], value)}
+    )

@@ -1,0 +1,114 @@
+"""The facade: one object runs any scenario, or a whole parameter grid.
+
+:meth:`Simulator.run` resolves every backend named by a
+:class:`~repro.sim.scenario.Scenario` from the registry, executes them
+over one shared :class:`~repro.sim.backends.SimulationContext` and
+returns a composable :class:`~repro.sim.report.SimulationReport`.
+
+:meth:`Simulator.sweep` is the Table IV ablation machine: it expands a
+base scenario against named axes (dotted config paths -> value lists,
+cartesian product across axes) and runs every expanded scenario, with
+optional process-pool fan-out (``workers=N``) reusing the same machinery
+as :meth:`repro.core.pipeline.CompressionPipeline.compress_model`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Mapping, Optional, Sequence
+
+from .backends import SimulationContext, get_backend
+from .report import SimulationReport
+from .scenario import Scenario
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Scenario-driven front door to the hardware-evaluation stack."""
+
+    def run(self, scenario: Scenario) -> SimulationReport:
+        """Execute every backend of ``scenario`` over one shared context."""
+        context = SimulationContext(scenario)
+        sections = {}
+        for name in scenario.backends:
+            sections[name] = get_backend(name).run(context)
+        return SimulationReport(
+            scenario=scenario,
+            sections=sections,
+            timings=dict(context.timings),
+            energy=dict(context.energy_reports),
+            layer_ratios=context.layer_ratios_if_measured,
+        )
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    @staticmethod
+    def expand_grid(
+        base: Scenario, axes: Mapping[str, Sequence[Any]]
+    ) -> List[Scenario]:
+        """Cartesian product of ``axes`` applied to ``base``.
+
+        Axis keys are dotted config paths (e.g.
+        ``"system.memory.latency_cycles"`` or
+        ``"pipeline.codec_params.capacities"``); values are the points
+        to visit.  Scenarios come back in row-major order over the axes'
+        insertion order, each named ``base[axis=value, ...]`` and
+        carrying its ``axis_values`` mapping.
+        """
+        if not axes:
+            raise ValueError("sweep needs at least one axis")
+        paths = list(axes)
+        value_lists = []
+        for path in paths:
+            values = list(axes[path])
+            if not values:
+                raise ValueError(f"axis {path!r} has no values")
+            value_lists.append(values)
+        scenarios = []
+        for combo in itertools.product(*value_lists):
+            scenario = base
+            for path, value in zip(paths, combo):
+                scenario = scenario.with_value(path, value)
+            label = ", ".join(
+                f"{path.rsplit('.', 1)[-1]}={value!r}"
+                for path, value in zip(paths, combo)
+            )
+            scenario = scenario.with_value(
+                "name", f"{base.name}[{label}]"
+            ).with_value("axis_values", dict(zip(paths, combo)))
+            scenarios.append(scenario)
+        return scenarios
+
+    def sweep(
+        self,
+        base: Scenario,
+        axes: Mapping[str, Sequence[Any]],
+        workers: Optional[int] = None,
+    ) -> List[SimulationReport]:
+        """Run the expanded grid; reports come back in grid order.
+
+        ``workers`` (default: the base scenario pipeline's ``workers``)
+        fans independent scenarios out over a process pool; ``0``/``1``
+        runs them serially in-process.
+        """
+        scenarios = self.expand_grid(base, axes)
+        workers = base.pipeline.workers if workers is None else workers
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if workers > 1 and len(scenarios) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_scenario_job, scenario)
+                    for scenario in scenarios
+                ]
+                return [future.result() for future in futures]
+        return [self.run(scenario) for scenario in scenarios]
+
+
+def _run_scenario_job(scenario: Scenario) -> SimulationReport:
+    """Run one scenario in a worker process (module level so it pickles)."""
+    return Simulator().run(scenario)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -87,3 +89,72 @@ class TestCommands:
     def test_accuracy_short_run(self, capsys):
         assert main(["accuracy", "--epochs", "2"]) == 0
         assert "accuracy" in capsys.readouterr().out.lower()
+
+
+class TestSimulateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.backends == ["analytic"]
+        assert args.model == "reactnet"
+        assert not args.json
+
+    def test_backend_choices_follow_registry(self):
+        args = build_parser().parse_args(
+            ["simulate", "--backends", "rtl", "energy"]
+        )
+        assert args.backends == ["rtl", "energy"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backends", "nonsense"])
+
+    def test_simulate_rtl_json(self, capsys):
+        assert main(
+            ["simulate", "--model", "reactnet-head", "--backends", "rtl",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["model"] == "reactnet-head"
+        assert payload["sections"]["rtl"]["decode_verified"] is True
+
+    def test_simulate_renders_sections(self, capsys):
+        assert main(
+            ["simulate", "--model", "reactnet-head", "--backends",
+             "pipeline", "--modes", "baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[pipeline]" in out
+        assert "hw_ldps" in out
+
+
+class TestSweepCommand:
+    def test_axis_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_axis_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "--axis", "system.memory.latency_cycles=[40,100]"]
+        )
+        assert args.axis == [("system.memory.latency_cycles", [40, 100])]
+
+    def test_axis_nested_lists_become_tuples(self):
+        args = build_parser().parse_args(
+            ["sweep", "--axis",
+             "pipeline.codec_params.capacities=[[64,512],[256,256]]"]
+        )
+        (_, values), = args.axis
+        assert values == [(64, 512), (256, 256)]
+
+    def test_malformed_axis_rejected(self):
+        for bad in ("no_equals", "path=notjson", "path=[]", "path=42"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "--axis", bad])
+
+    def test_sweep_runs_grid(self, capsys):
+        assert main(
+            ["sweep", "--model", "reactnet-head",
+             "--modes", "baseline", "hw_compressed",
+             "--axis", "system.memory.latency_cycles=[40,400]"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep over 2 scenarios" in out
+        assert "hw speedup" in out

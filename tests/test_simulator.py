@@ -1,0 +1,389 @@
+"""Tests for the scenario-driven simulator facade (``repro.sim``).
+
+Covers registry resolution errors, sweep-grid expansion, report JSON
+round-trips and — most importantly — the facade-vs-legacy parity pins:
+``Simulator.run`` must reproduce ``PerfModel.speedup`` and
+``EnergyModel.compare`` bit for bit.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.compression import measure_table5
+from repro.analysis.performance import (
+    SpeedupResult,
+    ratios_from_table5,
+    run_performance_experiment,
+    speedup_result_from_report,
+)
+from repro.core.pipeline import PipelineConfig
+from repro.hw.config import SystemConfig
+from repro.hw.energy import EnergyModel
+from repro.hw.perf import LayerTiming, LayerWorkload, ModelTiming, PerfModel
+from repro.sim import (
+    Scenario,
+    SimulationBackend,
+    SimulationReport,
+    Simulator,
+    available_backends,
+    available_models,
+    get_backend,
+    get_model,
+    paper_pipeline,
+    register_backend,
+)
+
+RATIOS = {f"block{i}_conv3x3": 1.3 for i in range(1, 14)}
+
+
+@pytest.fixture(scope="module")
+def paper_report():
+    """One full-network facade run with fixed ratios (analytic+energy)."""
+    scenario = Scenario(
+        name="parity",
+        compression_ratios=RATIOS,
+        backends=("analytic", "energy"),
+    )
+    return Simulator().run(scenario)
+
+
+@pytest.fixture(scope="module")
+def head_scenario():
+    """A fast scenario over the reduced model with fixed ratios."""
+    return Scenario(
+        name="head",
+        model="reactnet-head",
+        compression_ratios=RATIOS,
+        backends=("analytic",),
+        modes=("baseline", "hw_compressed"),
+    )
+
+
+class TestRegistries:
+    def test_available_backends(self):
+        names = available_backends()
+        for expected in ("analytic", "compression", "energy", "pipeline", "rtl"):
+            assert expected in names
+
+    def test_unknown_backend_lists_alternatives(self):
+        with pytest.raises(KeyError, match="analytic"):
+            get_backend("nonsense")
+
+    def test_unknown_model_lists_alternatives(self):
+        with pytest.raises(KeyError, match="reactnet"):
+            get_model("nonsense")
+
+    def test_unknown_model_fails_at_context_build(self):
+        with pytest.raises(KeyError):
+            Simulator().run(Scenario(model="nonsense"))
+
+    def test_backend_requires_name(self):
+        with pytest.raises(ValueError):
+
+            @register_backend
+            class Nameless(SimulationBackend):
+                def run(self, context):
+                    return {}
+
+    def test_duplicate_backend_name_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_backend
+            class Duplicate(SimulationBackend):
+                name = "analytic"
+
+                def run(self, context):
+                    return {}
+
+    def test_available_models(self):
+        assert "reactnet" in available_models()
+        assert "reactnet-head" in available_models()
+
+
+class TestScenario:
+    def test_defaults_are_paper_defaults(self):
+        scenario = Scenario()
+        assert scenario.pipeline == paper_pipeline()
+        assert scenario.system == SystemConfig.paper_default()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            Scenario(modes=("warp_speed",))
+
+    def test_no_modes_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(modes=())
+
+    def test_json_round_trip(self):
+        scenario = Scenario(
+            name="rt",
+            model="reactnet-head",
+            seed=3,
+            backends=("analytic", "rtl"),
+            modes=("baseline",),
+            compression_ratios={"block1_conv3x3": 1.25},
+        )
+        rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert rebuilt == scenario
+        # tuples (capacities) must survive the list round trip
+        assert rebuilt.pipeline.codec_params["capacities"] == (32, 64, 64, 512)
+
+    def test_with_value_nested_dataclass(self):
+        scenario = Scenario().with_value("system.memory.latency_cycles", 400)
+        assert scenario.system.memory.latency_cycles == 400
+        # the original is untouched (frozen copies all the way down)
+        assert Scenario().system.memory.latency_cycles == 100
+
+    def test_with_value_mapping_key(self):
+        scenario = Scenario().with_value(
+            "pipeline.codec_params.capacities", (64, 512)
+        )
+        assert scenario.pipeline.codec_params["capacities"] == (64, 512)
+
+    def test_with_value_unknown_field(self):
+        with pytest.raises(KeyError, match="latency_cycles"):
+            Scenario().with_value("system.memory.warp_factor", 9)
+
+    def test_with_value_unknown_mapping_key(self):
+        # a typo'd codec-param axis must fail loudly, not silently run
+        # the whole grid as identical scenarios
+        with pytest.raises(KeyError, match="capacities"):
+            Scenario().with_value(
+                "pipeline.codec_params.capacaties", (64, 512)
+            )
+
+    def test_with_value_malformed_path(self):
+        with pytest.raises(ValueError):
+            Scenario().with_value("system..latency", 1)
+
+
+class TestSweepExpansion:
+    def test_two_axis_grid(self):
+        base = Scenario(name="grid")
+        scenarios = Simulator.expand_grid(
+            base,
+            axes={
+                "system.memory.latency_cycles": [40, 100, 400],
+                "system.l2.size_bytes": [128 * 1024, 1024 * 1024],
+            },
+        )
+        assert len(scenarios) == 6
+        assert len({s.name for s in scenarios}) == 6
+        # row-major over insertion order: latency is the slow axis
+        assert [s.system.memory.latency_cycles for s in scenarios] == [
+            40, 40, 100, 100, 400, 400,
+        ]
+        assert [s.system.l2.size_bytes for s in scenarios] == [
+            128 * 1024, 1024 * 1024,
+        ] * 3
+        for scenario in scenarios:
+            assert scenario.axis_values[
+                "system.memory.latency_cycles"
+            ] == scenario.system.memory.latency_cycles
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator.expand_grid(Scenario(), axes={})
+
+    def test_empty_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Simulator.expand_grid(
+                Scenario(), axes={"system.memory.latency_cycles": []}
+            )
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().sweep(
+                Scenario(),
+                axes={"system.memory.latency_cycles": [100]},
+                workers=-1,
+            )
+
+
+class TestSweepRun:
+    def test_two_axis_sweep_runs(self, head_scenario):
+        reports = Simulator().sweep(
+            head_scenario,
+            axes={
+                "system.memory.latency_cycles": [40, 400],
+                "system.l2.size_bytes": [128 * 1024, 1024 * 1024],
+            },
+        )
+        assert len(reports) == 4
+        for report in reports:
+            assert report.hw_speedup is not None
+            assert report.total_cycles("baseline") > 0
+        # more DRAM latency cannot make the decoding unit less useful
+        assert reports[2].hw_speedup >= reports[0].hw_speedup - 1e-9
+
+    def test_parallel_sweep_matches_serial(self, head_scenario):
+        axes = {"system.memory.latency_cycles": [40, 400]}
+        base = head_scenario.with_value("modes", ("baseline",))
+        serial = Simulator().sweep(base, axes)
+        parallel = Simulator().sweep(base, axes, workers=2)
+        assert [r.to_dict() for r in parallel] == [
+            r.to_dict() for r in serial
+        ]
+
+
+class TestFacadeParity:
+    def test_analytic_matches_legacy_perfmodel(self, paper_report):
+        legacy = PerfModel(SystemConfig.paper_default())
+        baseline = legacy.simulate_model("baseline")
+        hw = legacy.simulate_model("hw_compressed", RATIOS)
+        sw = legacy.simulate_model("sw_compressed", RATIOS)
+        assert (
+            paper_report.timings["baseline"].total_cycles
+            == baseline.total_cycles
+        )
+        assert paper_report.timings["hw_compressed"].total_cycles == hw.total_cycles
+        assert paper_report.timings["sw_compressed"].total_cycles == sw.total_cycles
+        # the paper's headline ratios, bit for bit
+        assert paper_report.hw_speedup == legacy.speedup(RATIOS)
+        assert (
+            paper_report.sw_slowdown
+            == sw.total_cycles / baseline.total_cycles
+        )
+
+    def test_energy_matches_legacy_compare(self, paper_report):
+        legacy = EnergyModel().compare(RATIOS)
+        assert paper_report.energy["baseline"] == legacy["baseline"]
+        assert paper_report.energy["hw_compressed"] == legacy["hw_compressed"]
+        assert paper_report.energy_saving == (
+            legacy["baseline"].total_uj / legacy["hw_compressed"].total_uj
+        )
+
+    def test_measured_ratios_match_table5(self):
+        report = Simulator().run(
+            Scenario(name="measured", backends=("compression",))
+        )
+        legacy = ratios_from_table5(measure_table5(seed=0))
+        assert report.layer_ratios == legacy
+        assert report.sections["compression"]["layer_ratios"] == legacy
+
+    def test_run_performance_experiment_through_facade(self, paper_report):
+        result = run_performance_experiment(compression_ratios=RATIOS)
+        assert isinstance(result, SpeedupResult)
+        assert result.hw_speedup == paper_report.hw_speedup
+        assert result.sw_slowdown == paper_report.sw_slowdown
+        assert result.compression_ratios == RATIOS
+
+    def test_speedup_result_from_report_needs_all_modes(self, head_scenario):
+        report = Simulator().run(head_scenario)  # only baseline + hw
+        with pytest.raises(ValueError, match="sw_compressed"):
+            speedup_result_from_report(report)
+
+
+class TestBackendSections:
+    def test_rtl_backend_verifies_decode(self):
+        report = Simulator().run(
+            Scenario(name="rtl", model="reactnet-head", backends=("rtl",))
+        )
+        section = report.sections["rtl"]
+        assert section["decode_verified"] is True
+        assert section["cycles"] >= section["num_sequences"] // 2
+        assert 0.0 < section["utilisation"] <= 1.0
+
+    def test_pipeline_backend_orders_modes(self):
+        report = Simulator().run(
+            Scenario(
+                name="pipe", model="reactnet-head", backends=("pipeline",)
+            )
+        )
+        modes = report.sections["pipeline"]["modes"]
+        # the decoding unit must beat loading uncompressed weights
+        assert modes["hw_ldps"]["cycles"] < modes["baseline"]["cycles"]
+        assert report.sections["pipeline"]["ldps_speedup"] > 1.0
+
+    def test_compression_backend_reports_tree_layout(self):
+        report = Simulator().run(
+            Scenario(
+                name="tree",
+                model="reactnet-head",
+                pipeline=PipelineConfig(codec="simplified", clustering=None),
+                backends=("compression",),
+            )
+        )
+        section = report.sections["compression"]
+        assert section["num_blocks"] == 3
+        assert section["decoder_table_bytes"] > 0
+        assert len(section["code_lengths"]) == 4
+        assert section["overall_ratio"] > 1.0
+
+
+class TestReportSerialisation:
+    def test_json_round_trip(self, head_scenario):
+        report = Simulator().run(head_scenario)
+        rebuilt = SimulationReport.from_json(report.to_json(indent=2))
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.scenario == report.scenario
+        assert rebuilt.hw_speedup == report.hw_speedup
+
+    def test_sections_are_json_clean(self, paper_report):
+        # every section value must survive json round trip unchanged
+        dumped = json.loads(paper_report.to_json())
+        assert dumped["sections"] == paper_report.sections
+
+    def test_nonfinite_floats_survive_strict_json(self):
+        # degenerate ratios are inf by contract; the serialised form
+        # must stay RFC-compliant (no bare Infinity tokens) yet restore
+        report = SimulationReport(
+            scenario=Scenario(name="inf"),
+            sections={"compression": {"overall_ratio": float("inf")}},
+        )
+        text = report.to_json()
+        json.loads(
+            text,
+            parse_constant=lambda token: pytest.fail(
+                f"non-RFC token {token} in JSON output"
+            ),
+        )
+        rebuilt = SimulationReport.from_json(text)
+        assert math.isinf(rebuilt.compression_ratio)
+
+
+class TestSpeedupResultGuards:
+    @staticmethod
+    def _timing(mode, cycles):
+        timing = ModelTiming(mode=mode)
+        if cycles:
+            workload = LayerWorkload(
+                name="w", kind="other", in_channels=1, out_channels=1,
+                kernel=1, stride=1, in_size=1,
+            )
+            timing.layers.append(
+                LayerTiming(workload=workload, mode=mode, total_cycles=cycles)
+            )
+        return timing
+
+    def test_zero_cycle_denominators_return_inf(self):
+        result = SpeedupResult(
+            baseline=self._timing("baseline", 0),
+            hw_compressed=self._timing("hw_compressed", 0),
+            sw_compressed=self._timing("sw_compressed", 5.0),
+            compression_ratios={},
+        )
+        assert result.hw_speedup == 1.0  # both empty
+        assert math.isinf(result.sw_slowdown)
+
+    def test_empty_everything_is_neutral(self):
+        result = SpeedupResult(
+            baseline=self._timing("baseline", 0),
+            hw_compressed=self._timing("hw_compressed", 0),
+            sw_compressed=self._timing("sw_compressed", 0),
+            compression_ratios={},
+        )
+        assert result.hw_speedup == 1.0
+        assert result.sw_slowdown == 1.0
+
+    def test_nonzero_baseline_over_zero_hw_is_inf(self):
+        result = SpeedupResult(
+            baseline=self._timing("baseline", 7.0),
+            hw_compressed=self._timing("hw_compressed", 0),
+            sw_compressed=self._timing("sw_compressed", 7.0),
+            compression_ratios={},
+        )
+        assert math.isinf(result.hw_speedup)
+        assert result.sw_slowdown == 1.0
