@@ -16,6 +16,8 @@ import time
 import numpy as np
 import pytest
 
+from conftest import bench_reduced, update_bench_artifact
+
 from repro.bnn.packing import pack_bits, packed_dot, unpack_bits
 from repro.core.bitseq import NUM_SEQUENCES, kernel_to_sequences
 from repro.core.codec import get_codec
@@ -23,8 +25,11 @@ from repro.core.frequency import FrequencyTable
 from repro.core.simplified import SimplifiedTree
 
 #: the acceptance workload: 512 kernels x 256 channels = 131 072 sequences
-BATCH_ITEMS = 512
+#: (BENCH_REDUCED=1 shrinks the batch and relaxes the floor for CI smoke)
+BATCH_ITEMS = 128 if bench_reduced() else 512
 BATCH_ITEM_SIZE = 256
+SPEEDUP_FLOOR = 5.0 if bench_reduced() else 10.0
+MIN_WORKLOAD = 30_000 if bench_reduced() else 100_000
 
 
 def _print_rate(benchmark, count, label):
@@ -101,7 +106,7 @@ def test_batch_speedup_vs_scalar_reference(name, skewed_batch):
     """
     table, batch = skewed_batch
     total = sum(item.size for item in batch)
-    assert total >= 100_000
+    assert total >= MIN_WORKLOAD
     codec = get_codec(name).fit(table)
     counts = [item.size for item in batch]
 
@@ -127,14 +132,27 @@ def test_batch_speedup_vs_scalar_reference(name, skewed_batch):
     assert np.array_equal(offsets, ref_offsets)
 
     speedup = scalar_elapsed / batch_elapsed
+    update_bench_artifact(
+        "codec",
+        name,
+        {
+            "sequences": int(total),
+            "batch_seconds": float(batch_elapsed),
+            "scalar_seconds": float(scalar_elapsed),
+            "speedup": float(speedup),
+            "batch_sequences_per_second": float(total / batch_elapsed),
+            "scalar_sequences_per_second": float(total / scalar_elapsed),
+            "floor": SPEEDUP_FLOOR,
+        },
+    )
     print(
         f"\n{name}: batch {total / batch_elapsed / 1e6:.2f} M seq/s, "
         f"scalar reference {total / scalar_elapsed / 1e6:.3f} M seq/s "
         f"-> {speedup:.1f}x"
     )
-    assert speedup >= 10.0, (
+    assert speedup >= SPEEDUP_FLOOR, (
         f"{name} batch path is only {speedup:.1f}x over the scalar "
-        "reference (acceptance floor is 10x)"
+        f"reference (acceptance floor is {SPEEDUP_FLOOR:.0f}x)"
     )
 
 

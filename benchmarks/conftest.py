@@ -3,9 +3,21 @@
 Every bench regenerates one table or figure of the paper; expensive
 inputs (calibration, kernel generation) are shared session-wide so the
 timed region is the experiment itself.
+
+Throughput benches additionally persist machine-readable artifacts
+(``BENCH_<name>.json``) via :func:`update_bench_artifact`, so the perf
+trajectory is tracked across PRs; ``BENCH_ARTIFACT_DIR`` overrides the
+output directory (default: the repository root), and ``BENCH_REDUCED=1``
+switches the heavy benches to their CI-sized reduced mode.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any, Dict
 
 import pytest
 
@@ -13,6 +25,44 @@ from repro.synth.weights import generate_reactnet_kernels
 
 #: the seed every session-wide fixture and facade scenario agrees on
 KERNEL_SEED = 0
+
+#: repository root — the default home of the ``BENCH_*.json`` trajectory
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_reduced() -> bool:
+    """True when the benches should run their CI-sized reduced mode."""
+    return os.environ.get("BENCH_REDUCED", "") not in ("", "0")
+
+
+def update_bench_artifact(name: str, key: str, payload: Dict[str, Any]) -> Path:
+    """Merge one result section into ``BENCH_<name>.json``.
+
+    Artifacts are merge-updated (read, set ``key``, rewrite) so a bench
+    file with several timed sections — or a parametrised test writing
+    one section per parameter — composes into a single JSON document.
+    Provenance (interpreter, machine, reduced mode) is stamped *per
+    section*: merged documents may mix sections from different runs.
+    """
+    directory = Path(os.environ.get("BENCH_ARTIFACT_DIR") or REPO_ROOT)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    document: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            document = {}
+    document[key] = {
+        **payload,
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "reduced": bench_reduced(),
+        },
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

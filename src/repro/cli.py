@@ -147,9 +147,10 @@ def _scenario_from_args(args: argparse.Namespace, name: str):
 def _cmd_simulate(args: argparse.Namespace) -> str:
     from .sim import Simulator
 
-    report = Simulator().run(
-        _scenario_from_args(args, f"cli-simulate-seed{args.seed}")
-    )
+    scenario = _scenario_from_args(args, f"cli-simulate-seed{args.seed}")
+    if getattr(args, "workers", 0):
+        scenario = scenario.with_value("pipeline.workers", args.workers)
+    report = Simulator().run(scenario)
     if args.json:
         return report.to_json(indent=2)
     return report.render()
@@ -317,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--json", action="store_true",
                 help="emit the serialised report instead of text tables",
+            )
+        if name == "simulate":
+            sub.add_argument(
+                "--workers", type=int, default=0,
+                help=(
+                    "process-pool fan-out across blocks for the "
+                    "compression and rtl backends (default serial)"
+                ),
             )
         if name == "sweep":
             sub.add_argument(

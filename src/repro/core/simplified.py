@@ -161,12 +161,20 @@ class SimplifiedTree:
 
         # vectorised codec tables: codeword / length per sequence id, and
         # a max-length prefix LUT mirroring the hardware's parallel lookup
+        # (built per node table rather than per sequence: tree builds sit
+        # on the whole-model hot path)
         self._code_lut = np.zeros(NUM_SEQUENCES, dtype=np.int64)
         self._length_lut = np.zeros(NUM_SEQUENCES, dtype=np.int64)
-        for sequence in range(NUM_SEQUENCES):
-            code, length = self.code_of(sequence)
-            self._code_lut[sequence] = code
-            self._length_lut[sequence] = length
+        for node, sequences in enumerate(node_tables):
+            if not sequences:
+                continue
+            ids = np.asarray(sequences, dtype=np.int64)
+            prefix_value, prefix_length = self._layout.prefixes[node]
+            index_bits = self._layout.index_bits(node)
+            self._code_lut[ids] = (prefix_value << index_bits) | np.arange(
+                ids.size, dtype=np.int64
+            )
+            self._length_lut[ids] = prefix_length + index_bits
         self._max_length = int(self._length_lut.max())
         self._decode_lut_cache: Tuple[np.ndarray, np.ndarray] | None = None
 

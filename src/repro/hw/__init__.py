@@ -33,6 +33,7 @@ from .microkernel import (
 )
 from .pipeline import InOrderPipeline, Instruction, PipelineStats
 from .rtl import RtlDecodeStats, RtlDecodingUnit
+from .rtl_fast import ReplayUnsupportedError, replay_run, replay_supported
 from .perf import (
     LayerTiming,
     LayerWorkload,
@@ -65,6 +66,7 @@ __all__ = [
     "TraceRecord",
     "PerfModel",
     "PipelineStats",
+    "ReplayUnsupportedError",
     "RtlDecodeStats",
     "RtlDecodingUnit",
     "SystemConfig",
@@ -77,5 +79,7 @@ __all__ = [
     "ldps",
     "read_kernel_words",
     "reactnet_workloads",
+    "replay_run",
+    "replay_supported",
     "sw_decode_prologue",
 ]

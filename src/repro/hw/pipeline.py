@@ -23,10 +23,21 @@ Semantics:
 
 The pipeline is used at microkernel scale to validate the analytic
 model's per-pass estimates (see ``tests/test_hw_pipeline.py``).
+
+Two engines produce identical statistics:
+
+* ``engine="reference"`` — the literal cycle loop: every stall cycle is
+  one Python iteration (the oracle, kept for the equivalence tests);
+* ``engine="fast"`` (default) — an event-driven scoreboard pass that
+  precomputes per-instruction latencies/kinds as arrays, loops only
+  over *issue groups*, and accounts whole stall intervals in closed
+  form (memory/issue/fifo split included), so long-latency stalls cost
+  O(1) instead of one iteration per cycle.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -92,16 +103,24 @@ class PipelineStats:
 class InOrderPipeline:
     """Scoreboarded in-order core front end + execute timing."""
 
+    ENGINES = ("fast", "reference")
+
     def __init__(
         self,
         hierarchy: Optional[Cache] = None,
         issue_width: int = 2,
         latencies: Optional[Dict[str, int]] = None,
+        engine: str = "fast",
     ) -> None:
         if issue_width < 1:
             raise ValueError("issue_width must be >= 1")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; valid: {self.ENGINES}"
+            )
         self.hierarchy = hierarchy
         self.issue_width = issue_width
+        self.engine = engine
         self.latencies = dict(_DEFAULT_LATENCIES)
         if latencies:
             self.latencies.update(latencies)
@@ -114,8 +133,142 @@ class InOrderPipeline:
         """Execute ``program`` to completion and return cycle statistics.
 
         ``fifo_ready_times[i]`` is the cycle at which the decoding unit
-        has produced the ``i``-th packed word (for ``ldps``).
+        has produced the ``i``-th packed word (for ``ldps``).  The two
+        engines are stall-for-stall identical; ``engine="fast"`` just
+        skips the idle cycles instead of iterating them.
         """
+        if self.engine == "fast":
+            return self._run_fast(program, fifo_ready_times)
+        return self._run_reference(program, fifo_ready_times)
+
+    # ------------------------------------------------------------------
+    # Event-driven scoreboard (default)
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self,
+        program: Sequence[Instruction],
+        fifo_ready_times: Optional[Sequence[float]] = None,
+    ) -> PipelineStats:
+        """Issue-group walk with closed-form stall accounting.
+
+        Latencies and structural kinds are precomputed per instruction;
+        the loop advances directly from one issue group to the next
+        front-end blocking point, splitting each skipped stall interval
+        into memory / issue / fifo cycles exactly as the per-cycle
+        reference classifies them.
+        """
+        stats = PipelineStats(instructions=len(program))
+        ready_at: Dict[str, float] = {}
+        cycle = 0.0
+        index = 0
+        last_completion = 0.0
+        count = len(program)
+
+        # precomputed per-instruction arrays (the scoreboard pass reads
+        # these instead of touching attribute lookups in the hot loop)
+        kinds = [instruction.kind for instruction in program]
+        sources = [instruction.srcs for instruction in program]
+        dests = [instruction.dst for instruction in program]
+        is_memory = [kind in ("load", "store") for kind in kinds]
+        fixed_latency = [
+            0.0 if kind == "load" else float(self.latencies[kind])
+            for kind in kinds
+        ]
+        fifo_ready = [0.0] * count
+        for position, instruction in enumerate(program):
+            if kinds[position] == "ldps" and fifo_ready_times is not None:
+                if instruction.fifo_index >= len(fifo_ready_times):
+                    raise IndexError(
+                        f"ldps fifo_index {instruction.fifo_index} "
+                        f"beyond {len(fifo_ready_times)} produced words"
+                    )
+                fifo_ready[position] = float(
+                    fifo_ready_times[instruction.fifo_index]
+                )
+
+        while index < count:
+            # ---- front instruction: when can it issue, and what kind
+            # of stall fills the wait?
+            source_ready = max(
+                (ready_at.get(src, 0.0) for src in sources[index]),
+                default=0.0,
+            )
+            source_cycle = math.ceil(source_ready)
+            blocked_until = source_cycle
+            if kinds[index] == "ldps":
+                blocked_until = max(
+                    blocked_until, math.ceil(fifo_ready[index])
+                )
+            target = max(int(cycle), blocked_until)
+            if target > cycle:
+                start = int(cycle)
+                source_stalls = min(max(source_cycle - start, 0), target - start)
+                if source_stalls:
+                    memory_ready = max(
+                        (
+                            ready_at.get(src, 0.0)
+                            for src in sources[index]
+                            if src.startswith(("w", "x"))
+                        ),
+                        default=0.0,
+                    )
+                    memory_stalls = min(
+                        max(math.ceil(memory_ready) - start, 0), source_stalls
+                    )
+                    stats.memory_stall_cycles += memory_stalls
+                    stats.issue_stall_cycles += source_stalls - memory_stalls
+                stats.fifo_stall_cycles += (target - start) - source_stalls
+                cycle = float(target)
+
+            # ---- issue group at ``cycle`` (same checks and breaks as
+            # the reference's inner loop; no stall can be counted here)
+            issued = 0
+            memory_port_used = False
+            while issued < self.issue_width and index < count:
+                source_ready = max(
+                    (ready_at.get(src, 0.0) for src in sources[index]),
+                    default=0.0,
+                )
+                if source_ready > cycle:
+                    break
+                if is_memory[index] and memory_port_used:
+                    break
+                if kinds[index] == "ldps" and fifo_ready[index] > cycle:
+                    break
+                if kinds[index] == "load":
+                    if self.hierarchy is not None:
+                        latency = self.hierarchy.access_bytes(
+                            program[index].address,
+                            max(program[index].size, 1),
+                        )
+                    else:
+                        latency = 1.0
+                    completion = cycle + latency
+                    memory_port_used = True
+                else:
+                    completion = cycle + fixed_latency[index]
+                    if is_memory[index]:
+                        memory_port_used = True
+                if dests[index] is not None:
+                    ready_at[dests[index]] = completion
+                if completion > last_completion:
+                    last_completion = completion
+                index += 1
+                issued += 1
+            cycle += 1
+
+        stats.cycles = int(max(cycle, last_completion)) + 1
+        return stats
+
+    # ------------------------------------------------------------------
+    # Per-cycle reference (the oracle)
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        program: Sequence[Instruction],
+        fifo_ready_times: Optional[Sequence[float]] = None,
+    ) -> PipelineStats:
+        """The literal cycle loop the fast engine is validated against."""
         stats = PipelineStats(instructions=len(program))
         ready_at: Dict[str, float] = {}
         cycle = 0.0

@@ -14,6 +14,22 @@ a per-cycle ``tick()`` simulation of the datapath in Fig. 6:
 * **pack stage** — insert the 9 decoded bits into the packing registers;
   a full register group retires to the output FIFO.
 
+Two execution engines share this model:
+
+* **FSM (the oracle)** — :meth:`RtlDecodingUnit.run_fsm`, the literal
+  per-cycle loop below.  It is the golden reference: every architectural
+  event happens in program order, so it is trusted, auditable and slow
+  (microseconds of Python per simulated cycle).
+* **replay (the default)** — :mod:`repro.hw.rtl_fast` reproduces the
+  FSM's outputs *and* cycle accounting exactly with whole-stream array
+  passes (LUT decode, analytic chunk-arrival cycles, one
+  ``np.maximum.accumulate`` per parse slot, numpy pack), which is what
+  makes full-model cycle-accurate coverage affordable.  ``engine="auto"``
+  (the default) uses the replay whenever its exactness envelope holds
+  and silently falls back to the FSM otherwise; ``engine="replay"`` /
+  ``engine="fsm"`` force one side, e.g. for the equivalence suite in
+  ``tests/test_rtl_replay.py``.
+
 Tests drive both models on the same stream and assert that (a) the
 decoded/packed output is bit-identical and (b) the analytic model's
 cycle count tracks the FSM's within a stated tolerance — the same
@@ -68,8 +84,13 @@ class RtlDecodingUnit:
     behavioural model's cache path collapses to this when the stream is
     DRAM-resident); ``parse_rate`` is how many sequences the parser can
     emit per cycle (1 for a single-ported length table, 2 for the banked
-    layout of Table IV).
+    layout of Table IV).  ``engine`` selects the execution strategy:
+    ``"fsm"`` ticks the per-cycle reference, ``"replay"`` forces the
+    vectorised replay of :mod:`repro.hw.rtl_fast`, and ``"auto"`` (the
+    default) replays when exact and falls back to the FSM otherwise.
     """
+
+    ENGINES = ("auto", "replay", "fsm")
 
     def __init__(
         self,
@@ -77,6 +98,7 @@ class RtlDecodingUnit:
         register_bits: int = 128,
         memory_latency: int = 100,
         parse_rate: int = 1,
+        engine: str = "auto",
     ) -> None:
         if register_bits % 64:
             raise ValueError("register width must be a multiple of 64 bits")
@@ -84,14 +106,42 @@ class RtlDecodingUnit:
             raise ValueError("memory latency must be >= 1 cycle")
         if parse_rate < 1:
             raise ValueError("parse rate must be >= 1")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; valid: {self.ENGINES}"
+            )
         self.config = config or DecoderConfig()
         self.register_bits = register_bits
         self.memory_latency = memory_latency
         self.parse_rate = parse_rate
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def run(self, stream: CompressedKernel) -> Tuple[np.ndarray, List[int], RtlDecodeStats]:
-        """Decode a whole stream cycle by cycle.
+        """Decode a whole stream through the configured engine.
+
+        Returns ``(sequences, packed_words, stats)`` — identical for
+        every engine; the replay is cycle-exact by construction and the
+        equivalence property suite keeps it that way.
+        """
+        if self.engine != "fsm":
+            from .rtl_fast import ReplayUnsupportedError, replay_run
+
+            try:
+                return replay_run(
+                    stream,
+                    self.config,
+                    self.register_bits,
+                    self.memory_latency,
+                    self.parse_rate,
+                )
+            except ReplayUnsupportedError:
+                if self.engine == "replay":
+                    raise
+        return self.run_fsm(stream)
+
+    def run_fsm(self, stream: CompressedKernel) -> Tuple[np.ndarray, List[int], RtlDecodeStats]:
+        """Decode a whole stream cycle by cycle (the golden reference).
 
         Returns ``(sequences, packed_words, stats)``.
         """
@@ -108,6 +158,7 @@ class RtlDecodingUnit:
         window = 0  # bit window being parsed
         window_bits = 0
         buffered: List[bytes] = []  # chunks landed in the input buffer
+        head_offset = 0  # consumed bytes of buffered[0] (no re-slicing)
         buffer_bytes = 0
         in_flight: Optional[_FetchRequest] = None
         next_fetch_offset = 0
@@ -145,16 +196,18 @@ class RtlDecodingUnit:
                     buffer_bytes += len(in_flight.data)
                     in_flight = None
 
-            # ---- refill the parse window from the input buffer
+            # ---- refill the parse window from the input buffer; an
+            # offset cursor marks the consumed prefix of the head chunk
+            # (re-slicing bytes per consumed byte would be quadratic)
             while window_bits <= 24 and buffered:
                 head = buffered[0]
-                window = (window << 8) | head[0]
+                window = (window << 8) | head[head_offset]
                 window_bits += 8
                 buffer_bytes -= 1
-                if len(head) == 1:
+                head_offset += 1
+                if head_offset == len(head):
                     buffered.pop(0)
-                else:
-                    buffered[0] = head[1:]
+                    head_offset = 0
 
             # ---- parse + lookup + pack (up to parse_rate per cycle)
             produced = 0

@@ -22,7 +22,8 @@ Backend -> paper mapping (see :mod:`repro.sim.backends`):
 ``analytic``     Sec. VI end-to-end timing — 1.35x hw speedup (Table IV
                  platform), Sec. IV-B 1.47x software-decode slowdown
 ``pipeline``     Sec. V instruction-level evaluation (Gem5/A53 stand-in)
-``rtl``          Fig. 6 decoding unit, per-cycle FSM (Sec. V Verilog)
+``rtl``          Fig. 6 decoding unit, cycle-accurate over the whole
+                 model (vectorised replay; per-cycle FSM as oracle)
 ``energy``       per-inference energy extension (DATE venue axis)
 ===============  ======================================================
 
@@ -47,6 +48,7 @@ Quickstart::
 from .backends import (
     SimulationBackend,
     SimulationContext,
+    SweepCache,
     available_backends,
     get_backend,
     register_backend,
@@ -71,6 +73,7 @@ __all__ = [
     "SimulationContext",
     "SimulationReport",
     "Simulator",
+    "SweepCache",
     "available_backends",
     "available_models",
     "get_backend",

@@ -11,20 +11,27 @@ shared :class:`SimulationContext` into one JSON-ready report section:
   Sec. IV-B: 1.47x sw slowdown; platform of Table IV);
 * ``pipeline``    — instruction-level cross-validation on the in-order
   dual-issue core model (the Gem5/A53 substitute of Sec. V);
-* ``rtl``         — the per-cycle FSM of the decoding unit (Fig. 6 /
-  Sec. V Verilog implementation), decode-verified against the input;
+* ``rtl``         — cycle-accurate decode of *every* block of the model
+  (Fig. 6 / Sec. V Verilog implementation) through the vectorised
+  replay engine (FSM fallback), decode-verified against the input,
+  with optional per-block process-pool fan-out;
 * ``energy``      — per-inference energy pricing of the simulated
   activity (the DATE-venue extension axis).
 
 The context lazily computes and caches everything backends share —
 workloads, synthetic kernels, measured compression ratios and per-mode
-timings — so one scenario run never simulates the same thing twice.
+timings — so one scenario run never simulates the same thing twice.  A
+:class:`SweepCache` extends that sharing *across* scenario runs:
+:meth:`repro.sim.simulator.Simulator.sweep` hands one cache to every
+grid point so scenarios that differ only in timing knobs reuse the same
+synthetic kernels and compression measurement.
 """
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 import numpy as np
 
@@ -50,18 +57,103 @@ from .scenario import Scenario, get_model
 __all__ = [
     "SimulationBackend",
     "SimulationContext",
+    "SweepCache",
     "available_backends",
     "get_backend",
     "register_backend",
 ]
 
 
-class SimulationContext:
-    """Shared lazily-computed state for one scenario run."""
+class SweepCache:
+    """Cross-scenario cache for the measurement-heavy context inputs.
 
-    def __init__(self, scenario: Scenario) -> None:
+    Grid points of one sweep usually vary only timing knobs (memory
+    latency, cache sizes, decoder rates); their synthetic kernels and
+    compression measurements are identical.  One ``SweepCache`` handed
+    to every :class:`SimulationContext` of a sweep runs each distinct
+    ``(model, seed)`` kernel generation and each distinct
+    ``(model, seed, pipeline)`` compression exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._kernels: Dict[Any, Dict[Any, np.ndarray]] = {}
+        self._compression: Dict[str, ModelCompressionResult] = {}
+        self._rtl_streams: Dict[Any, Dict[Any, Any]] = {}
+
+    @staticmethod
+    def kernel_key(scenario: Scenario) -> Tuple[str, int]:
+        """Everything kernel generation depends on."""
+        return (scenario.model, scenario.seed)
+
+    @staticmethod
+    def compression_key(scenario: Scenario) -> str:
+        """Everything the compression measurement depends on.
+
+        ``workers`` only fans the same work out, so it is excluded —
+        two scenarios differing only in worker count share the entry.
+        """
+        pipeline = scenario.to_dict()["pipeline"]
+        pipeline.pop("workers", None)
+        return json.dumps(
+            {
+                "model": scenario.model,
+                "seed": scenario.seed,
+                "pipeline": pipeline,
+            },
+            sort_keys=True,
+        )
+
+    def kernels(
+        self, scenario: Scenario, build: Callable[[], Dict[Any, np.ndarray]]
+    ) -> Dict[Any, np.ndarray]:
+        """The cached kernels for ``scenario``, building on first use."""
+        key = self.kernel_key(scenario)
+        if key not in self._kernels:
+            self._kernels[key] = build()
+        return self._kernels[key]
+
+    def compression(
+        self,
+        scenario: Scenario,
+        build: Callable[[], ModelCompressionResult],
+    ) -> ModelCompressionResult:
+        """The cached compression result, building on first use."""
+        key = self.compression_key(scenario)
+        if key not in self._compression:
+            self._compression[key] = build()
+        return self._compression[key]
+
+    def rtl_streams(
+        self,
+        scenario: Scenario,
+        capacities: Tuple[int, ...],
+        build: Callable[[], Dict[Any, Any]],
+    ) -> Dict[Any, Any]:
+        """The cached per-block rtl streams, building on first use.
+
+        The encoded streams depend only on the kernels and the tree
+        capacities, so timing-knob grid points reuse them and pay only
+        for the (cheap) replay itself.
+        """
+        key = (scenario.model, scenario.seed, capacities)
+        if key not in self._rtl_streams:
+            self._rtl_streams[key] = build()
+        return self._rtl_streams[key]
+
+
+class SimulationContext:
+    """Shared lazily-computed state for one scenario run.
+
+    ``shared`` (optional) is a :class:`SweepCache` that extends the
+    caching across scenario runs of one sweep.
+    """
+
+    def __init__(
+        self, scenario: Scenario, shared: Optional[SweepCache] = None
+    ) -> None:
         self.scenario = scenario
         self.spec = get_model(scenario.model)
+        self.shared = shared
         self._workloads: Optional[List[LayerWorkload]] = None
         self._kernels: Optional[Dict[Any, np.ndarray]] = None
         self._perf: Optional[PerfModel] = None
@@ -81,7 +173,11 @@ class SimulationContext:
     def kernels(self) -> Dict[Any, np.ndarray]:
         """Per-block synthetic kernels for the scenario's seed."""
         if self._kernels is None:
-            self._kernels = dict(self.spec.kernels(self.scenario.seed))
+            build = lambda: dict(self.spec.kernels(self.scenario.seed))
+            if self.shared is not None:
+                self._kernels = self.shared.kernels(self.scenario, build)
+            else:
+                self._kernels = build()
         return self._kernels
 
     @property
@@ -95,8 +191,15 @@ class SimulationContext:
     def compression(self) -> ModelCompressionResult:
         """The scenario pipeline run over the model's kernels (cached)."""
         if self._compression is None:
-            pipeline = CompressionPipeline(self.scenario.pipeline)
-            self._compression = pipeline.compress_model(self.kernels)
+            build = lambda: CompressionPipeline(
+                self.scenario.pipeline
+            ).compress_model(self.kernels)
+            if self.shared is not None:
+                self._compression = self.shared.compression(
+                    self.scenario, build
+                )
+            else:
+                self._compression = build()
         return self._compression
 
     @property
@@ -351,45 +454,163 @@ class PipelineBackend(SimulationBackend):
 
 @register_backend
 class RtlBackend(SimulationBackend):
-    """Per-cycle FSM decode of one block, verified bit-for-bit."""
+    """Cycle-accurate decode of the whole model, verified bit-for-bit.
+
+    Every block's kernel stream runs through the decoding-unit model
+    (vectorised replay by default, the FSM as fallback/oracle via
+    ``engine=``); the section reports per-block statistics plus model
+    aggregates.  ``workers`` (default: the scenario pipeline's) fans
+    the independent per-block decodes out over a process pool,
+    mirroring the compression pipeline's per-block fan-out pattern.
+    Stream encoding is shared through the sweep's
+    :class:`SweepCache` — timing-only grid points pay for the decode
+    replay, not for re-encoding every block.
+    """
 
     name = "rtl"
     paper_ref = "Fig. 6 decoding unit, Sec. V Verilog timing"
 
+    #: per-block fields summed into the model aggregate
+    _SUMMED = (
+        "num_sequences",
+        "raw_bits",
+        "compressed_bits",
+        "cycles",
+        "stall_cycles",
+        "active_cycles",
+        "fetch_requests",
+        "packed_words",
+    )
+
+    def __init__(self, engine: str = "auto", workers: Optional[int] = None):
+        if engine not in RtlDecodingUnit.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; "
+                f"valid: {RtlDecodingUnit.ENGINES}"
+            )
+        self.engine = engine
+        self.workers = workers
+
     def run(self, context: SimulationContext) -> Dict[str, Any]:
         scenario = context.scenario
-        block = min(context.kernels)
-        kernel = context.kernels[block]
-        sequences = kernel_to_sequences(kernel)
-        capacities = dict(scenario.pipeline.codec_params).get(
-            "capacities", DEFAULT_CAPACITIES
+        workers = (
+            scenario.pipeline.workers
+            if self.workers is None
+            else self.workers
         )
+        capacities = tuple(
+            dict(scenario.pipeline.codec_params).get(
+                "capacities", DEFAULT_CAPACITIES
+            )
+        )
+        memory_latency = max(scenario.system.memory.latency_cycles, 1)
+        parse_rate = max(
+            1, int(scenario.system.decoder.sequences_per_cycle)
+        )
+        build = lambda: _build_rtl_streams(context.kernels, capacities)
+        if context.shared is not None:
+            streams = context.shared.rtl_streams(scenario, capacities, build)
+        else:
+            streams = build()
+        jobs = [
+            (
+                block,
+                streams[block][0],
+                streams[block][1],
+                scenario.system.decoder,
+                memory_latency,
+                parse_rate,
+                self.engine,
+            )
+            for block in sorted(streams)
+        ]
+        if workers > 1 and len(jobs) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_rtl_block_job, *job) for job in jobs
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = [_rtl_block_job(*job) for job in jobs]
+
+        blocks = {str(block): section for block, section in results}
+        section: Dict[str, Any] = {
+            "engine": self.engine,
+            "num_blocks": len(blocks),
+        }
+        for field in self._SUMMED:
+            section[field] = sum(entry[field] for entry in blocks.values())
+        section["compression_ratio"] = _guarded_ratio(
+            float(section["raw_bits"]), float(section["compressed_bits"])
+        )
+        section["utilisation"] = (
+            section["active_cycles"] / section["cycles"]
+            if section["cycles"]
+            else 0.0
+        )
+        section["decode_verified"] = all(
+            entry["decode_verified"] for entry in blocks.values()
+        )
+        section["blocks"] = blocks
+        return section
+
+
+def _build_rtl_streams(
+    kernels: Mapping[Any, np.ndarray], capacities: Tuple[int, ...]
+) -> Dict[Any, Tuple[CompressedKernel, np.ndarray]]:
+    """Encode every block once: ``{block: (stream, sequences)}``.
+
+    The result is what a :class:`SweepCache` shares across grid points
+    (the streams depend only on kernels + capacities, never on timing
+    knobs).
+    """
+    streams: Dict[Any, Tuple[CompressedKernel, np.ndarray]] = {}
+    for block, kernel in kernels.items():
+        sequences = kernel_to_sequences(kernel)
         tree = SimplifiedTree(
             FrequencyTable.from_sequences(sequences), capacities
         )
-        stream = CompressedKernel.from_sequences(
-            sequences, (kernel.shape[0], kernel.shape[1]), tree
-        )
-        unit = RtlDecodingUnit(
-            scenario.system.decoder,
-            memory_latency=max(scenario.system.memory.latency_cycles, 1),
-            parse_rate=max(
-                1, int(scenario.system.decoder.sequences_per_cycle)
+        streams[block] = (
+            CompressedKernel.from_sequences(
+                sequences, (kernel.shape[0], kernel.shape[1]), tree
             ),
+            sequences,
         )
-        decoded, packed_words, stats = unit.run(stream)
-        return {
-            "block": str(block),
-            "num_sequences": int(stream.num_sequences),
-            "compressed_bits": int(stream.bit_length),
-            "compression_ratio": float(stream.compression_ratio),
-            "cycles": int(stats.cycles),
-            "stall_cycles": int(stats.stall_cycles),
-            "fetch_requests": int(stats.fetch_requests),
-            "utilisation": float(stats.utilisation),
-            "packed_words": len(packed_words),
-            "decode_verified": bool(np.array_equal(decoded, sequences)),
-        }
+    return streams
+
+
+def _rtl_block_job(
+    block: Any,
+    stream: CompressedKernel,
+    sequences: np.ndarray,
+    decoder_config,
+    memory_latency: int,
+    parse_rate: int,
+    engine: str,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Decode one block's stream (module level so process pools pickle)."""
+    unit = RtlDecodingUnit(
+        decoder_config,
+        memory_latency=memory_latency,
+        parse_rate=parse_rate,
+        engine=engine,
+    )
+    decoded, packed_words, stats = unit.run(stream)
+    return block, {
+        "num_sequences": int(stream.num_sequences),
+        "raw_bits": int(stream.raw_bits),
+        "compressed_bits": int(stream.bit_length),
+        "compression_ratio": float(stream.compression_ratio),
+        "cycles": int(stats.cycles),
+        "stall_cycles": int(stats.stall_cycles),
+        "active_cycles": int(stats.active_cycles),
+        "fetch_requests": int(stats.fetch_requests),
+        "utilisation": float(stats.utilisation),
+        "packed_words": len(packed_words),
+        "decode_verified": bool(np.array_equal(decoded, sequences)),
+    }
 
 
 @register_backend

@@ -67,6 +67,16 @@ class SimulationReport:
         """Baseline over compressed energy from the energy section."""
         return self.sections.get("energy", {}).get("energy_saving")
 
+    @property
+    def rtl_utilisation(self) -> Optional[float]:
+        """Whole-model decode-unit utilisation from the rtl section."""
+        return self.sections.get("rtl", {}).get("utilisation")
+
+    @property
+    def rtl_cycles(self) -> Optional[int]:
+        """Whole-model cycle-accurate decode cycles from the rtl section."""
+        return self.sections.get("rtl", {}).get("cycles")
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
@@ -160,7 +170,35 @@ class SimulationReport:
             for key, value in section.items()
             if not isinstance(value, (dict, list))
         ]
-        return render_table(("field", "value"), rows, title=f"[{name}]")
+        table = render_table(("field", "value"), rows, title=f"[{name}]")
+        blocks = section.get("blocks")
+        if isinstance(blocks, Mapping) and blocks:
+            # per-block detail (the full-model rtl section): one row per
+            # block, aggregate fields stay in the table above
+            metrics = [
+                "num_sequences",
+                "cycles",
+                "stall_cycles",
+                "utilisation",
+                "compression_ratio",
+                "decode_verified",
+            ]
+            metrics = [
+                metric
+                for metric in metrics
+                if any(metric in entry for entry in blocks.values())
+            ]
+            block_rows = [
+                [str(block)]
+                + [_format_cell(entry.get(metric)) for metric in metrics]
+                for block, entry in blocks.items()
+            ]
+            table += "\n" + render_table(
+                ["block"] + metrics,
+                block_rows,
+                title=f"[{name}] per block",
+            )
+        return table
 
 
 #: strict-JSON stand-ins for the floats ``json.dumps`` cannot emit

@@ -10,14 +10,20 @@ base scenario against named axes (dotted config paths -> value lists,
 cartesian product across axes) and runs every expanded scenario, with
 optional process-pool fan-out (``workers=N``) reusing the same machinery
 as :meth:`repro.core.pipeline.CompressionPipeline.compress_model`.
+Grid points that differ only in timing knobs share one
+:class:`~repro.sim.backends.SweepCache`, so the synthetic kernels and
+the compression measurement are computed once per distinct
+``(model, seed, pipeline)`` — not once per grid point; the parallel
+path groups scenarios by that key before fanning out, keeping the
+sharing inside each worker process.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from .backends import SimulationContext, get_backend
+from .backends import SimulationContext, SweepCache, get_backend
 from .report import SimulationReport
 from .scenario import Scenario
 
@@ -27,9 +33,18 @@ __all__ = ["Simulator"]
 class Simulator:
     """Scenario-driven front door to the hardware-evaluation stack."""
 
-    def run(self, scenario: Scenario) -> SimulationReport:
-        """Execute every backend of ``scenario`` over one shared context."""
-        context = SimulationContext(scenario)
+    def run(
+        self,
+        scenario: Scenario,
+        shared: Optional[SweepCache] = None,
+    ) -> SimulationReport:
+        """Execute every backend of ``scenario`` over one shared context.
+
+        ``shared`` (optional) lets a sweep reuse measurement-heavy
+        inputs across scenario runs; see
+        :class:`~repro.sim.backends.SweepCache`.
+        """
+        context = SimulationContext(scenario, shared=shared)
         sections = {}
         for name in scenario.backends:
             sections[name] = get_backend(name).run(context)
@@ -91,24 +106,56 @@ class Simulator:
 
         ``workers`` (default: the base scenario pipeline's ``workers``)
         fans independent scenarios out over a process pool; ``0``/``1``
-        runs them serially in-process.
+        runs them serially in-process.  Either way the grid shares one
+        compression/kernels cache per distinct measurement key, so
+        timing-only axes never re-measure compression.
         """
         scenarios = self.expand_grid(base, axes)
         workers = base.pipeline.workers if workers is None else workers
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if workers > 1 and len(scenarios) > 1:
+            # group grid points that share measurement-heavy inputs,
+            # then split each group across the pool: every chunk pays
+            # for one measurement (not one per grid point) while the
+            # sweep still saturates all workers
+            groups: Dict[str, List[int]] = {}
+            for index, scenario in enumerate(scenarios):
+                key = SweepCache.compression_key(scenario)
+                groups.setdefault(key, []).append(index)
+            chunks: List[List[int]] = []
+            for indices in groups.values():
+                parts = min(len(indices), max(workers // len(groups), 1))
+                size = -(-len(indices) // parts)
+                chunks.extend(
+                    indices[offset:offset + size]
+                    for offset in range(0, len(indices), size)
+                )
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(_run_scenario_job, scenario)
-                    for scenario in scenarios
+                    pool.submit(
+                        _run_scenario_group_job,
+                        [scenarios[index] for index in chunk],
+                    )
+                    for chunk in chunks
                 ]
-                return [future.result() for future in futures]
-        return [self.run(scenario) for scenario in scenarios]
+                reports: List[Optional[SimulationReport]] = [None] * len(
+                    scenarios
+                )
+                for chunk, future in zip(chunks, futures):
+                    for index, report in zip(chunk, future.result()):
+                        reports[index] = report
+                return reports
+        shared = SweepCache()
+        return [self.run(scenario, shared=shared) for scenario in scenarios]
 
 
-def _run_scenario_job(scenario: Scenario) -> SimulationReport:
-    """Run one scenario in a worker process (module level so it pickles)."""
-    return Simulator().run(scenario)
+def _run_scenario_group_job(
+    scenarios: List[Scenario],
+) -> List[SimulationReport]:
+    """Run one cache-sharing scenario group in a worker process."""
+    simulator = Simulator()
+    shared = SweepCache()
+    return [simulator.run(scenario, shared=shared) for scenario in scenarios]

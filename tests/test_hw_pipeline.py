@@ -1,5 +1,6 @@
 """Tests for the in-order pipeline and the daBNN-style microkernels."""
 
+import numpy as np
 import pytest
 
 from repro.hw.cache import build_hierarchy
@@ -135,6 +136,112 @@ class TestMicrokernels:
         program = hw_ldps_row_pass(workload, max_outputs=4)
         assert not any(i.opcode == "ld1.w" for i in program)
         assert any(i.kind == "ldps" for i in program)
+
+
+class TestEngineEquivalence:
+    """The event-driven scoreboard must match the per-cycle reference."""
+
+    @staticmethod
+    def _random_program(rng, size, with_memory=True):
+        registers = (
+            [f"r{i}" for i in range(8)]
+            + [f"w{i}" for i in range(4)]
+            + [f"x{i}" for i in range(4)]
+            + [f"v{i}" for i in range(4)]
+        )
+        kinds = ["alu", "vec", "nop", "ldps"]
+        if with_memory:
+            kinds += ["load", "store"]
+        program = []
+        fifo_words = 0
+        for index in range(size):
+            kind = str(rng.choice(kinds))
+            srcs = tuple(
+                rng.choice(registers, size=rng.integers(0, 3), replace=False)
+            )
+            dst = str(rng.choice(registers)) if rng.random() < 0.8 else None
+            if kind in ("load", "store"):
+                program.append(
+                    Instruction(
+                        f"op{index}", kind, dst=dst, srcs=srcs,
+                        address=int(rng.integers(0, 1 << 22)) * 4,
+                        size=int(rng.integers(1, 64)),
+                    )
+                )
+            elif kind == "ldps":
+                program.append(
+                    Instruction(
+                        f"op{index}", kind, dst=dst, srcs=srcs,
+                        fifo_index=fifo_words,
+                    )
+                )
+                fifo_words += 1
+            else:
+                program.append(
+                    Instruction(f"op{index}", kind, dst=dst, srcs=srcs)
+                )
+        return program, fifo_words
+
+    @staticmethod
+    def _fresh_hierarchy(latency):
+        return build_hierarchy(
+            CacheConfig(4 * 1024, 64, 2, 4),
+            CacheConfig(64 * 1024, 64, 8, 12),
+            MainMemory(MemoryConfig(latency_cycles=latency)),
+        )
+
+    def test_random_programs_stall_for_stall(self):
+        rng = np.random.default_rng(20240730)
+        for trial in range(60):
+            size = int(rng.integers(1, 100))
+            program, fifo_words = self._random_program(
+                rng, size, with_memory=bool(rng.integers(0, 2))
+            )
+            width = int(rng.integers(1, 4))
+            latency = int(rng.integers(20, 200))
+            fifo_times = None
+            if fifo_words and rng.random() < 0.8:
+                fifo_times = np.sort(
+                    rng.uniform(0, 250, fifo_words)
+                ).tolist()
+            reference = InOrderPipeline(
+                self._fresh_hierarchy(latency),
+                issue_width=width,
+                engine="reference",
+            ).run(program, fifo_times)
+            fast = InOrderPipeline(
+                self._fresh_hierarchy(latency),
+                issue_width=width,
+                engine="fast",
+            ).run(program, fifo_times)
+            assert fast == reference, f"trial {trial}"
+
+    def test_fifo_and_memory_stall_split_matches(self):
+        program = [
+            Instruction("ld", "load", dst="x0", address=0x200000, size=16),
+            Instruction("use", "alu", dst="r1", srcs=("x0",)),
+            Instruction("ldps", "ldps", dst="w0", fifo_index=0),
+            Instruction("mix", "vec", dst="v0", srcs=("w0", "r1")),
+        ]
+        outputs = []
+        for engine in ("reference", "fast"):
+            outputs.append(
+                InOrderPipeline(
+                    self._fresh_hierarchy(120), engine=engine
+                ).run(program, fifo_ready_times=[180.0])
+            )
+        assert outputs[0] == outputs[1]
+        assert outputs[0].memory_stall_cycles > 0
+        assert outputs[0].fifo_stall_cycles > 0
+
+    def test_fast_engine_rejects_bad_name(self):
+        with pytest.raises(ValueError, match="engine"):
+            InOrderPipeline(engine="warp")
+
+    def test_fast_ldps_bounds_check(self):
+        program = [Instruction("ldps", "ldps", dst="w0", fifo_index=3)]
+        with pytest.raises(IndexError):
+            InOrderPipeline(engine="fast").run(program, fifo_ready_times=[0.0])
 
 
 class TestCrossValidation:

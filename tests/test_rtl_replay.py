@@ -1,0 +1,182 @@
+"""FSM-vs-replay equivalence: the vectorised engine must be cycle-exact.
+
+The replay engine (:mod:`repro.hw.rtl_fast`) is only useful if it is a
+*drop-in* for the per-cycle FSM, so the property suite asserts complete
+equality of ``(decoded, packed_words, cycles, stall_cycles,
+fetch_requests, active_cycles)`` across random streams, parse rates,
+register widths, memory latencies and buffer geometries — including the
+capacity-gated fetch regime (low latency + small buffer) and the
+wavefront decode path (large streams).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.frequency import FrequencyTable
+from repro.core.simplified import SimplifiedTree
+from repro.core.streams import CompressedKernel
+from repro.hw.config import DecoderConfig
+from repro.hw.rtl import RtlDecodingUnit
+from repro.hw.rtl_fast import (
+    ReplayUnsupportedError,
+    replay_run,
+    replay_supported,
+)
+
+STAT_FIELDS = (
+    "cycles",
+    "stall_cycles",
+    "fetch_requests",
+    "sequences_decoded",
+    "active_cycles",
+)
+
+
+def build_stream(seed: int, count: int, concentration: float):
+    """A stream whose symbol skew is controlled by ``concentration``."""
+    rng = np.random.default_rng(seed)
+    head_count = int(count * concentration)
+    head = rng.integers(0, 8, head_count)
+    tail = rng.integers(0, 512, count - head_count)
+    sequences = np.concatenate([head, tail])
+    rng.shuffle(sequences)
+    tree = SimplifiedTree(FrequencyTable.from_sequences(sequences))
+    return (
+        CompressedKernel.from_sequences(sequences, (1, count), tree),
+        sequences,
+    )
+
+
+def assert_engines_agree(stream, sequences, config=None, **unit_kwargs):
+    """Both engines must produce identical outputs and statistics."""
+    fsm = RtlDecodingUnit(config, engine="fsm", **unit_kwargs)
+    replay = RtlDecodingUnit(config, engine="replay", **unit_kwargs)
+    fsm_decoded, fsm_words, fsm_stats = fsm.run(stream)
+    rep_decoded, rep_words, rep_stats = replay.run(stream)
+    assert np.array_equal(fsm_decoded, sequences)
+    assert np.array_equal(rep_decoded, fsm_decoded)
+    assert rep_words == fsm_words
+    for field in STAT_FIELDS:
+        assert getattr(rep_stats, field) == getattr(fsm_stats, field), field
+    assert rep_stats.utilisation == fsm_stats.utilisation
+    return rep_stats
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(1, 400),
+    concentration=st.floats(0.0, 0.95),
+    parse_rate=st.sampled_from([1, 2]),
+    register_bits=st.sampled_from([128, 256]),
+    memory_latency=st.sampled_from([1, 2, 7, 40, 150]),
+)
+def test_replay_matches_fsm_on_random_streams(
+    seed, count, concentration, parse_rate, register_bits, memory_latency
+):
+    stream, sequences = build_stream(seed, count, concentration)
+    assert_engines_agree(
+        stream,
+        sequences,
+        register_bits=register_bits,
+        memory_latency=memory_latency,
+        parse_rate=parse_rate,
+    )
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(32, 600),
+    parse_rate=st.sampled_from([1, 2]),
+    memory_latency=st.sampled_from([1, 2, 3]),
+    geometry=st.sampled_from([(64, 64), (64, 32), (96, 32), (128, 128)]),
+)
+def test_replay_matches_fsm_when_fetch_is_buffer_gated(
+    seed, count, parse_rate, memory_latency, geometry
+):
+    """Low latency + small buffer: the fetch/parse feedback loop regime."""
+    buffer_bytes, chunk_bytes = geometry
+    stream, sequences = build_stream(seed, count, 0.5)
+    config = DecoderConfig(
+        input_buffer_bytes=buffer_bytes, fetch_chunk_bytes=chunk_bytes
+    )
+    stats = assert_engines_agree(
+        stream,
+        sequences,
+        config=config,
+        memory_latency=memory_latency,
+        parse_rate=parse_rate,
+    )
+    assert stats.sequences_decoded == count
+
+
+@pytest.mark.parametrize("parse_rate", (1, 2))
+@pytest.mark.parametrize("register_bits", (128, 256))
+def test_replay_matches_fsm_through_wavefront_path(parse_rate, register_bits):
+    """Streams big enough to take the segmented wavefront decode."""
+    stream, sequences = build_stream(99, 6000, 0.6)
+    assert stream.bit_length > 4096  # really exercises the wavefront
+    assert_engines_agree(
+        stream,
+        sequences,
+        register_bits=register_bits,
+        memory_latency=25,
+        parse_rate=parse_rate,
+    )
+
+
+def test_single_sequence_stream_matches():
+    stream, sequences = build_stream(3, 1, 0.0)
+    stats = assert_engines_agree(stream, sequences, memory_latency=5)
+    assert stats.sequences_decoded == 1
+
+
+class TestEngineSelection:
+    def test_auto_equals_forced_replay(self):
+        stream, sequences = build_stream(11, 200, 0.4)
+        auto = RtlDecodingUnit(memory_latency=9, engine="auto").run(stream)
+        forced = RtlDecodingUnit(memory_latency=9, engine="replay").run(stream)
+        assert np.array_equal(auto[0], forced[0])
+        assert auto[1] == forced[1]
+        assert auto[2] == forced[2]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            RtlDecodingUnit(engine="verilog")
+
+    def test_supported_envelope(self):
+        assert replay_supported(parse_rate=1, max_length=12)
+        assert replay_supported(parse_rate=2, max_length=12)
+        assert not replay_supported(parse_rate=3, max_length=12)
+        assert not replay_supported(parse_rate=1, max_length=26)
+
+    def test_forced_replay_raises_outside_envelope(self):
+        stream, _ = build_stream(5, 64, 0.5)
+        unit = RtlDecodingUnit(
+            memory_latency=3, parse_rate=3, engine="replay"
+        )
+        with pytest.raises(ReplayUnsupportedError):
+            unit.run(stream)
+
+    def test_auto_falls_back_to_fsm_outside_envelope(self):
+        stream, sequences = build_stream(5, 64, 0.5)
+        auto = RtlDecodingUnit(
+            memory_latency=3, parse_rate=3, engine="auto"
+        )
+        fsm = RtlDecodingUnit(memory_latency=3, parse_rate=3, engine="fsm")
+        auto_out = auto.run(stream)
+        fsm_out = fsm.run(stream)
+        assert np.array_equal(auto_out[0], sequences)
+        assert auto_out[1] == fsm_out[1]
+        assert auto_out[2] == fsm_out[2]
+
+    def test_replay_run_direct_api(self):
+        stream, sequences = build_stream(21, 128, 0.3)
+        decoded, words, stats = replay_run(
+            stream, DecoderConfig(), 128, 10, 1
+        )
+        assert np.array_equal(decoded, sequences)
+        assert stats.sequences_decoded == 128
+        assert len(words) == 9 * 2  # one partial 128-lane group

@@ -227,6 +227,68 @@ class TestSweepRun:
             r.to_dict() for r in serial
         ]
 
+    def test_timing_axes_share_one_compression_measurement(self, monkeypatch):
+        """Grid points differing only in timing knobs measure once."""
+        from repro.core.pipeline import CompressionPipeline
+
+        calls = []
+        original = CompressionPipeline.compress_model
+
+        def counting(self, kernels, workers=None):
+            calls.append(1)
+            return original(self, kernels, workers)
+
+        monkeypatch.setattr(CompressionPipeline, "compress_model", counting)
+        base = Scenario(
+            name="cache",
+            model="reactnet-head",
+            backends=("compression", "analytic"),
+            modes=("baseline", "hw_compressed"),
+        )
+        reports = Simulator().sweep(
+            base,
+            axes={"system.memory.latency_cycles": [40, 100, 400]},
+        )
+        assert len(reports) == 3
+        assert len(calls) == 1  # shared across the whole timing grid
+        ratios = [report.compression_ratio for report in reports]
+        assert ratios[0] == ratios[1] == ratios[2]
+        # timing sections still vary with the axis
+        cycles = [report.total_cycles("hw_compressed") for report in reports]
+        assert cycles[0] < cycles[2]
+
+    def test_pipeline_axes_measure_separately(self, monkeypatch):
+        """An axis through the pipeline config re-measures compression."""
+        from repro.core.pipeline import CompressionPipeline
+
+        calls = []
+        original = CompressionPipeline.compress_model
+
+        def counting(self, kernels, workers=None):
+            calls.append(1)
+            return original(self, kernels, workers)
+
+        monkeypatch.setattr(CompressionPipeline, "compress_model", counting)
+        base = Scenario(
+            name="codec-axis",
+            model="reactnet-head",
+            backends=("compression",),
+        )
+        reports = Simulator().sweep(
+            base,
+            axes={
+                "pipeline.codec_params.capacities": [
+                    (32, 64, 64, 512),
+                    (4, 8, 16, 512),
+                ]
+            },
+        )
+        assert len(reports) == 2
+        assert len(calls) == 2
+        assert (
+            reports[0].compression_ratio != reports[1].compression_ratio
+        )
+
 
 class TestFacadeParity:
     def test_analytic_matches_legacy_perfmodel(self, paper_report):
@@ -285,6 +347,55 @@ class TestBackendSections:
         assert section["decode_verified"] is True
         assert section["cycles"] >= section["num_sequences"] // 2
         assert 0.0 < section["utilisation"] <= 1.0
+
+    def test_rtl_backend_covers_every_block(self):
+        report = Simulator().run(
+            Scenario(name="rtl-full", model="reactnet-head", backends=("rtl",))
+        )
+        section = report.sections["rtl"]
+        model = get_model("reactnet-head")
+        kernels = model.kernels(0)
+        assert section["num_blocks"] == len(kernels)
+        assert set(section["blocks"]) == {str(b) for b in kernels}
+        # aggregates are the exact sums of the per-block stats
+        for field in ("num_sequences", "cycles", "stall_cycles",
+                      "fetch_requests", "packed_words"):
+            assert section[field] == sum(
+                entry[field] for entry in section["blocks"].values()
+            )
+        for entry in section["blocks"].values():
+            assert entry["decode_verified"] is True
+            assert 0.0 < entry["utilisation"] <= 1.0
+        assert report.rtl_utilisation == section["utilisation"]
+        assert report.rtl_cycles == section["cycles"]
+
+    def test_rtl_backend_engines_agree(self):
+        replay = get_backend("rtl", engine="replay")
+        fsm = get_backend("rtl", engine="fsm")
+        from repro.sim import SimulationContext
+
+        scenario = Scenario(
+            name="rtl-engines", model="reactnet-head", backends=("rtl",)
+        )
+        context = SimulationContext(scenario)
+        replay_section = replay.run(context)
+        fsm_section = fsm.run(context)
+        for key in ("cycles", "stall_cycles", "active_cycles",
+                    "fetch_requests", "packed_words", "num_sequences"):
+            assert replay_section[key] == fsm_section[key]
+
+    def test_rtl_backend_parallel_matches_serial(self):
+        scenario = Scenario(
+            name="rtl-par", model="reactnet-head", backends=("rtl",)
+        )
+        serial = Simulator().run(scenario).sections["rtl"]
+        parallel = Simulator().run(
+            scenario.with_value("pipeline.workers", 2)
+        ).sections["rtl"]
+        assert serial["blocks"] == parallel["blocks"]
+        for key, value in serial.items():
+            if key != "blocks":
+                assert parallel[key] == value
 
     def test_pipeline_backend_orders_modes(self):
         report = Simulator().run(
