@@ -10,6 +10,8 @@ Subpackages:
   published distributions.
 * :mod:`repro.hw` — cycle-approximate hardware model (caches, memory,
   decoding unit) standing in for the paper's Gem5 + ARM A53 platform.
+* :mod:`repro.infer` — plan-based batched packed inference engine:
+  deploy artifact -> ``InferencePlan`` -> bit-exact batched serving.
 * :mod:`repro.sim` — scenario-driven simulation facade unifying the
   hardware stack: declarative ``Scenario`` -> ``Simulator.run`` /
   ``Simulator.sweep`` -> composable ``SimulationReport``.
@@ -17,10 +19,11 @@ Subpackages:
   figure of the evaluation.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from . import analysis, bnn, core, deploy, hw, sim, synth
+from . import analysis, bnn, core, deploy, hw, infer, sim, synth
 
 __all__ = [
-    "analysis", "bnn", "core", "deploy", "hw", "sim", "synth", "__version__",
+    "analysis", "bnn", "core", "deploy", "hw", "infer", "sim", "synth",
+    "__version__",
 ]

@@ -16,6 +16,7 @@ from .layers import (
     AvgPool2d,
     BatchNorm2d,
     BinaryConv2d,
+    BinaryDense,
     Flatten,
     Layer,
     QuantConv2d,
@@ -25,6 +26,8 @@ from .layers import (
 )
 from .model import Sequential
 from .ops import (
+    CONTRACTION_STRATEGIES,
+    PackedOperand,
     binary_conv2d_packed,
     binary_conv2d_reference,
     binary_dense_packed,
@@ -65,14 +68,17 @@ from .training import (
 
 __all__ = [
     "ActivationCompressibility",
+    "CONTRACTION_STRATEGIES",
     "Adam",
     "AvgPool2d",
     "BatchNorm2d",
     "BinaryConv2d",
+    "BinaryDense",
     "BlockSpec",
     "Dataset",
     "Flatten",
     "Layer",
+    "PackedOperand",
     "QuantConv2d",
     "QuantDense",
     "QuantizedTensor",

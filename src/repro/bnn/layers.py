@@ -24,13 +24,15 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .binarize import binarize, binarize_bits, clip_latent_weights, ste_grad_mask
-from .ops import binary_conv2d_reference, conv_output_size, im2col
+from .ops import conv_output_size, im2col
+from .packing import pack_bits, pack_kernel_channels
 from .quantize import quantize_tensor
 
 __all__ = [
     "Layer",
     "RSign",
     "BinaryConv2d",
+    "BinaryDense",
     "QuantConv2d",
     "QuantDense",
     "BatchNorm2d",
@@ -136,6 +138,9 @@ class BinaryConv2d(Layer):
             -scale, scale, size=(out_channels, in_channels, kernel_size, kernel_size)
         ).astype(np.float32)
         self._cache: Optional[Tuple[np.ndarray, np.ndarray, Tuple[int, ...]]] = None
+        # (weight array identity, channel-packed words, num_bits); built by
+        # prepare() so packed inference never re-packs per call
+        self._packed_cache: Optional[Tuple[np.ndarray, np.ndarray, int]] = None
 
     # ------------------------------------------------------------------
     def binary_weight_signs(self) -> np.ndarray:
@@ -207,13 +212,37 @@ class BinaryConv2d(Layer):
         """1 bit per weight when deployed."""
         return self.params["weight"].size
 
+    def prepare(self) -> Tuple[np.ndarray, int]:
+        """Channel-pack the current binary weights once; returns the pair.
+
+        The packed ``(words, num_bits)`` operand is cached against the
+        identity of the latent weight array: optimiser steps,
+        :meth:`apply_weight_update` and :meth:`set_weight_bits` all
+        *replace* ``params["weight"]``, which invalidates the cache
+        automatically.  (Code that mutates the weight array in place must
+        call :meth:`prepare` again by hand.)
+        """
+        weight = self.params["weight"]
+        if self._packed_cache is None or self._packed_cache[0] is not weight:
+            words, num_bits = pack_kernel_channels(self.binary_weight_bits())
+            self._packed_cache = (weight, words, num_bits)
+        return self._packed_cache[1], self._packed_cache[2]
+
     def run_packed(self, x_bits: np.ndarray) -> np.ndarray:
-        """Inference through the bit-packed xnor+popcount path."""
+        """Inference through the bit-packed xnor+popcount path.
+
+        Uses the prepacked kernel from :meth:`prepare` — the kernel is
+        packed once per weight version, not once per invocation.
+        """
         from .ops import binary_conv2d_packed
 
         return binary_conv2d_packed(
-            x_bits, self.binary_weight_bits(), self.stride, self.padding
+            x_bits, self.prepare(), self.stride, self.padding
         )
+
+    def run_batch(self, x_bits: np.ndarray) -> np.ndarray:
+        """Batched packed inference over ``(N, C, H, W)`` bit inputs."""
+        return self.run_packed(x_bits)
 
 
 def _col2im(
@@ -244,6 +273,92 @@ def _col2im(
     if padding:
         return padded[:, :, padding:-padding, padding:-padding]
     return padded
+
+
+class BinaryDense(Layer):
+    """1-bit fully-connected layer with latent float weights (Eq. 1 + 2).
+
+    The dense sibling of :class:`BinaryConv2d`: forward binarises the
+    latent weights and multiplies against {+1, -1} inputs; backward uses
+    the STE mask.  :meth:`prepare` / :meth:`run_batch` provide the
+    bit-packed serving path over {0, 1} inputs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        scale = 1.0 / np.sqrt(in_features)
+        self.params["weight"] = rng.uniform(
+            -scale, scale, size=(out_features, in_features)
+        ).astype(np.float32)
+        self._cache: Optional[np.ndarray] = None
+        self._packed_cache: Optional[Tuple[np.ndarray, np.ndarray, int]] = None
+
+    def binary_weight_signs(self) -> np.ndarray:
+        """Current binarised weights in {+1, -1}."""
+        return binarize(self.params["weight"])
+
+    def binary_weight_bits(self) -> np.ndarray:
+        """Current binarised weights in storage form {1, 0}."""
+        return binarize_bits(self.params["weight"])
+
+    def set_weight_bits(self, bits: np.ndarray) -> None:
+        """Overwrite latent weights from a bit tensor (±0.5 latents)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != self.params["weight"].shape:
+            raise ValueError(
+                f"bit tensor shape {bits.shape} does not match weight shape "
+                f"{self.params['weight'].shape}"
+            )
+        self.params["weight"] = np.where(bits.astype(bool), 0.5, -0.5).astype(
+            np.float32
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x
+        return (x @ self.binary_weight_signs().T).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._cache
+        ste = ste_grad_mask(self.params["weight"])
+        self.grads["weight"] = ((grad.T @ x) * ste).astype(np.float32)
+        return (grad @ self.binary_weight_signs()).astype(np.float32)
+
+    def apply_weight_update(self) -> None:
+        """Post-optimiser hook: clip latent weights into the STE region."""
+        self.params["weight"] = clip_latent_weights(self.params["weight"])
+
+    def storage_bits(self) -> int:
+        """1 bit per weight when deployed."""
+        return self.params["weight"].size
+
+    def prepare(self) -> Tuple[np.ndarray, int]:
+        """Bit-pack the current binary weights once; returns the pair.
+
+        Same caching contract as :meth:`BinaryConv2d.prepare`.
+        """
+        weight = self.params["weight"]
+        if self._packed_cache is None or self._packed_cache[0] is not weight:
+            bits = self.binary_weight_bits()
+            self._packed_cache = (weight, pack_bits(bits), bits.shape[-1])
+        return self._packed_cache[1], self._packed_cache[2]
+
+    def run_packed(self, x_bits: np.ndarray) -> np.ndarray:
+        """Inference through the bit-packed xnor+popcount path."""
+        from .ops import binary_dense_packed
+
+        return binary_dense_packed(x_bits, self.prepare())
+
+    def run_batch(self, x_bits: np.ndarray) -> np.ndarray:
+        """Batched packed inference over ``(N, features)`` bit inputs."""
+        return self.run_packed(x_bits)
 
 
 class QuantConv2d(Layer):
@@ -287,8 +402,9 @@ class QuantConv2d(Layer):
         flat_w = (
             self.params["weight"].transpose(0, 2, 3, 1).reshape(self.out_channels, -1)
         )
-        out = patches @ flat_w.T + self.params["bias"]
-        return out.transpose(0, 3, 1, 2).astype(np.float32)
+        out = patches @ flat_w.T
+        out += self.params["bias"]
+        return np.asarray(out.transpose(0, 3, 1, 2), dtype=np.float32)
 
     def quantized_forward(self, x: np.ndarray) -> np.ndarray:
         """Forward using weights round-tripped through 8-bit quantisation."""
@@ -403,7 +519,9 @@ class BatchNorm2d(Layer):
         self._cache = (normed, std)
         gamma = self.params["gamma"][None, :, None, None]
         beta = self.params["beta"][None, :, None, None]
-        return (gamma * normed + beta).astype(np.float32)
+        out = gamma * normed
+        out += beta
+        return np.asarray(out, dtype=np.float32)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         normed, std = self._cache
@@ -437,11 +555,13 @@ class RPReLU(Layer):
     def forward(self, x: np.ndarray) -> np.ndarray:
         shifted = x - self.params["shift_in"][None, :, None, None]
         slope = self.params["slope"][None, :, None, None]
-        out = np.where(shifted >= 0, shifted, slope * shifted)
         self._cache = shifted
-        return (out + self.params["shift_out"][None, :, None, None]).astype(
-            np.float32
-        )
+        # scale-then-shift form of prelu: multiplying positives by exactly
+        # 1.0 is an IEEE identity, so this matches where(x>=0, x, slope*x)
+        # bit for bit while touching the batch-sized array two fewer times
+        out = np.where(shifted >= 0, np.float32(1.0), slope) * shifted
+        out += self.params["shift_out"][None, :, None, None]
+        return np.asarray(out, dtype=np.float32)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         shifted = self._cache

@@ -23,6 +23,7 @@ class Sequential:
     def __init__(self, layers: Sequence[Layer], name: str = "model") -> None:
         self.layers: List[Layer] = list(layers)
         self.name = name
+        self._plan = None  # compiled InferencePlan (see prepare())
 
     # ------------------------------------------------------------------
     # Execution
@@ -41,6 +42,62 @@ class Sequential:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
+
+    def forward_batched(
+        self, x: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Reference forward over ``(N, ...)`` inputs, in minibatches.
+
+        The float oracle/baseline the serving engine is measured
+        against: chunks of ``batch_size`` run through :meth:`forward`
+        and concatenate.  ``batch_size=1`` is the per-image serving
+        baseline; ``None`` runs one whole batch.
+        """
+        x = np.asarray(x)
+        if batch_size is None or batch_size >= x.shape[0]:
+            return self.forward(x)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return np.concatenate(
+            [
+                self.forward(x[offset:offset + batch_size])
+                for offset in range(0, x.shape[0], batch_size)
+            ],
+            axis=0,
+        )
+
+    def prepare(self, out_channel_chunk: int = 64):
+        """Compile (and cache) the batched packed serving plan.
+
+        Lowers the model through
+        :meth:`repro.infer.plan.InferencePlan.from_model` — fused
+        sign+conv packed steps over prepacked kernels — and puts the
+        model in inference mode.  Weight updates that *replace* latent
+        arrays (the optimiser, ``set_weight_bits``) are picked up
+        automatically; structural edits to ``layers`` require calling
+        :meth:`prepare` again.
+        """
+        from ..infer import InferencePlan  # lazy: avoids an import cycle
+
+        self._plan = InferencePlan.from_model(
+            self, out_channel_chunk=out_channel_chunk
+        )
+        return self._plan
+
+    def run_batch(
+        self, x: np.ndarray, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Batched inference through the packed engine.
+
+        Compiles the plan on first use (see :meth:`prepare`); the output
+        is bit-identical to running :meth:`forward` in eval mode.
+        Always executes inference semantics, but leaves the model's
+        train/eval mode as it found it — safe to interleave with
+        training epochs.
+        """
+        if self._plan is None:
+            self.prepare()
+        return self._plan.run_batch(x, batch_size=batch_size)
 
     def train(self) -> None:
         """Put every layer in training mode."""

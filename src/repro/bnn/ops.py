@@ -17,13 +17,17 @@ channel counts so that channel padding is never needed.
 
 from __future__ import annotations
 
-from typing import Tuple
+import math
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .packing import pack_bits, pack_kernel_channels, packed_dot
+from .packing import pack_bits, pack_kernel_channels, packed_dot, unpack_bits
 
 __all__ = [
+    "CONTRACTION_STRATEGIES",
+    "PackedOperand",
+    "bit_signs",
     "conv_output_size",
     "im2col",
     "im2col_bits",
@@ -32,6 +36,62 @@ __all__ = [
     "binary_dense_reference",
     "binary_dense_packed",
 ]
+
+#: a prepacked binary operand: ``(words, num_bits)`` as produced by
+#: :func:`repro.bnn.packing.pack_kernel_channels` / ``pack_bits``
+PackedOperand = Tuple[np.ndarray, int]
+
+#: how the packed ops contract bits: ``popcount`` is the hardware-faithful
+#: xnor+popcount over 64-bit words (the traffic the hw model simulates);
+#: ``gemm`` evaluates the *same* Eq. 2 dot product as a BLAS contraction
+#: over {+1, -1} bit planes.  Every intermediate of both strategies is a
+#: small exact integer, so their outputs are bit-identical — ``gemm`` is
+#: simply how a CPU without a vector popcount serves fastest.
+CONTRACTION_STRATEGIES = ("popcount", "gemm")
+
+
+def bit_signs(bits: np.ndarray) -> np.ndarray:
+    """{0, 1} bits -> {-1.0, +1.0} float32 (0 decodes to -1, Sec. IV-B)."""
+    signs = bits.astype(np.float32)
+    signs *= 2.0
+    signs -= 1.0
+    return signs
+
+
+def _as_packed_kernel(
+    kernel: PackedOperand,
+    in_channels: int,
+    kernel_size: Optional[int] = None,
+) -> Tuple[np.ndarray, int, int, int]:
+    """Validate a prepacked operand; returns ``(words, num_bits, out, k)``.
+
+    The kernel geometry is recovered from ``num_bits = in * k * k``; when
+    the caller knows the true ``kernel_size`` (the plan engine always
+    does) passing it cross-checks the operand against the input instead
+    of trusting the inference — a channel-mismatched operand whose bit
+    count happens to factor as a different square kernel is rejected
+    rather than silently reinterpreted.
+    """
+    words, num_bits = kernel
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError(
+            f"prepacked kernel words must be 2-D (out, words), "
+            f"got {words.ndim} dims"
+        )
+    if kernel_size is None:
+        if num_bits % in_channels:
+            raise ValueError(
+                f"prepacked num_bits {num_bits} is not a multiple of "
+                f"in_channels {in_channels}"
+            )
+        kernel_size = math.isqrt(num_bits // in_channels)
+    if kernel_size * kernel_size * in_channels != num_bits:
+        raise ValueError(
+            f"prepacked num_bits {num_bits} does not describe a "
+            f"{kernel_size}x{kernel_size} kernel over {in_channels} channels"
+        )
+    return words, int(num_bits), words.shape[0], kernel_size
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -85,7 +145,10 @@ def im2col_bits(
 ) -> np.ndarray:
     """Bit-domain im2col; spatial padding inserts 0 bits (logical -1)."""
     x_bits = np.asarray(x_bits, dtype=np.uint8)
-    return im2col(x_bits, kernel, stride, padding, pad_value=0).astype(np.uint8)
+    patches = im2col(x_bits, kernel, stride, padding, pad_value=0)
+    # the uint8 input guarantees uint8 patches; asarray avoids the copy
+    # a same-dtype astype would make on this hot path
+    return np.asarray(patches, dtype=np.uint8)
 
 
 def binary_conv2d_reference(
@@ -117,47 +180,98 @@ def binary_conv2d_reference(
 
 def binary_conv2d_packed(
     x_bits: np.ndarray,
-    kernel_bits: np.ndarray,
+    kernel_bits: Union[np.ndarray, PackedOperand],
     stride: int = 1,
     padding: int = 1,
     out_channel_chunk: int = 64,
+    strategy: str = "popcount",
+    kernel_size: Optional[int] = None,
+    kernel_signs: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Bit-packed xnor+popcount convolution (the daBNN execution model).
+    """Bit-packed binary convolution (the daBNN execution model).
 
-    ``x_bits``: ``(N, C, H, W)`` in {0, 1}; ``kernel_bits``:
-    ``(O, C, kh, kw)`` in {0, 1}.  Output is the integer dot product over
-    {+1, -1} semantics, identical to :func:`binary_conv2d_reference`.
+    ``x_bits``: ``(N, C, H, W)`` in {0, 1}; ``kernel_bits``: either an
+    ``(O, C, kh, kw)`` bit tensor in {0, 1} or a prepacked
+    ``(words, num_bits)`` pair from
+    :func:`~repro.bnn.packing.pack_kernel_channels`, which skips the
+    per-call channel packing (the serving hot path).  Output is the
+    integer dot product over {+1, -1} semantics, identical to
+    :func:`binary_conv2d_reference`.
 
-    ``out_channel_chunk`` bounds the xor intermediate's memory footprint,
-    mirroring how a real kernel tiles over output channels.
+    ``strategy`` picks the contraction (see
+    :data:`CONTRACTION_STRATEGIES`): ``popcount`` is the xnor+popcount
+    word loop the hardware model mirrors; ``gemm`` computes the same
+    exact integers through a BLAS bit-plane contraction (the fast
+    serving path).  ``out_channel_chunk`` bounds the popcount
+    strategy's xor intermediate, mirroring how a real kernel tiles over
+    output channels.
+
+    ``kernel_size`` (prepacked operands only) cross-checks the operand's
+    geometry against the input instead of inferring it from the bit
+    count.  ``kernel_signs`` (gemm only) supplies the position-major
+    {+1, -1} weight matrix precomputed by the caller, hoisting the
+    per-call unpack+convert out of the serving hot path; it must match
+    the packed words — the plan engine caches it per weight version.
     """
-    kernel_bits = np.asarray(kernel_bits, dtype=np.uint8)
-    out_ch, in_ch, kh, kw = kernel_bits.shape
-    if kh != kw:
-        raise ValueError(f"only square kernels supported, got {kh}x{kw}")
-    x_bits = np.asarray(x_bits, dtype=np.uint8)
-    if x_bits.shape[1] != in_ch:
+    if strategy not in CONTRACTION_STRATEGIES:
         raise ValueError(
-            f"channel mismatch: input {x_bits.shape[1]} vs kernel {in_ch}"
+            f"unknown strategy {strategy!r}; valid: {CONTRACTION_STRATEGIES}"
         )
+    x_bits = np.asarray(x_bits, dtype=np.uint8)
+    flat_bits: Optional[np.ndarray] = None
+    if isinstance(kernel_bits, tuple):
+        w_words, kernel_num_bits, out_ch, kh = _as_packed_kernel(
+            kernel_bits, x_bits.shape[1], kernel_size
+        )
+    else:
+        kernel_arr = np.asarray(kernel_bits, dtype=np.uint8)
+        out_ch, in_ch, kh, kw = kernel_arr.shape
+        if kh != kw:
+            raise ValueError(f"only square kernels supported, got {kh}x{kw}")
+        if x_bits.shape[1] != in_ch:
+            raise ValueError(
+                f"channel mismatch: input {x_bits.shape[1]} vs kernel {in_ch}"
+            )
+        # position-major flatten, the layout im2col produces
+        flat_bits = kernel_arr.transpose(0, 2, 3, 1).reshape(out_ch, -1)
+        kernel_num_bits = flat_bits.shape[-1]
+        w_words = None
     patches = im2col_bits(x_bits, kh, stride, padding)
     batch, out_h, out_w, num_bits = patches.shape
-    x_words = pack_bits(patches)  # (N, oh, ow, words)
-    w_words, kernel_num_bits = pack_kernel_channels(kernel_bits)
     if kernel_num_bits != num_bits:
         raise AssertionError("kernel/patch bit count mismatch")
+
+    if strategy == "gemm":
+        if kernel_signs is None:
+            if flat_bits is None:
+                flat_bits = unpack_bits(w_words, kernel_num_bits)
+            kernel_signs = bit_signs(flat_bits)
+        elif kernel_signs.shape != (out_ch, kernel_num_bits):
+            raise ValueError(
+                f"kernel_signs shape {kernel_signs.shape} does not match "
+                f"the operand's ({out_ch}, {kernel_num_bits})"
+            )
+        dots = bit_signs(patches) @ kernel_signs.T
+        return dots.astype(np.int32).transpose(0, 3, 1, 2)
 
     if out_channel_chunk <= 0:
         raise ValueError(
             f"out_channel_chunk must be positive, got {out_channel_chunk}"
         )
-    out = np.empty((batch, out_ch, out_h, out_w), dtype=np.int32)
+    if w_words is None:
+        w_words = pack_bits(flat_bits)
+    x_words = pack_bits(patches)  # (N, oh, ow, words)
+    # accumulate position-major and hand back a transposed view: the same
+    # memory layout the float reference produces, so downstream float ops
+    # iterate both paths in the same order (bit-identical plan logits)
+    out = np.empty((batch, out_h, out_w, out_ch), dtype=np.int32)
     x_expanded = x_words[:, :, :, None, :]  # (N, oh, ow, 1, words)
     for start in range(0, out_ch, out_channel_chunk):
         stop = min(start + out_channel_chunk, out_ch)
-        dots = packed_dot(w_words[start:stop], x_expanded, num_bits)
-        out[:, start:stop] = dots.transpose(0, 3, 1, 2)
-    return out
+        out[..., start:stop] = packed_dot(
+            w_words[start:stop], x_expanded, num_bits
+        )
+    return out.transpose(0, 3, 1, 2)
 
 
 def binary_dense_reference(
@@ -174,16 +288,50 @@ def binary_dense_reference(
 
 
 def binary_dense_packed(
-    x_bits: np.ndarray, weight_bits: np.ndarray
+    x_bits: np.ndarray,
+    weight_bits: Union[np.ndarray, PackedOperand],
+    strategy: str = "popcount",
+    weight_signs: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Bit-packed binary dense layer; same semantics as the reference."""
-    x_bits = np.asarray(x_bits, dtype=np.uint8)
-    weight_bits = np.asarray(weight_bits, dtype=np.uint8)
-    num_bits = x_bits.shape[-1]
-    if num_bits != weight_bits.shape[-1]:
+    """Bit-packed binary dense layer; same semantics as the reference.
+
+    ``weight_bits`` is either an ``(out, features)`` bit tensor or a
+    prepacked ``(words, num_bits)`` pair from
+    :func:`~repro.bnn.packing.pack_bits`, which skips per-call weight
+    packing.  ``strategy`` and ``weight_signs`` behave exactly as
+    ``strategy`` / ``kernel_signs`` in :func:`binary_conv2d_packed`.
+    """
+    if strategy not in CONTRACTION_STRATEGIES:
         raise ValueError(
-            f"feature mismatch: {num_bits} vs {weight_bits.shape[-1]}"
+            f"unknown strategy {strategy!r}; valid: {CONTRACTION_STRATEGIES}"
         )
+    x_bits = np.asarray(x_bits, dtype=np.uint8)
+    num_bits = x_bits.shape[-1]
+    if isinstance(weight_bits, tuple):
+        w_words, weight_num_bits = weight_bits
+        w_words = np.asarray(w_words, dtype=np.uint64)
+        flat_bits = None
+    else:
+        flat_bits = np.asarray(weight_bits, dtype=np.uint8)
+        weight_num_bits = flat_bits.shape[-1]
+        w_words = None
+    if num_bits != weight_num_bits:
+        raise ValueError(
+            f"feature mismatch: {num_bits} vs {weight_num_bits}"
+        )
+    if strategy == "gemm":
+        if weight_signs is None:
+            if flat_bits is None:
+                flat_bits = unpack_bits(w_words, weight_num_bits)
+            weight_signs = bit_signs(flat_bits)
+        elif weight_signs.shape[-1] != weight_num_bits:
+            raise ValueError(
+                f"weight_signs feature count {weight_signs.shape[-1]} does "
+                f"not match the operand's {weight_num_bits}"
+            )
+        dots = bit_signs(x_bits) @ weight_signs.T
+        return dots.astype(np.int32)
+    if w_words is None:
+        w_words = pack_bits(flat_bits)
     x_words = pack_bits(x_bits)[..., None, :]
-    w_words = pack_bits(weight_bits)
     return packed_dot(w_words, x_words, num_bits).astype(np.int32)

@@ -9,6 +9,8 @@ aligned text report used in EXPERIMENTS.md:
    python -m repro table2          # per-block distribution
    python -m repro table5          # compression ratios (--codec to swap)
    python -m repro coders          # all registered codecs per block
+   python -m repro backends        # simulation backend + model registries
+   python -m repro infer --artifact model.npz --batch 64   # serve it
    python -m repro fig3            # top-16 frequency head
    python -m repro mix             # code-length mix (Sec. VI)
    python -m repro model           # whole-model ratio
@@ -75,6 +77,121 @@ def _cmd_coders(args: argparse.Namespace) -> str:
     from .analysis.coders import compare_coders, render_coders
 
     return render_coders(compare_coders(seed=args.seed))
+
+
+def _cmd_backends(args: argparse.Namespace) -> str:
+    from .analysis.report import render_table
+    from .sim.backends import registered_backends
+    from .sim.scenario import available_models, get_model
+
+    backend_rows = [
+        (name, cls.paper_ref)
+        for name, cls in registered_backends().items()
+    ]
+    model_rows = []
+    for name in available_models():
+        spec = get_model(name)
+        runnable = "yes" if spec.builder is not None else "no"
+        model_rows.append((name, runnable, spec.description))
+    return "\n\n".join(
+        [
+            render_table(
+                ("backend", "paper mapping"),
+                backend_rows,
+                title="Simulation backends",
+            ),
+            render_table(
+                ("model", "runnable", "description"),
+                model_rows,
+                title="Workload models",
+            ),
+        ]
+    )
+
+
+def _cmd_infer(args: argparse.Namespace) -> str:
+    import time
+
+    import numpy as np
+
+    from .infer import InferencePlan
+
+    rng = np.random.default_rng(args.seed)
+    if args.artifact is not None:
+        plan = InferencePlan.from_artifact(
+            args.artifact, cache_size=args.cache_size
+        )
+        model = None
+        if args.engine == "reference":
+            from .deploy import load_compressed_model
+
+            model = load_compressed_model(args.artifact)
+        source = f"artifact {args.artifact}"
+        input_shape = _artifact_input_shape(args.artifact)
+    else:
+        from .sim.scenario import get_model
+
+        spec = get_model(args.model)
+        if spec.builder is None or spec.input_shape is None:
+            raise SystemExit(
+                f"model {args.model!r} has no runnable builder; "
+                "pass --artifact or a runnable --model"
+            )
+        model = spec.builder(args.seed)
+        plan = InferencePlan.from_model(model)
+        source = f"model {args.model!r}"
+        input_shape = spec.input_shape
+
+    x = rng.standard_normal((args.images, *input_shape)).astype(np.float32)
+    if args.engine == "reference":
+        run = lambda: model.forward_batched(x, batch_size=args.batch)
+    else:
+        run = lambda: plan.run_batch(x, batch_size=args.batch)
+    run()  # warm caches outside the timed region
+    start = time.perf_counter()
+    logits = run()
+    seconds = time.perf_counter() - start
+
+    lines = [
+        f"serving {source} via engine {args.engine!r}",
+        f"plan: {len(plan)} steps, {plan.num_packed_steps} packed",
+        f"input: {args.images} images of shape {tuple(input_shape)}, "
+        f"batch {args.batch}",
+        f"logits: {logits.shape}",
+        f"throughput: {args.images / seconds:.0f} images/sec "
+        f"({seconds * 1e3:.1f} ms total)",
+    ]
+    stats = plan.cache_stats()
+    if stats is not None and args.engine == "packed":
+        lines.append(
+            "kernel cache: "
+            f"{stats['size']}/{stats['maxsize']} entries, "
+            f"{stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['evictions']} evictions"
+        )
+    return "\n".join(lines)
+
+
+def _artifact_input_shape(path):
+    """Infer a servable (C, H, W) for the artifact's stem.
+
+    The manifest records every layer's configuration but not the image
+    geometry, so the spatial side is the smallest power of two that
+    survives every stride in the model (times two so the deepest layer
+    still sees a 2x2 map), floored at 8 for the tiny test artifacts.
+    """
+    from .deploy import ArtifactReader
+
+    reader = ArtifactReader(path)
+    in_channels = None
+    stride_product = 1
+    for entry in reader.entries:
+        config = entry.get("config", {})
+        if in_channels is None and "in_channels" in config:
+            in_channels = int(config["in_channels"])
+        stride_product *= int(config.get("stride", 1))
+    side = max(8, 2 * stride_product)
+    return (1 if in_channels is None else in_channels, side, side)
 
 
 def _cmd_fig3(args: argparse.Namespace) -> str:
@@ -228,6 +345,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table2": _cmd_table2,
     "table5": _cmd_table5,
     "coders": _cmd_coders,
+    "backends": _cmd_backends,
+    "infer": _cmd_infer,
     "fig3": _cmd_fig3,
     "mix": _cmd_mix,
     "model": _cmd_model,
@@ -255,6 +374,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("table2", "Table II: per-block bit-sequence distribution"),
         ("table5", "Table V: per-block compression ratios"),
         ("coders", "Sec. III-B: all registered codecs compared per block"),
+        ("backends", "list the simulation backend + workload registries"),
+        ("infer", "batched packed inference from a deploy artifact"),
         ("fig3", "Fig. 3: top-16 bit-sequence frequencies"),
         ("mix", "Sec. VI: share of channels per code length"),
         ("model", "Sec. VI: whole-model compression ratio"),
@@ -318,6 +439,35 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--json", action="store_true",
                 help="emit the serialised report instead of text tables",
+            )
+        if name == "infer":
+            from .sim import available_models
+
+            sub.add_argument(
+                "--artifact", default=None,
+                help="deploy artifact (.npz) to serve; omit to build the "
+                     "--model in process",
+            )
+            sub.add_argument(
+                "--model", choices=available_models(), default="small-bnn",
+                help="runnable workload model when no artifact is given",
+            )
+            sub.add_argument(
+                "--batch", type=int, default=32,
+                help="serving minibatch size (default 32)",
+            )
+            sub.add_argument(
+                "--images", type=int, default=64,
+                help="number of synthetic images to run (default 64)",
+            )
+            sub.add_argument(
+                "--engine", choices=("packed", "reference"),
+                default="packed",
+                help="packed plan engine or the float reference forward",
+            )
+            sub.add_argument(
+                "--cache-size", type=int, default=8,
+                help="decoded-kernel LRU capacity for artifact plans",
             )
         if name == "simulate":
             sub.add_argument(

@@ -44,6 +44,7 @@ __all__ = [
     "save_compressed_model",
     "load_compressed_model",
     "artifact_report",
+    "ArtifactReader",
     "ArtifactReport",
 ]
 
@@ -256,25 +257,96 @@ def _rebuild_layer(entry: Dict, arrays, key: str) -> Layer:
     return layer
 
 
+class ArtifactReader:
+    """Random-access view of one deploy artifact.
+
+    The shared substrate under :func:`load_compressed_model` (which
+    rebuilds a whole runnable model eagerly) and
+    :meth:`repro.infer.plan.InferencePlan.from_artifact` (which lowers
+    the artifact into a batched serving plan, decoding compressed kernel
+    streams lazily).  The manifest is validated once here; per-layer
+    accessors then work off the in-memory array dictionary.
+    """
+
+    def __init__(self, path) -> None:
+        with np.load(path) as arrays:
+            self.arrays: Dict[str, np.ndarray] = {
+                name: arrays[name] for name in arrays.files
+            }
+        self.header: Dict = json.loads(
+            bytes(self.arrays["manifest"]).decode("utf-8")
+        )
+        if self.header["format_version"] not in _SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported artifact version {self.header['format_version']}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The serialised model's name."""
+        return self.header.get("name", "model")
+
+    @property
+    def entries(self) -> List[Dict]:
+        """The manifest's layer entries, in model order."""
+        return self.header["layers"]
+
+    @staticmethod
+    def key(entry: Dict) -> str:
+        """Array-name prefix of one manifest entry."""
+        return f"layer{entry['index']}"
+
+    def stream_blob(self, entry: Dict) -> bytes:
+        """Raw compressed-stream bytes of a ``compressed3x3`` entry."""
+        if entry.get("storage") != "compressed3x3":
+            raise ValueError(
+                f"layer {entry['index']} has no compressed stream "
+                f"(storage={entry.get('storage')!r})"
+            )
+        return self.arrays[f"{self.key(entry)}.stream"].tobytes()
+
+    def kernel_bits(self, entry: Dict) -> np.ndarray:
+        """Decode one binary conv entry to its kernel bit tensor.
+
+        ``compressed3x3`` entries run through the real stream decoder;
+        ``packed_binary`` entries are unpacked from their bit container.
+        """
+        storage = entry.get("storage")
+        if storage == "compressed3x3":
+            stream = CompressedKernel.from_bytes(self.stream_blob(entry))
+            from .core.bitseq import sequences_to_kernel
+
+            return sequences_to_kernel(stream.decode(), stream.shape)
+        if storage == "packed_binary":
+            return _unpack_bit_tensor(
+                self.arrays[f"{self.key(entry)}.bits"], entry["bit_shape"]
+            )
+        raise ValueError(
+            f"layer {entry['index']} is not a binary conv entry "
+            f"(storage={storage!r})"
+        )
+
+    def rebuild_layer(self, entry: Dict) -> Layer:
+        """Instantiate one layer (streams decoded eagerly)."""
+        return _rebuild_layer(entry, self.arrays, self.key(entry))
+
+    def rebuild_model(self) -> Sequential:
+        """Rebuild the whole model in inference mode."""
+        model = Sequential(
+            [self.rebuild_layer(entry) for entry in self.entries],
+            name=self.name,
+        )
+        model.eval()
+        return model
+
+
 def load_compressed_model(path) -> Sequential:
     """Reload an artifact produced by :func:`save_compressed_model`.
 
     The 3x3 kernels come back through the real stream decoder, so the
     loaded model is bit-exact with the (possibly clustered) deployed one.
     """
-    with np.load(path) as arrays:
-        header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
-        if header["format_version"] not in _SUPPORTED_VERSIONS:
-            raise ValueError(
-                f"unsupported artifact version {header['format_version']}"
-            )
-        layers = [
-            _rebuild_layer(entry, arrays, f"layer{entry['index']}")
-            for entry in header["layers"]
-        ]
-    model = Sequential(layers, name=header.get("name", "model"))
-    model.eval()
-    return model
+    return ArtifactReader(path).rebuild_model()
 
 
 @dataclass(frozen=True)

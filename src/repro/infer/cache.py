@@ -1,0 +1,68 @@
+"""Bounded LRU cache for decoded, prepacked kernel operands.
+
+An artifact-backed :class:`~repro.infer.plan.InferencePlan` decodes each
+layer's compressed stream only when the layer actually executes, and
+keeps the resulting channel-packed words in a small LRU cache.  This
+mirrors the hardware story: the decoding unit's scratchpad holds a
+bounded working set of decoded kernels, and rarely-used layers are
+re-decoded rather than pinned in memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """A tiny ``{key: value}`` cache with least-recently-used eviction.
+
+    ``get(key, build)`` returns the cached value, building (and possibly
+    evicting) on a miss.  ``hits`` / ``misses`` / ``evictions`` expose
+    the cache behaviour for reports and tests.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, building it on first use."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = build()
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """JSON-ready counter snapshot."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

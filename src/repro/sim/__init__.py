@@ -25,6 +25,8 @@ Backend -> paper mapping (see :mod:`repro.sim.backends`):
 ``rtl``          Fig. 6 decoding unit, cycle-accurate over the whole
                  model (vectorised replay; per-cycle FSM as oracle)
 ``energy``       per-inference energy extension (DATE venue axis)
+``inference``    Sec. IV-B packed execution, actually run: batched
+                 serving throughput + top-1 parity vs the float oracle
 ===============  ======================================================
 
 Quickstart::
@@ -52,6 +54,7 @@ from .backends import (
     available_backends,
     get_backend,
     register_backend,
+    registered_backends,
 )
 from .report import SimulationReport
 from .scenario import (
@@ -81,4 +84,5 @@ __all__ = [
     "paper_pipeline",
     "register_backend",
     "register_model",
+    "registered_backends",
 ]

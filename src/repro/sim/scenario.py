@@ -81,16 +81,24 @@ def paper_pipeline() -> PipelineConfig:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ModelSpec:
-    """One named workload: layer list plus synthetic kernels.
+    """One named workload: layer list, synthetic kernels, runnable model.
 
     ``workloads`` builds the :class:`~repro.hw.perf.LayerWorkload` list
     the timing model replays; ``kernels`` generates the per-block 3x3
     kernels (``{block_id: bit tensor}``) the compression stage measures.
+    ``builder`` (optional) constructs a *runnable* eval-mode
+    :class:`~repro.bnn.model.Sequential` for the given seed — the
+    ``inference`` backend's executable counterpart of the workload —
+    with ``input_shape`` naming the ``(C, H, W)`` images it consumes.
+    ``description`` is the paper mapping shown by ``repro backends``.
     """
 
     name: str
     workloads: Callable[[], List[LayerWorkload]]
     kernels: Callable[[int], Dict[Any, np.ndarray]]
+    builder: Optional[Callable[[int], Any]] = None
+    input_shape: Optional[Tuple[int, int, int]] = None
+    description: str = ""
 
     def layer_name(self, block: Any) -> str:
         """Map a kernel block id onto its perf-model layer name."""
@@ -136,11 +144,105 @@ def _reactnet_head_kernels(seed: int) -> Dict[Any, np.ndarray]:
     return {block: full[block] for block in sorted(full)[:3]}
 
 
+def _build_reactnet_runnable(seed: int):
+    """The full topology with calibrated synthetic kernels installed."""
+    from ..bnn.reactnet import build_reactnet
+    from ..synth.weights import install_kernels
+
+    model = build_reactnet(seed=seed)
+    install_kernels(model, generate_reactnet_kernels(seed=seed))
+    model.eval()
+    return model
+
+
+#: the small-bnn serving model's construction knobs (one place, so the
+#: workload list and the builder can never drift apart)
+_SMALL_BNN_CHANNELS = (16, 32)
+_SMALL_BNN_IMAGE_SIZE = 16
+_SMALL_BNN_CLASSES = 4
+
+
+def _build_small_bnn_runnable(seed: int):
+    from ..bnn.reactnet import build_small_bnn
+
+    model = build_small_bnn(
+        in_channels=1,
+        num_classes=_SMALL_BNN_CLASSES,
+        channels=_SMALL_BNN_CHANNELS,
+        image_size=_SMALL_BNN_IMAGE_SIZE,
+        seed=seed,
+    )
+    model.eval()
+    return model
+
+
+def _small_bnn_workloads() -> List[LayerWorkload]:
+    """Layer list of the runnable small BNN (mirrors its topology)."""
+    from ..bnn.reactnet import BlockSpec as _BlockSpec
+
+    stem = _SMALL_BNN_CHANNELS[0]
+    workloads = [
+        LayerWorkload(
+            name="input_conv", kind="conv8", in_channels=1,
+            out_channels=stem, kernel=3, stride=2,
+            in_size=_SMALL_BNN_IMAGE_SIZE,
+        )
+    ]
+    size = _SMALL_BNN_IMAGE_SIZE // 2
+    previous = stem
+    for index, width in enumerate(_SMALL_BNN_CHANNELS, start=1):
+        spec = _BlockSpec(
+            previous, width, stride=2 if width != previous else 1
+        )
+        workloads.append(
+            LayerWorkload(
+                name=f"block{index}_conv3x3", kind="conv3x3",
+                in_channels=spec.in_channels, out_channels=spec.in_channels,
+                kernel=3, stride=spec.stride, in_size=size,
+            )
+        )
+        size = size // spec.stride
+        workloads.append(
+            LayerWorkload(
+                name=f"block{index}_conv1x1", kind="conv1x1",
+                in_channels=spec.in_channels, out_channels=spec.out_channels,
+                kernel=1, stride=1, in_size=size,
+            )
+        )
+        workloads.append(
+            LayerWorkload(
+                name=f"block{index}_norm_act", kind="other",
+                in_channels=spec.out_channels, out_channels=spec.out_channels,
+                kernel=1, stride=1, in_size=size,
+            )
+        )
+        previous = width
+    workloads.append(
+        LayerWorkload(
+            name="output_fc", kind="dense8", in_channels=previous,
+            out_channels=_SMALL_BNN_CLASSES, kernel=1, stride=1, in_size=1,
+        )
+    )
+    return workloads
+
+
+def _small_bnn_kernels(seed: int) -> Dict[Any, np.ndarray]:
+    """Per-block 3x3 kernel bits straight from the runnable model."""
+    model = _build_small_bnn_runnable(seed)
+    return {
+        index: conv.binary_weight_bits()
+        for index, conv in enumerate(model.binary_conv_layers(3), start=1)
+    }
+
+
 register_model(
     ModelSpec(
         name="reactnet",
         workloads=reactnet_workloads,
         kernels=lambda seed: generate_reactnet_kernels(seed=seed),
+        builder=_build_reactnet_runnable,
+        input_shape=(3, 224, 224),
+        description="full 13-block topology (Tables I/II/V, Sec. VI)",
     )
 )
 register_model(
@@ -148,6 +250,20 @@ register_model(
         name="reactnet-head",
         workloads=_reactnet_head_workloads,
         kernels=_reactnet_head_kernels,
+        description="stem + first 3 blocks (fast-test slice of Table V)",
+    )
+)
+register_model(
+    ModelSpec(
+        name="small-bnn",
+        workloads=_small_bnn_workloads,
+        kernels=_small_bnn_kernels,
+        builder=_build_small_bnn_runnable,
+        input_shape=(1, _SMALL_BNN_IMAGE_SIZE, _SMALL_BNN_IMAGE_SIZE),
+        description=(
+            "runnable ReActNet-style small BNN (Sec. III-C accuracy "
+            "model; serving smoke)"
+        ),
     )
 )
 

@@ -32,6 +32,7 @@ def test_benchmark_suite_is_discovered():
     assert len(BENCH_FILES) >= 20
     names = {path.name for path in BENCH_FILES}
     assert "bench_codec_throughput.py" in names
+    assert "bench_infer_throughput.py" in names
     assert "bench_table5_compression.py" in names
     assert "bench_model_compression.py" in names
 

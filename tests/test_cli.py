@@ -91,6 +91,60 @@ class TestCommands:
         assert "accuracy" in capsys.readouterr().out.lower()
 
 
+class TestBackendsCommand:
+    def test_lists_both_registries(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulation backends" in out
+        assert "inference" in out
+        assert "Workload models" in out
+        assert "small-bnn" in out
+        assert "Fig. 6" in out  # paper mapping column is populated
+
+
+class TestInferCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["infer"])
+        assert args.artifact is None
+        assert args.model == "small-bnn"
+        assert args.batch == 32
+        assert args.engine == "packed"
+
+    def test_runnable_model_infer(self, capsys):
+        assert main(["infer", "--images", "8", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "images/sec" in out
+        assert "4 packed" in out
+
+    def test_artifact_infer_reports_cache(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.bnn.reactnet import build_small_bnn
+        from repro.deploy import save_compressed_model
+
+        model = build_small_bnn(
+            in_channels=1, num_classes=4, image_size=8, channels=(8, 16),
+            seed=5,
+        )
+        model.eval()
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        assert main(
+            ["infer", "--artifact", str(path), "--images", "8",
+             "--batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kernel cache" in out
+        assert "images/sec" in out
+
+    def test_reference_engine(self, capsys):
+        assert main(
+            ["infer", "--images", "4", "--batch", "2",
+             "--engine", "reference"]
+        ) == 0
+        assert "reference" in capsys.readouterr().out
+
+
 class TestSimulateCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["simulate"])

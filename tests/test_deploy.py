@@ -1,5 +1,7 @@
 """Tests for the compressed-model deployment artifacts."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -8,10 +10,17 @@ from repro.bnn.reactnet import build_small_bnn
 from repro.bnn.training import train_model
 from repro.core.clustering import ClusteringConfig
 from repro.deploy import (
+    ArtifactReader,
     artifact_report,
     load_compressed_model,
     save_compressed_model,
 )
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data"
+GOLDEN_ARTIFACTS = {
+    1: GOLDEN_DIR / "golden_deploy_v1.npz",
+    2: GOLDEN_DIR / "golden_deploy_v2.npz",
+}
 
 
 @pytest.fixture(scope="module")
@@ -170,6 +179,82 @@ class TestManifestFormat:
             save_compressed_model(
                 model, tmp_path / "bad.npz", codec="rank-gamma"
             )
+
+
+class TestArtifactReader:
+    def test_reader_rebuilds_the_loader_model(self, trained_model, tmp_path):
+        model, dataset = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        reader = ArtifactReader(path)
+        rebuilt = reader.rebuild_model()
+        loaded = load_compressed_model(path)
+        x = dataset.test_x[:4]
+        assert np.array_equal(rebuilt.forward(x), loaded.forward(x))
+
+    def test_kernel_bits_decode_both_storages(self, trained_model, tmp_path):
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        reader = ArtifactReader(path)
+        convs = iter(model.binary_conv_layers())
+        for entry in reader.entries:
+            if entry["type"] != "BinaryConv2d":
+                continue
+            expected = next(convs).binary_weight_bits()
+            assert np.array_equal(reader.kernel_bits(entry), expected)
+
+    def test_stream_blob_rejected_for_float_entries(
+        self, trained_model, tmp_path
+    ):
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        reader = ArtifactReader(path)
+        float_entry = next(
+            entry for entry in reader.entries
+            if entry.get("storage") == "float32"
+        )
+        with pytest.raises(ValueError, match="no compressed stream"):
+            reader.stream_blob(float_entry)
+        with pytest.raises(ValueError, match="not a binary conv"):
+            reader.kernel_bits(float_entry)
+
+
+@pytest.mark.parametrize("version", sorted(GOLDEN_ARTIFACTS))
+class TestGoldenArtifactInference:
+    """Shipped v1/v2 artifacts must serve through the plan engine."""
+
+    def test_plan_logits_bitexact_with_reference_forward(self, version):
+        from repro.infer import InferencePlan
+
+        path = GOLDEN_ARTIFACTS[version]
+        plan = InferencePlan.from_artifact(path)
+        deployed = load_compressed_model(path)
+        rng = np.random.default_rng(version)
+        for batch in (1, 3, 8):
+            x = rng.standard_normal((8, 1, 8, 8)).astype(np.float32)
+            expected = np.concatenate(
+                [
+                    deployed.forward(x[offset:offset + batch])
+                    for offset in range(0, 8, batch)
+                ],
+                axis=0,
+            )
+            got = plan.run_batch(x, batch_size=batch)
+            assert np.array_equal(got, expected), (
+                f"v{version} artifact plan diverged at batch {batch}"
+            )
+
+    def test_plan_decodes_streams_through_lru(self, version):
+        from repro.infer import InferencePlan
+
+        plan = InferencePlan.from_artifact(GOLDEN_ARTIFACTS[version])
+        assert plan.num_packed_steps > 0
+        plan.run_batch(np.zeros((2, 1, 8, 8), dtype=np.float32))
+        stats = plan.cache_stats()
+        assert stats["misses"] == plan.num_packed_steps
+        assert stats["size"] == plan.num_packed_steps
 
 
 class TestReport:
