@@ -1,0 +1,258 @@
+"""Serving-daemon load test: dynamic batching vs sequential requests.
+
+The acceptance gate for :mod:`repro.serve`: concurrent single-image
+submissions coalesced by the daemon's dynamic batcher must reach at
+least 5x the throughput of sequential per-request serving (one
+``run_batch`` of size 1 at a time) at concurrency >= 32 — the
+"millions of users" claim made measurable.  A second section drives
+deterministic Poisson arrivals through the daemon and reports the
+latency distribution (p50/p99), batch-size histogram and backpressure
+counters.
+
+Results land in ``BENCH_serving.json`` (see ``benchmarks/conftest.py``)
+next to the codec/rtl/infer artifacts; ``BENCH_REDUCED=1`` shrinks the
+workload for CI smoke runs and relaxes the speedup floor.  Both the
+image generator and the Poisson arrival process are seeded, so a run is
+reproducible end to end.
+"""
+
+import asyncio
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_reduced, update_bench_artifact
+
+from repro.bnn.reactnet import build_small_bnn
+from repro.deploy import save_compressed_model
+from repro.infer import InferencePlan
+from repro.serve import QueueFullError, ServeConfig, ServingDaemon
+
+#: the serving model: deploy-artifact scale (edge CPU, Sec. IV-B context)
+CHANNELS = (16, 32)
+IMAGE_SIZE = 8
+NUM_CLASSES = 10
+SEED = 0
+
+CONCURRENCY = 32
+
+FULL_REQUESTS = 1024
+REDUCED_REQUESTS = 128
+
+#: acceptance floors (reduced mode amortises fixed costs over less work)
+FULL_FLOOR = 5.0
+REDUCED_FLOOR = 2.0
+
+#: Poisson section: deterministic open-loop arrivals
+FULL_POISSON_REQUESTS = 512
+REDUCED_POISSON_REQUESTS = 96
+POISSON_RATE_PER_SEC = 2000.0
+
+
+def _artifact(tmp: str) -> Path:
+    model = build_small_bnn(
+        in_channels=1, num_classes=NUM_CLASSES, image_size=IMAGE_SIZE,
+        channels=CHANNELS, seed=SEED,
+    )
+    model.eval()
+    path = Path(tmp) / "model.npz"
+    save_compressed_model(model, path)
+    return path
+
+
+def _images(count: int) -> np.ndarray:
+    rng = np.random.default_rng(SEED)
+    return rng.standard_normal(
+        (count, 1, IMAGE_SIZE, IMAGE_SIZE)
+    ).astype(np.float32)
+
+
+async def _submit_with_retry(daemon, tenant, image) -> np.ndarray:
+    """Client contract: QueueFullError is retriable — back off and retry."""
+    while True:
+        try:
+            return await daemon.submit(tenant, image)
+        except QueueFullError:
+            await asyncio.sleep(0.001)
+
+
+def test_dynamic_batching_speedup_over_sequential():
+    """>= 5x throughput over per-request serving at concurrency >= 32."""
+    reduced = bench_reduced()
+    requests = REDUCED_REQUESTS if reduced else FULL_REQUESTS
+    floor = REDUCED_FLOOR if reduced else FULL_FLOOR
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = _artifact(tmp)
+        images = _images(requests)
+
+        # -- sequential per-request baseline: size-1 run_batch calls ---
+        plan = InferencePlan.from_artifact(artifact)
+        plan.run_batch(images[:1])  # decode kernels outside timed region
+        sequential_count = min(requests, 256)
+        start = time.perf_counter()
+        for index in range(sequential_count):
+            plan.run_batch(images[index:index + 1])
+        sequential_seconds = time.perf_counter() - start
+        sequential_rate = sequential_count / sequential_seconds
+
+        # -- dynamic batching through the daemon ----------------------
+        # max_batch matches the offered concurrency: a full closed-loop
+        # wave flushes immediately instead of idling out max_wait_ms
+        config = ServeConfig(
+            max_batch=CONCURRENCY,
+            max_wait_ms=2.0,
+            queue_depth=4 * CONCURRENCY,
+            workers=2,
+        )
+        daemon = ServingDaemon(config)
+        daemon.register("bench", str(artifact))
+
+        async def drive() -> float:
+            gate = asyncio.Semaphore(CONCURRENCY)
+
+            async def one(index: int) -> np.ndarray:
+                async with gate:
+                    return await _submit_with_retry(
+                        daemon, "bench", images[index]
+                    )
+
+            async with daemon:
+                # warm round: compile + decode outside the timed region
+                await asyncio.gather(
+                    *(one(i) for i in range(CONCURRENCY))
+                )
+                start = time.perf_counter()
+                results = await asyncio.gather(
+                    *(one(i) for i in range(requests))
+                )
+                seconds = time.perf_counter() - start
+            logits = np.stack(results)
+            # correctness: the daemon only schedules, the plan computes.
+            # coalescing picks the minibatching, so near-tied logits may
+            # differ from any fixed-batch oracle at ULP level — compare
+            # against the full-batch oracle with a float32-tight tolerance
+            oracle = plan.run_batch(images)
+            assert np.allclose(logits, oracle, rtol=1e-4, atol=1e-5)
+            return seconds
+
+        dynamic_seconds = asyncio.run(drive())
+        dynamic_rate = requests / dynamic_seconds
+
+    speedup = dynamic_rate / sequential_rate
+    snapshot = daemon.snapshot()
+    tenant = snapshot["tenants"]["bench"]
+    update_bench_artifact(
+        "serving",
+        "dynamic_vs_sequential",
+        {
+            "requests": int(requests),
+            "concurrency": CONCURRENCY,
+            "max_batch": config.max_batch,
+            "max_wait_ms": config.max_wait_ms,
+            "channels": list(CHANNELS),
+            "image_size": IMAGE_SIZE,
+            "sequential_images_per_second": float(sequential_rate),
+            "dynamic_images_per_second": float(dynamic_rate),
+            "speedup": float(speedup),
+            "floor": float(floor),
+            "mean_batch_size": tenant["mean_batch_size"],
+            "batch_histogram": tenant["batch_histogram"],
+            "latency": tenant["latency"],
+        },
+    )
+    print(
+        f"\nserving {requests} requests at concurrency {CONCURRENCY}: "
+        f"dynamic {dynamic_rate:.0f} img/s "
+        f"(mean batch {tenant['mean_batch_size']:.1f}, "
+        f"p50 {tenant['latency']['p50_ms']:.2f} ms, "
+        f"p99 {tenant['latency']['p99_ms']:.2f} ms), "
+        f"sequential {sequential_rate:.0f} img/s -> {speedup:.1f}x"
+    )
+    assert speedup >= floor, (
+        f"dynamic batching is only {speedup:.1f}x over sequential "
+        f"per-request serving (acceptance floor is {floor:.0f}x at "
+        f"concurrency {CONCURRENCY})"
+    )
+
+
+def test_poisson_arrivals_latency_profile():
+    """Deterministic Poisson open-loop load: p50/p99 + batch shapes."""
+    reduced = bench_reduced()
+    requests = REDUCED_POISSON_REQUESTS if reduced else FULL_POISSON_REQUESTS
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = _artifact(tmp)
+        images = _images(requests)
+        # seeded arrival process: the whole load trace is reproducible
+        arrival_rng = np.random.default_rng(SEED + 1)
+        arrivals = np.cumsum(
+            arrival_rng.exponential(1.0 / POISSON_RATE_PER_SEC, requests)
+        )
+
+        config = ServeConfig(
+            max_batch=64, max_wait_ms=2.0, queue_depth=128, workers=2,
+        )
+        daemon = ServingDaemon(config)
+        daemon.register("poisson", str(artifact))
+
+        async def drive() -> int:
+            retries = 0
+
+            async def one(index: int, start: float) -> None:
+                nonlocal retries
+                delay = start + arrivals[index] - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                while True:
+                    try:
+                        await daemon.submit("poisson", images[index])
+                        return
+                    except QueueFullError:
+                        retries += 1
+                        await asyncio.sleep(0.001)
+
+            async with daemon:
+                await daemon.submit("poisson", images[0])  # warm compile
+                start = time.perf_counter()
+                await asyncio.gather(
+                    *(one(i, start) for i in range(requests))
+                )
+            return retries
+
+        retries = asyncio.run(drive())
+
+    snapshot = daemon.snapshot()
+    tenant = snapshot["tenants"]["poisson"]
+    # every admitted request was served (plus the warm-up one)
+    assert tenant["completed"] == requests + 1
+    assert tenant["failed"] == 0
+    # open-loop bursts must actually coalesce: fewer batches than requests
+    assert tenant["batches"] < tenant["completed"]
+    update_bench_artifact(
+        "serving",
+        "poisson_load",
+        {
+            "requests": int(requests),
+            "rate_per_second": POISSON_RATE_PER_SEC,
+            "max_batch": config.max_batch,
+            "max_wait_ms": config.max_wait_ms,
+            "queue_depth": config.queue_depth,
+            "retries": int(retries),
+            "rejected": tenant["rejected"],
+            "batches": tenant["batches"],
+            "mean_batch_size": tenant["mean_batch_size"],
+            "batch_histogram": tenant["batch_histogram"],
+            "latency": tenant["latency"],
+        },
+    )
+    print(
+        f"\npoisson load: {requests} requests at "
+        f"{POISSON_RATE_PER_SEC:.0f}/s -> {tenant['batches']} batches "
+        f"(mean {tenant['mean_batch_size']:.1f}), "
+        f"p50 {tenant['latency']['p50_ms']:.2f} ms, "
+        f"p99 {tenant['latency']['p99_ms']:.2f} ms, "
+        f"{tenant['rejected']} backpressure rejections"
+    )

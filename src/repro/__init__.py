@@ -12,6 +12,9 @@ Subpackages:
   decoding unit) standing in for the paper's Gem5 + ARM A53 platform.
 * :mod:`repro.infer` — plan-based batched packed inference engine:
   deploy artifact -> ``InferencePlan`` -> bit-exact batched serving.
+* :mod:`repro.serve` — async dynamic-batching multi-tenant serving
+  daemon coalescing concurrent single-image requests into the engine's
+  large ``run_batch`` calls.
 * :mod:`repro.sim` — scenario-driven simulation facade unifying the
   hardware stack: declarative ``Scenario`` -> ``Simulator.run`` /
   ``Simulator.sweep`` -> composable ``SimulationReport``.
@@ -21,9 +24,9 @@ Subpackages:
 
 __version__ = "1.2.0"
 
-from . import analysis, bnn, core, deploy, hw, infer, sim, synth
+from . import analysis, bnn, core, deploy, hw, infer, serve, sim, synth
 
 __all__ = [
-    "analysis", "bnn", "core", "deploy", "hw", "infer", "sim", "synth",
-    "__version__",
+    "analysis", "bnn", "core", "deploy", "hw", "infer", "serve", "sim",
+    "synth", "__version__",
 ]

@@ -11,6 +11,7 @@ aligned text report used in EXPERIMENTS.md:
    python -m repro coders          # all registered codecs per block
    python -m repro backends        # simulation backend + model registries
    python -m repro infer --artifact model.npz --batch 64   # serve it
+   python -m repro serve --artifact model.npz --tenant t0  # daemon demo
    python -m repro fig3            # top-16 frequency head
    python -m repro mix             # code-length mix (Sec. VI)
    python -m repro model           # whole-model ratio
@@ -170,6 +171,60 @@ def _cmd_infer(args: argparse.Namespace) -> str:
             f"{stats['evictions']} evictions"
         )
     return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+    import time
+
+    import numpy as np
+
+    from .serve import QueueFullError, ServeConfig, ServingDaemon
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+    )
+    daemon = ServingDaemon(config)
+    daemon.register(
+        args.tenant, args.artifact, cache_size=args.cache_size
+    )
+    input_shape = _artifact_input_shape(args.artifact)
+    rng = np.random.default_rng(args.seed)
+    images = rng.standard_normal(
+        (args.requests, *input_shape)
+    ).astype(np.float32)
+
+    async def _one(index: int, gate: "asyncio.Semaphore") -> None:
+        async with gate:
+            while True:
+                try:
+                    await daemon.submit(args.tenant, images[index])
+                    return
+                except QueueFullError:
+                    # retriable by contract: back off one tick
+                    await asyncio.sleep(0.001)
+
+    async def _drive() -> float:
+        gate = asyncio.Semaphore(args.concurrency)
+        async with daemon:
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(_one(index, gate) for index in range(args.requests))
+            )
+            return time.perf_counter() - start
+
+    seconds = asyncio.run(_drive())
+    snapshot = daemon.snapshot()
+    snapshot["load"] = {
+        "requests": int(args.requests),
+        "concurrency": int(args.concurrency),
+        "seconds": seconds,
+        "requests_per_second": args.requests / seconds if seconds else None,
+    }
+    return json.dumps(snapshot, indent=2)
 
 
 def _artifact_input_shape(path):
@@ -347,6 +402,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "coders": _cmd_coders,
     "backends": _cmd_backends,
     "infer": _cmd_infer,
+    "serve": _cmd_serve,
     "fig3": _cmd_fig3,
     "mix": _cmd_mix,
     "model": _cmd_model,
@@ -376,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("coders", "Sec. III-B: all registered codecs compared per block"),
         ("backends", "list the simulation backend + workload registries"),
         ("infer", "batched packed inference from a deploy artifact"),
+        ("serve", "drive the dynamic-batching daemon; print metrics JSON"),
         ("fig3", "Fig. 3: top-16 bit-sequence frequencies"),
         ("mix", "Sec. VI: share of channels per code length"),
         ("model", "Sec. VI: whole-model compression ratio"),
@@ -468,6 +525,43 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--cache-size", type=int, default=8,
                 help="decoded-kernel LRU capacity for artifact plans",
+            )
+        if name == "serve":
+            sub.add_argument(
+                "--artifact", required=True,
+                help="deploy artifact (.npz) the tenant serves",
+            )
+            sub.add_argument(
+                "--tenant", default="default",
+                help="tenant namespace to register (default 'default')",
+            )
+            sub.add_argument(
+                "--max-batch", type=int, default=32,
+                help="flush a coalesced batch at this size (default 32)",
+            )
+            sub.add_argument(
+                "--max-wait-ms", type=float, default=2.0,
+                help="flush once the oldest request waited this long",
+            )
+            sub.add_argument(
+                "--queue-depth", type=int, default=256,
+                help="per-tenant backpressure bound (default 256)",
+            )
+            sub.add_argument(
+                "--workers", type=int, default=2,
+                help="thread-pool width for batch execution (default 2)",
+            )
+            sub.add_argument(
+                "--cache-size", type=int, default=8,
+                help="decoded-kernel LRU capacity of the tenant's plan",
+            )
+            sub.add_argument(
+                "--requests", type=int, default=64,
+                help="demo-load request count to drive (default 64)",
+            )
+            sub.add_argument(
+                "--concurrency", type=int, default=32,
+                help="concurrent in-flight clients in the demo load",
             )
         if name == "simulate":
             sub.add_argument(

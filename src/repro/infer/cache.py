@@ -1,4 +1,4 @@
-"""Bounded LRU cache for decoded, prepacked kernel operands.
+"""Bounded, thread-safe LRU cache for decoded kernel operands.
 
 An artifact-backed :class:`~repro.infer.plan.InferencePlan` decodes each
 layer's compressed stream only when the layer actually executes, and
@@ -6,10 +6,18 @@ keeps the resulting channel-packed words in a small LRU cache.  This
 mirrors the hardware story: the decoding unit's scratchpad holds a
 bounded working set of decoded kernels, and rarely-used layers are
 re-decoded rather than pinned in memory.
+
+The cache is thread-safe: the serving daemon (:mod:`repro.serve`)
+executes batches on a thread pool, so one plan's cache is hit from
+several worker threads at once.  A single re-entrant lock guards the
+entry map *and* the ``build()`` call — a miss builds exactly once per
+live key even under contention, at the cost of serialising concurrent
+decodes (they would race to do identical work anyway).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -21,7 +29,9 @@ class LruCache:
 
     ``get(key, build)`` returns the cached value, building (and possibly
     evicting) on a miss.  ``hits`` / ``misses`` / ``evictions`` expose
-    the cache behaviour for reports and tests.
+    the cache behaviour for reports and tests.  All operations hold one
+    internal re-entrant lock, so lookups, counter updates and eviction
+    are atomic with respect to concurrent callers.
     """
 
     def __init__(self, maxsize: int = 8) -> None:
@@ -32,37 +42,51 @@ class LruCache:
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # re-entrant so a build() callback may consult the cache it
+        # lives in (e.g. a decode that probes a sibling entry)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, build: Callable[[], Any]) -> Any:
-        """The cached value for ``key``, building it on first use."""
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.misses += 1
-        value = build()
-        self._entries[key] = value
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        return value
+        """The cached value for ``key``, building it on first use.
+
+        Holding the lock across ``build()`` keeps the counters' contract
+        under concurrency identical to the single-threaded one: each key
+        misses (and builds) exactly once while it stays resident, and
+        every other access is a hit.
+        """
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+            value = build()
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return value
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
-        """JSON-ready counter snapshot."""
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        """JSON-ready counter snapshot (taken atomically)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,173 @@
+"""Serving metrics: per-tenant counters, batch shapes, latency quantiles.
+
+Everything the daemon measures is held here, behind one lock, and
+snapshots out as a JSON-ready dictionary (`CLI ``serve`` prints it, the
+load benchmark commits it).  The batch-size histogram is the paper-facing
+metric: it shows how often the dynamic batcher actually reached the
+large ``run_batch`` calls the packed engine (and the hardware decoder it
+models) is built to amortise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyWindow", "TenantMetrics", "ServingMetrics"]
+
+
+def _quantile(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, min(len(sorted_samples) - 1, round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[rank]
+
+
+class LatencyWindow:
+    """A bounded reservoir of request latencies (seconds).
+
+    Keeps the most recent ``maxlen`` samples so a long-running daemon's
+    memory stays bounded; quantiles are computed over the window.
+    """
+
+    def __init__(self, maxlen: int = 8192) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._samples: List[float] = []
+        self._cursor = 0
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if len(self._samples) < self.maxlen:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % self.maxlen
+
+    def summary(self) -> Dict[str, float]:
+        """``count/mean/p50/p99`` (milliseconds for the latency fields)."""
+        window = sorted(self._samples)
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": mean * 1e3,
+            "p50_ms": _quantile(window, 0.50) * 1e3,
+            "p99_ms": _quantile(window, 0.99) * 1e3,
+        }
+
+
+class TenantMetrics:
+    """Counters for one tenant namespace."""
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        self.requests = 0          # admitted into the queue
+        self.rejected = 0          # refused by backpressure
+        self.completed = 0         # logits delivered
+        self.failed = 0            # request futures resolved with an error
+        self.batches = 0           # run_batch calls issued
+        self.hot_swaps = 0         # plan recompiles after version change
+        self.batch_histogram: Dict[int, int] = {}
+        self.latency = LatencyWindow(maxlen=latency_window)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(s * n for s, n in self.batch_histogram.items())
+        return total / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "batches": self.batches,
+            "hot_swaps": self.hot_swaps,
+            "mean_batch_size": self.mean_batch_size,
+            # JSON object keys are strings; sort for stable output
+            "batch_histogram": {
+                str(size): self.batch_histogram[size]
+                for size in sorted(self.batch_histogram)
+            },
+            "latency": self.latency.summary(),
+        }
+
+
+class ServingMetrics:
+    """The daemon-wide metrics registry (thread-safe).
+
+    The daemon mutates counters from the event loop *and* from thread-pool
+    completion callbacks, so every update goes through one lock.  The
+    ``queue_depth`` callback is injected by the daemon so a snapshot can
+    report live per-tenant depths without the metrics object reaching
+    into scheduler state.
+    """
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._latency_window = latency_window
+        self._tenants: Dict[str, TenantMetrics] = {}
+
+    def tenant(self, name: str) -> TenantMetrics:
+        with self._lock:
+            metrics = self._tenants.get(name)
+            if metrics is None:
+                metrics = TenantMetrics(latency_window=self._latency_window)
+                self._tenants[name] = metrics
+            return metrics
+
+    def record_admitted(self, name: str) -> None:
+        with self._lock:
+            self.tenant_unlocked(name).requests += 1
+
+    def record_rejected(self, name: str) -> None:
+        with self._lock:
+            self.tenant_unlocked(name).rejected += 1
+
+    def record_batch(self, name: str, size: int, hot_swapped: bool) -> None:
+        with self._lock:
+            metrics = self.tenant_unlocked(name)
+            metrics.record_batch(size)
+            if hot_swapped:
+                metrics.hot_swaps += 1
+
+    def record_completed(self, name: str, latency_seconds: float) -> None:
+        with self._lock:
+            metrics = self.tenant_unlocked(name)
+            metrics.completed += 1
+            metrics.latency.record(latency_seconds)
+
+    def record_failed(self, name: str) -> None:
+        with self._lock:
+            self.tenant_unlocked(name).failed += 1
+
+    def tenant_unlocked(self, name: str) -> TenantMetrics:
+        """Fetch-or-create without taking the lock (caller holds it)."""
+        metrics = self._tenants.get(name)
+        if metrics is None:
+            metrics = TenantMetrics(latency_window=self._latency_window)
+            self._tenants[name] = metrics
+        return metrics
+
+    def to_dict(
+        self, queue_depths: Optional[Dict[str, int]] = None
+    ) -> Dict:
+        """JSON-ready snapshot of every tenant (plus live queue depths)."""
+        with self._lock:
+            snapshot = {
+                "tenants": {
+                    name: metrics.to_dict()
+                    for name, metrics in sorted(self._tenants.items())
+                },
+            }
+        if queue_depths is not None:
+            snapshot["queue_depth"] = dict(sorted(queue_depths.items()))
+        return snapshot

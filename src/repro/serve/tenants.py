@@ -1,0 +1,167 @@
+"""Per-tenant artifact namespaces with hot-swap on version change.
+
+Each tenant maps to one deploy artifact.  The tenant's
+:class:`~repro.infer.plan.InferencePlan` is compiled lazily on first use
+via :meth:`InferencePlan.from_artifact` and *pinned against the
+artifact's weight version*, the same contract
+:meth:`~repro.bnn.layers.BinaryConv2d.prepare` applies to a live layer's
+packed kernel: the expensive derived form (there: channel-packed words,
+here: a whole compiled plan) is cached against an identity token of the
+weights it was built from, and replacing the weights transparently
+invalidates it.  For an artifact on disk the identity token is a stat
+fingerprint (inode, size, mtime_ns) — re-exporting the artifact bumps
+the version and the tenant's next batch is served from a freshly
+compiled plan.  ``bump()`` forces the swap for callers that publish new
+weights through a side channel the stat fingerprint cannot see (e.g. an
+in-place mmap write).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..infer import InferencePlan
+
+__all__ = ["Tenant", "TenantRegistry", "UnknownTenantError"]
+
+
+class UnknownTenantError(KeyError):
+    """Raised when a request names a tenant that was never registered."""
+
+
+#: (inode, size, mtime_ns) — the artifact's on-disk weight version
+VersionToken = Tuple[int, int, int]
+
+
+def _artifact_version(path: str) -> VersionToken:
+    """Stat fingerprint standing in for the artifact's weight version."""
+    stat = os.stat(path)
+    return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+
+class Tenant:
+    """One serving namespace: an artifact path plus its compiled plan."""
+
+    def __init__(
+        self,
+        name: str,
+        artifact: str,
+        cache_size: int = 8,
+        strategy: str = "gemm",
+    ) -> None:
+        self.name = name
+        self.artifact = str(artifact)
+        self.cache_size = cache_size
+        self.strategy = strategy
+        self._lock = threading.RLock()
+        self._plan: Optional[InferencePlan] = None
+        self._pinned_version: Optional[VersionToken] = None
+        self._forced_stale = False
+        self.swaps = 0  # completed recompiles after the first
+
+    def plan(self) -> Tuple[InferencePlan, bool]:
+        """The current plan, compiling or hot-swapping as needed.
+
+        Returns ``(plan, swapped)`` where ``swapped`` is True when this
+        call replaced a previously served plan (the first lazy compile
+        is not a swap).  Thread-safe: the daemon's executor threads may
+        race a version check; the lock makes compile-and-pin atomic.
+        """
+        with self._lock:
+            version = _artifact_version(self.artifact)
+            if (
+                self._plan is None
+                or self._forced_stale
+                or version != self._pinned_version
+            ):
+                swapped = self._plan is not None
+                self._plan = InferencePlan.from_artifact(
+                    self.artifact,
+                    cache_size=self.cache_size,
+                    strategy=self.strategy,
+                )
+                self._pinned_version = version
+                self._forced_stale = False
+                if swapped:
+                    self.swaps += 1
+                return self._plan, swapped
+            return self._plan, False
+
+    def bump(self) -> None:
+        """Mark the pinned plan stale regardless of the stat fingerprint."""
+        with self._lock:
+            self._forced_stale = True
+
+    def describe(self) -> Dict:
+        """JSON-ready tenant descriptor for the metrics surface."""
+        with self._lock:
+            compiled = self._plan is not None
+            return {
+                "artifact": self.artifact,
+                "cache_size": self.cache_size,
+                "strategy": self.strategy,
+                "compiled": compiled,
+                "swaps": self.swaps,
+                "plan_steps": len(self._plan) if compiled else None,
+                "kernel_cache": (
+                    self._plan.cache_stats() if compiled else None
+                ),
+            }
+
+
+class TenantRegistry:
+    """Name -> :class:`Tenant` map shared by the daemon and the CLI."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, Tenant] = {}
+
+    def register(
+        self,
+        name: str,
+        artifact: str,
+        cache_size: int = 8,
+        strategy: str = "gemm",
+    ) -> Tenant:
+        """Create (or replace) a tenant namespace.
+
+        Registration is cheap — nothing is decoded or compiled until the
+        tenant's first request arrives.  Re-registering a name replaces
+        the namespace wholesale, dropping any compiled plan.
+        """
+        tenant = Tenant(
+            name, artifact, cache_size=cache_size, strategy=strategy
+        )
+        with self._lock:
+            self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownTenantError(
+                f"tenant {name!r} is not registered "
+                f"(known: {sorted(self.names()) or 'none'})"
+            )
+        return tenant
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tenants
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def describe(self) -> Dict[str, Dict]:
+        """JSON-ready descriptor of every namespace."""
+        with self._lock:
+            tenants = dict(self._tenants)
+        return {name: tenant.describe() for name, tenant in sorted(tenants.items())}

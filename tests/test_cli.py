@@ -145,6 +145,45 @@ class TestInferCommand:
         assert "reference" in capsys.readouterr().out
 
 
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--artifact", "m.npz"])
+        assert args.artifact == "m.npz"
+        assert args.tenant == "default"
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 2.0
+        assert args.queue_depth == 256
+
+    def test_artifact_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_prints_metrics_json(self, capsys, tmp_path):
+        from repro.bnn.reactnet import build_small_bnn
+        from repro.deploy import save_compressed_model
+
+        model = build_small_bnn(
+            in_channels=1, num_classes=4, image_size=8, channels=(8, 16),
+            seed=5,
+        )
+        model.eval()
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        assert main(
+            ["serve", "--artifact", str(path), "--tenant", "edge",
+             "--requests", "12", "--concurrency", "4", "--max-batch", "4"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        tenant = payload["tenants"]["edge"]
+        assert tenant["completed"] == 12
+        assert tenant["failed"] == 0
+        assert sum(tenant["batch_histogram"].values()) == tenant["batches"]
+        assert payload["load"]["requests"] == 12
+        assert payload["load"]["requests_per_second"] > 0
+        assert payload["config"]["max_batch"] == 4
+        assert payload["registry"]["edge"]["compiled"] is True
+
+
 class TestSimulateCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["simulate"])

@@ -259,6 +259,77 @@ class TestLruCache:
         with pytest.raises(ValueError):
             LruCache(maxsize=0)
 
+    def test_concurrent_access_builds_once_per_live_key(self):
+        """Serving threads hammering one cache never double-build a key."""
+        import random
+        import threading
+        from collections import Counter
+
+        cache = LruCache(maxsize=64)
+        builds = Counter()  # mutated under the cache's own lock
+        threads, gets_per_thread, keys = 8, 200, 16
+        barrier = threading.Barrier(threads)
+
+        def build(key):
+            builds[key] += 1
+            return key * 10
+
+        def worker(seed):
+            rng = random.Random(seed)
+            barrier.wait()
+            for _ in range(gets_per_thread):
+                key = rng.randrange(keys)
+                assert cache.get(key, lambda k=key: build(k)) == key * 10
+
+        pool = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        # no evictions (keys < maxsize), so every key built exactly once
+        assert set(builds.values()) == {1}
+        stats = cache.stats()
+        assert stats["evictions"] == 0
+        assert stats["misses"] == len(builds) == stats["size"]
+        assert stats["hits"] + stats["misses"] == threads * gets_per_thread
+
+    def test_concurrent_eviction_keeps_counters_consistent(self):
+        import random
+        import threading
+
+        cache = LruCache(maxsize=4)
+        total = {"builds": 0}
+
+        def worker(seed):
+            rng = random.Random(seed)
+            for _ in range(300):
+                key = rng.randrange(32)
+
+                def build():
+                    total["builds"] += 1
+                    return key
+
+                assert cache.get(key, build) == key
+
+        pool = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(6)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        stats = cache.stats()
+        assert len(cache) <= 4
+        assert stats["misses"] == total["builds"]
+        assert stats["hits"] + stats["misses"] == 6 * 300
+        assert stats["evictions"] == stats["misses"] - stats["size"]
+
 
 # ----------------------------------------------------------------------
 # Plan compilation + execution
