@@ -1,0 +1,159 @@
+"""Sharded-store benchmark: dedup ratio, shard fetch, serving parity.
+
+The acceptance gate for the content-addressed artifact store
+(:mod:`repro.store`): two model versions sharing layers must measurably
+deduplicate (> 0 shared blob keys, so an incremental retrain publishes
+only the changed layers), a store-backed
+:meth:`~repro.infer.plan.InferencePlan` must serve logits bit-identical
+to the monolithic-artifact plan, and shard fetches must stay *lazy* —
+compiling and serving a plan reads only the blobs of the layers it
+executes, which is what lets a fleet worker host a slice of a model.
+
+Results land in ``BENCH_store.json`` (see ``benchmarks/conftest.py``)
+so the storage trajectory is tracked across PRs.  ``BENCH_REDUCED=1``
+shrinks the serving workload for CI smoke runs.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_reduced, update_bench_artifact
+
+from repro.bnn.reactnet import build_small_bnn
+from repro.deploy import (
+    ArtifactReader,
+    load_compressed_model,
+    save_compressed_model,
+)
+from repro.infer import InferencePlan
+from repro.store import ArtifactStore
+
+CHANNELS = (16, 32)
+IMAGE_SIZE = 8
+NUM_CLASSES = 10
+
+FULL_IMAGES = 256
+REDUCED_IMAGES = 64
+
+
+def _model():
+    model = build_small_bnn(
+        in_channels=1, num_classes=NUM_CLASSES, image_size=IMAGE_SIZE,
+        channels=CHANNELS, seed=0,
+    )
+    model.eval()
+    return model
+
+
+def _images(count: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.standard_normal(
+        (count, 1, IMAGE_SIZE, IMAGE_SIZE)
+    ).astype(np.float32)
+
+
+def _publish_two_versions(root: Path):
+    """v1, then v2 with one retrained conv — the incremental-deploy shape."""
+    store = ArtifactStore(root / "store")
+    model = _model()
+    npz = root / "model_v1.npz"
+    save_compressed_model(model, npz)
+
+    start = time.perf_counter()
+    ref_v1 = store.import_artifact(npz, name="v1")
+    import_seconds = time.perf_counter() - start
+
+    # "retrain" one 3x3 conv; every other layer's bytes are unchanged
+    conv = model.binary_conv_layers(3)[0]
+    conv.set_weight_bits(1 - conv.binary_weight_bits())
+    save_compressed_model(model, f"{store.root}#v2")
+    return store, npz, ref_v1, store.ref("v2"), import_seconds
+
+
+def test_versions_sharing_layers_deduplicate():
+    """> 0 shared blob keys between v1 and v2; dedup ratio recorded."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store, npz, ref_v1, ref_v2, import_seconds = _publish_two_versions(
+            Path(tmp)
+        )
+        described = store.describe()
+        v1, v2 = described["models"]["v1"], described["models"]["v2"]
+        totals = described["totals"]
+
+        assert v1["manifest"] != v2["manifest"]  # it *is* a new version
+        shared = v2["shared_blobs"]
+        assert shared > 0, "versions sharing layers must share blobs"
+        assert totals["dedup_ratio"] > 1.0
+
+        monolithic_bytes = 2 * npz.stat().st_size
+        update_bench_artifact(
+            "store",
+            "dedup",
+            {
+                "versions": 2,
+                "unique_blobs": totals["blobs"],
+                "referenced_keys": totals["referenced_keys"],
+                "dedup_ratio": totals["dedup_ratio"],
+                "shared_blobs_v1_v2": shared,
+                "store_bytes": totals["bytes"],
+                "two_monolithic_artifacts_bytes": monolithic_bytes,
+                "import_seconds": import_seconds,
+            },
+        )
+
+
+def test_store_plan_bitexact_and_lazy():
+    """Store-backed serving: bit-identical logits, layer-lazy fetches."""
+    reduced = bench_reduced()
+    images = _images(REDUCED_IMAGES if reduced else FULL_IMAGES)
+    with tempfile.TemporaryDirectory() as tmp:
+        store, npz, ref_v1, ref_v2, _ = _publish_two_versions(Path(tmp))
+
+        reader = ArtifactReader(str(ref_v1))
+        media = reader.arrays.blobs  # the reader's own BlobStore counters
+
+        start = time.perf_counter()
+        plan_store = InferencePlan.from_artifact(reader)
+        compile_seconds = time.perf_counter() - start
+        compile_reads = media.reads
+
+        start = time.perf_counter()
+        logits_store = plan_store.run_batch(images, batch_size=32)
+        serve_seconds = time.perf_counter() - start
+        total_reads = media.reads
+
+        plan_npz = InferencePlan.from_artifact(npz)
+        logits_npz = plan_npz.run_batch(images, batch_size=32)
+        oracle = load_compressed_model(npz).forward_batched(
+            images, batch_size=32
+        )
+        assert np.array_equal(logits_store, logits_npz)
+        assert np.array_equal(logits_store, oracle)
+
+        # laziness: media traffic is bounded by the manifest's blob count
+        # (compile touches only the float glue; conv blobs arrive on
+        # demand as their layers first execute)
+        manifest_blobs = store.describe()["models"]["v1"]["blobs"]
+        assert total_reads <= manifest_blobs
+        assert compile_reads < total_reads
+
+        update_bench_artifact(
+            "store",
+            "serving",
+            {
+                "images": int(images.shape[0]),
+                "compile_seconds": compile_seconds,
+                "serve_seconds": serve_seconds,
+                "images_per_second": images.shape[0] / serve_seconds,
+                "blob_reads_compile": compile_reads,
+                "blob_reads_total": total_reads,
+                "manifest_blobs": manifest_blobs,
+                "bytes_read": media.bytes_read,
+                "logits_bitexact_vs_monolithic": True,
+                "logits_bitexact_vs_oracle": True,
+                "kernel_cache": plan_store.cache_stats(),
+            },
+        )

@@ -3,7 +3,9 @@
 The downstream-user path: a trained BNN is serialised into a single
 artifact with compressed 3x3 kernels (the paper's scheme), bit-packed
 1x1 kernels and 8-bit stem/head weights, then reloaded through the real
-stream decoder and evaluated.
+stream decoder and evaluated.  The second half shards the same artifact
+into a content-addressed ``ArtifactStore`` and publishes an incremental
+"retrain" to show the dedup + ref-flip rollout story.
 
 Run:  python examples/deploy_model.py
 """
@@ -24,6 +26,8 @@ from repro.deploy import (
     load_compressed_model,
     save_compressed_model,
 )
+from repro.infer import InferencePlan
+from repro.store import ArtifactStore
 
 
 def main() -> None:
@@ -58,6 +62,29 @@ def main() -> None:
         accuracy = evaluate_accuracy(loaded, dataset.test_x, dataset.test_y)
         print(f"reloaded model: test accuracy {accuracy:.1%} "
               "(kernels decoded from the compressed streams)")
+
+        # --- sharded publishing: the fleet-scale artifact story ------
+        store = ArtifactStore(Path(tmp) / "store")
+        store.import_artifact(path, name="v1")
+
+        # an incremental "retrain": one conv changes, the rest dedups
+        conv = model.binary_conv_layers(3)[0]
+        conv.set_weight_bits(1 - conv.binary_weight_bits())
+        save_compressed_model(
+            model, f"{store.root}#v2",
+            clustering=ClusteringConfig(num_common=64, num_rare=400),
+        )
+        described = store.describe()
+        totals, v2 = described["totals"], described["models"]["v2"]
+        print(f"store: 2 versions, {totals['blobs']} unique blobs, "
+              f"dedup {totals['dedup_ratio']:.2f}x "
+              f"({v2['shared_blobs']} of v2's blobs shared with v1)")
+
+        # rollout = ref flip; the store ref serves like any artifact path
+        plan = InferencePlan.from_artifact(f"{store.root}#v2")
+        logits = plan.run_batch(dataset.test_x[:8])
+        print(f"served v2 from the store: logits {logits.shape} "
+              f"(version {store.resolve('v2')[:12]})")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,9 @@ Subpackages:
 * :mod:`repro.serve` — async dynamic-batching multi-tenant serving
   daemon coalescing concurrent single-image requests into the engine's
   large ``run_batch`` calls.
+* :mod:`repro.store` — content-addressed sharded artifact store:
+  per-layer blobs under SHA-256 keys, manifests as weight versions,
+  dedup across model versions, pinning and GC.
 * :mod:`repro.sim` — scenario-driven simulation facade unifying the
   hardware stack: declarative ``Scenario`` -> ``Simulator.run`` /
   ``Simulator.sweep`` -> composable ``SimulationReport``.
@@ -24,9 +27,9 @@ Subpackages:
 
 __version__ = "1.2.0"
 
-from . import analysis, bnn, core, deploy, hw, infer, serve, sim, synth
+from . import analysis, bnn, core, deploy, hw, infer, serve, sim, store, synth
 
 __all__ = [
     "analysis", "bnn", "core", "deploy", "hw", "infer", "serve", "sim",
-    "synth", "__version__",
+    "store", "synth", "__version__",
 ]

@@ -12,6 +12,9 @@ aligned text report used in EXPERIMENTS.md:
    python -m repro backends        # simulation backend + model registries
    python -m repro infer --artifact model.npz --batch 64   # serve it
    python -m repro serve --artifact model.npz --tenant t0  # daemon demo
+   python -m repro store import model.npz --store ./models # shard it
+   python -m repro store ls --store ./models               # inventory
+   python -m repro store gc --store ./models               # sweep blobs
    python -m repro fig3            # top-16 frequency head
    python -m repro mix             # code-length mix (Sec. VI)
    python -m repro model           # whole-model ratio
@@ -249,6 +252,71 @@ def _artifact_input_shape(path):
     return (1 if in_channels is None else in_channels, side, side)
 
 
+def _cmd_store(args: argparse.Namespace) -> str:
+    from .analysis.report import render_table
+    from .store import ArtifactStore
+
+    if args.action == "import":
+        if not args.target:
+            raise SystemExit("store import needs an artifact path")
+        store = ArtifactStore(args.store)
+        ref = store.import_artifact(args.target, name=args.name)
+        info = store.describe()["models"][ref.name]
+        return (
+            f"imported {args.target} as {ref}\n"
+            f"manifest {info['manifest'][:12]}: {info['layers']} layers, "
+            f"{info['blobs']} blobs ({info['bytes']} bytes), "
+            f"{info['shared_blobs']} shared with other models"
+        )
+    store = ArtifactStore(args.store, create=False)
+    if args.action == "ls":
+        described = store.describe()
+        rows = [
+            (
+                name,
+                info["manifest"][:12],
+                str(info["layers"]),
+                str(info["blobs"]),
+                str(info["bytes"]),
+                str(info["shared_blobs"]),
+            )
+            for name, info in sorted(described["models"].items())
+        ]
+        totals = described["totals"]
+        table = render_table(
+            ("model", "manifest", "layers", "blobs", "bytes", "shared"),
+            rows,
+            title=f"store {described['root']}",
+        )
+        return (
+            f"{table}\n"
+            f"totals: {totals['blobs']} blobs, {totals['bytes']} bytes, "
+            f"{totals['manifests']} manifests, "
+            f"dedup {totals['dedup_ratio']:.2f}x "
+            f"({totals['referenced_keys']} refs -> "
+            f"{totals['unique_referenced_keys']} unique)"
+        )
+    if args.action == "gc":
+        result = store.gc()
+        return (
+            f"gc: removed {len(result.removed_blobs)} blobs, "
+            f"{len(result.removed_manifests)} manifests "
+            f"(kept {result.kept_blobs}, pinned {result.pinned_blobs})"
+        )
+    if not args.target:
+        raise SystemExit(f"store {args.action} needs a model name or blob key")
+    if args.action == "pin":
+        kind = store.pin(args.target)
+        return f"pinned {kind} {args.target}"
+    if args.action == "unpin":
+        store.unpin(args.target)
+        return f"unpinned {args.target}"
+    if args.action == "rm":
+        store.remove(args.target)
+        return f"removed ref {args.target} (blobs remain until gc)"
+    raise SystemExit(f"unknown store action {args.action!r}")
+
+
 def _cmd_fig3(args: argparse.Namespace) -> str:
     from .analysis.distribution import measure_fig3, render_fig3
 
@@ -403,6 +471,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "backends": _cmd_backends,
     "infer": _cmd_infer,
     "serve": _cmd_serve,
+    "store": _cmd_store,
     "fig3": _cmd_fig3,
     "mix": _cmd_mix,
     "model": _cmd_model,
@@ -433,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("backends", "list the simulation backend + workload registries"),
         ("infer", "batched packed inference from a deploy artifact"),
         ("serve", "drive the dynamic-batching daemon; print metrics JSON"),
+        ("store", "content-addressed artifact store: import/ls/gc/pin"),
         ("fig3", "Fig. 3: top-16 bit-sequence frequencies"),
         ("mix", "Sec. VI: share of channels per code length"),
         ("model", "Sec. VI: whole-model compression ratio"),
@@ -502,7 +572,8 @@ def build_parser() -> argparse.ArgumentParser:
 
             sub.add_argument(
                 "--artifact", default=None,
-                help="deploy artifact (.npz) to serve; omit to build the "
+                help="deploy artifact to serve (.npz path or "
+                     "<store-dir>#<name> ref); omit to build the "
                      "--model in process",
             )
             sub.add_argument(
@@ -526,10 +597,31 @@ def build_parser() -> argparse.ArgumentParser:
                 "--cache-size", type=int, default=8,
                 help="decoded-kernel LRU capacity for artifact plans",
             )
+        if name == "store":
+            sub.add_argument(
+                "action",
+                choices=("import", "ls", "gc", "pin", "unpin", "rm"),
+                help="store operation to perform",
+            )
+            sub.add_argument(
+                "target", nargs="?", default=None,
+                help="artifact path (import) or model name / blob key "
+                     "(pin/unpin/rm)",
+            )
+            sub.add_argument(
+                "--store", required=True,
+                help="store root directory",
+            )
+            sub.add_argument(
+                "--name", default=None,
+                help="model name to register on import (default: the "
+                     "artifact's own model name)",
+            )
         if name == "serve":
             sub.add_argument(
                 "--artifact", required=True,
-                help="deploy artifact (.npz) the tenant serves",
+                help="deploy artifact (.npz path or <store-dir>#<name> "
+                     "ref) the tenant serves",
             )
             sub.add_argument(
                 "--tenant", default="default",

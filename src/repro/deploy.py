@@ -11,6 +11,14 @@ The container is a numpy ``.npz`` with a JSON manifest describing each
 layer, so artifacts are portable and inspectable.  ``artifact_report``
 compares the artifact's on-device footprint against the uncompressed
 deployment, reproducing the paper's model-level 1.2x at file level.
+
+Artifacts also have a *sharded* form: passing a
+``<store-dir>#<name>`` ref (see :mod:`repro.store`) to
+:func:`save_compressed_model` publishes each layer as one
+content-addressed blob plus a manifest, and :class:`ArtifactReader`
+accepts the same ref, fetching layer blobs lazily so a worker reads
+only the layers it executes.  Both forms carry the identical manifest
+schema and decode bit-identically.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from .core.clustering import ClusteringConfig
 from .core.codec import SimplifiedTreeCodec
 from .core.pipeline import CompressionPipeline, PipelineConfig
 from .core.streams import CompressedKernel
+from .store.blobs import StoreRef
 from .bnn.quantize import dequantize_tensor, quantize_tensor, QuantizedTensor
 
 __all__ = [
@@ -67,22 +76,18 @@ def _unpack_bit_tensor(packed: np.ndarray, shape: List[int]) -> np.ndarray:
     return bits.reshape(shape)
 
 
-def save_compressed_model(
+def _serialise_model(
     model: Sequential,
-    path,
     clustering: Optional[ClusteringConfig] = None,
     codec: str = "simplified",
     codec_params: Optional[Dict] = None,
-) -> None:
-    """Serialise ``model`` at deployed precision into ``path`` (.npz).
+) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Lower ``model`` to its artifact form: ``(header, arrays)``.
 
-    All 3x3 binary convolutions are compressed through one
-    :class:`~repro.core.pipeline.CompressionPipeline` per conv (each conv
-    is one "block" in the paper's sense); 1x1 binary kernels are
-    bit-packed; 8-bit layers are actually quantised; everything else is
-    stored as float32.  The codec and its parameters are recorded in the
-    artifact manifest.  Only tree-based codecs can be serialised — the
-    stream container is the hardware decoder's configuration structure.
+    The shared serialisation substrate under both artifact containers:
+    the monolithic ``.npz`` writes ``arrays`` plus the JSON ``header``
+    as one file, the sharded store packs each layer's arrays into a
+    content-addressed blob and records the header as a manifest.
     """
     config = PipelineConfig(
         codec=codec, codec_params=dict(codec_params or {}),
@@ -193,6 +198,43 @@ def save_compressed_model(
             "num_rare": clustering.num_rare,
             "max_distance": clustering.max_distance,
         }
+    return header, arrays
+
+
+def save_compressed_model(
+    model: Sequential,
+    path,
+    clustering: Optional[ClusteringConfig] = None,
+    codec: str = "simplified",
+    codec_params: Optional[Dict] = None,
+) -> Optional[StoreRef]:
+    """Serialise ``model`` at deployed precision into ``path``.
+
+    All 3x3 binary convolutions are compressed through one
+    :class:`~repro.core.pipeline.CompressionPipeline` per conv (each conv
+    is one "block" in the paper's sense); 1x1 binary kernels are
+    bit-packed; 8-bit layers are actually quantised; everything else is
+    stored as float32.  The codec and its parameters are recorded in the
+    artifact manifest.  Only tree-based codecs can be serialised — the
+    stream container is the hardware decoder's configuration structure.
+
+    ``path`` is either an ``.npz`` file path (the monolithic container)
+    or a ``<store-dir>#<name>`` ref, in which case the model is
+    published *sharded* into that :class:`~repro.store.ArtifactStore` —
+    one content-addressed blob per layer, deduplicated against whatever
+    the store already holds — and the resulting ref is returned.
+    """
+    header, arrays = _serialise_model(
+        model, clustering=clustering, codec=codec, codec_params=codec_params
+    )
+    ref = StoreRef.coerce(path)
+    if ref is not None:
+        from .store import ArtifactStore
+
+        return ArtifactStore(ref.root).put_model(
+            header, arrays, name=ref.name
+        )
+    arrays = dict(arrays)
     arrays["manifest"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
@@ -261,21 +303,38 @@ class ArtifactReader:
     """Random-access view of one deploy artifact.
 
     The shared substrate under :func:`load_compressed_model` (which
-    rebuilds a whole runnable model eagerly) and
+    rebuilds a whole runnable model eagerly),
     :meth:`repro.infer.plan.InferencePlan.from_artifact` (which lowers
     the artifact into a batched serving plan, decoding compressed kernel
-    streams lazily).  The manifest is validated once here; per-layer
-    accessors then work off the in-memory array dictionary.
+    streams lazily) and :func:`artifact_report`.  The manifest is
+    validated once here; per-layer accessors then work off the array
+    mapping.
+
+    ``source`` is a monolithic ``.npz`` path (arrays loaded eagerly) or
+    a ``<store-dir>#<name>`` ref / :class:`~repro.store.StoreRef` into a
+    sharded :class:`~repro.store.ArtifactStore`, in which case the array
+    mapping is *lazy*: indexing an array mmap-faults in only that
+    layer's blob, so a reader that touches three layers reads three
+    blobs.
     """
 
-    def __init__(self, path) -> None:
-        with np.load(path) as arrays:
-            self.arrays: Dict[str, np.ndarray] = {
-                name: arrays[name] for name in arrays.files
-            }
-        self.header: Dict = json.loads(
-            bytes(self.arrays["manifest"]).decode("utf-8")
-        )
+    def __init__(self, source) -> None:
+        ref = StoreRef.coerce(source)
+        if ref is not None:
+            from .store import ArtifactStore, ShardedArrays
+
+            store = ArtifactStore(ref.root, create=False)
+            self.header: Dict = store.manifest(ref.name)
+            self.arrays = ShardedArrays(store.blobs, self.header)
+        else:
+            with np.load(source) as arrays:
+                self.arrays: Dict[str, np.ndarray] = {
+                    name: arrays[name] for name in arrays.files
+                }
+            self.header = json.loads(
+                bytes(self.arrays["manifest"]).decode("utf-8")
+            )
+        self.source = source
         if self.header["format_version"] not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported artifact version {self.header['format_version']}"
@@ -295,6 +354,14 @@ class ArtifactReader:
     def key(entry: Dict) -> str:
         """Array-name prefix of one manifest entry."""
         return f"layer{entry['index']}"
+
+    def array_names(self, entry: Dict) -> List[str]:
+        """Names of the arrays stored for one manifest entry."""
+        key = self.key(entry)
+        if "fields" in entry:  # sharded manifests list fields explicitly
+            return [f"{key}.{name}" for name in entry["fields"]]
+        prefix = f"{key}."
+        return [name for name in self.arrays if name.startswith(prefix)]
 
     def stream_blob(self, entry: Dict) -> bytes:
         """Raw compressed-stream bytes of a ``compressed3x3`` entry."""
@@ -375,34 +442,36 @@ class ArtifactReport:
 
 
 def artifact_report(path) -> ArtifactReport:
-    """Measure an artifact's 3x3 payload against its uncompressed size."""
+    """Measure an artifact's 3x3 payload against its uncompressed size.
+
+    Routed through :class:`ArtifactReader` so the manifest is format-
+    validated first — an unsupported-version artifact raises instead of
+    silently yielding a report — and so monolithic ``.npz`` files and
+    sharded store refs report identically.
+    """
+    reader = ArtifactReader(path)
     compressed_bits = 0
     uncompressed_bits = 0
     other_bits = 0
-    with np.load(path) as arrays:
-        header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
-        for entry in header["layers"]:
-            key = f"layer{entry['index']}"
-            storage = entry.get("storage")
-            if storage == "compressed3x3":
-                stream = CompressedKernel.from_bytes(
-                    arrays[f"{key}.stream"].tobytes()
-                )
-                compressed_bits += stream.bit_length
-                # node tables ride in the decoding unit's scratchpad
-                compressed_bits += sum(
-                    len(t) * 16 for t in stream.node_tables
-                )
-                uncompressed_bits += stream.raw_bits
-            elif storage == "packed_binary":
-                other_bits += int(np.prod(entry["bit_shape"]))
-            elif storage == "quantised":
-                other_bits += arrays[f"{key}.qweight"].size * 8
-                other_bits += arrays[f"{key}.bias"].size * 32
-            elif storage == "float32":
-                for name in arrays.files:
-                    if name.startswith(f"{key}."):
-                        other_bits += arrays[name].size * 32
+    for entry in reader.entries:
+        key = reader.key(entry)
+        storage = entry.get("storage")
+        if storage == "compressed3x3":
+            stream = CompressedKernel.from_bytes(reader.stream_blob(entry))
+            compressed_bits += stream.bit_length
+            # node tables ride in the decoding unit's scratchpad
+            compressed_bits += sum(
+                len(t) * 16 for t in stream.node_tables
+            )
+            uncompressed_bits += stream.raw_bits
+        elif storage == "packed_binary":
+            other_bits += int(np.prod(entry["bit_shape"]))
+        elif storage == "quantised":
+            other_bits += reader.arrays[f"{key}.qweight"].size * 8
+            other_bits += reader.arrays[f"{key}.bias"].size * 32
+        elif storage == "float32":
+            for name in reader.array_names(entry):
+                other_bits += reader.arrays[name].size * 32
     return ArtifactReport(
         compressed_payload_bits=compressed_bits,
         uncompressed_payload_bits=uncompressed_bits,

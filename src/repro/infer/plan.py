@@ -344,16 +344,23 @@ class InferencePlan:
     ) -> "InferencePlan":
         """Lower a deploy artifact straight into a serving plan.
 
+        ``path`` is a monolithic ``.npz`` file, a ``<store-dir>#<name>``
+        ref into a sharded :class:`~repro.store.ArtifactStore` (blobs
+        are then fetched lazily — a worker decodes only the layers it
+        executes), or an already-open
+        :class:`~repro.deploy.ArtifactReader`.
+
         Binary conv entries become packed steps whose kernel operands
         are decoded from the stored streams *on demand* and kept in an
         LRU cache of ``cache_size`` layers (the gemm strategy's sign
         matrix rides in the same cache entry, so eviction bounds both
-        representations); the float glue is rebuilt
+        representations; per-key build locks let concurrent workers
+        decode different layers in parallel); the float glue is rebuilt
         through :class:`~repro.deploy.ArtifactReader` exactly as
         :func:`~repro.deploy.load_compressed_model` would, so the plan's
         logits match the reloaded model's reference forward bit for bit.
         """
-        reader = ArtifactReader(path)
+        reader = path if isinstance(path, ArtifactReader) else ArtifactReader(path)
         cache = LruCache(maxsize=cache_size)
         steps: List[PlanStep] = []
         entries = reader.entries

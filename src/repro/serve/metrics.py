@@ -10,6 +10,7 @@ models) is built to amortise.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, List, Optional
 
@@ -17,18 +18,30 @@ __all__ = ["LatencyWindow", "TenantMetrics", "ServingMetrics"]
 
 
 def _quantile(sorted_samples: List[float], q: float) -> float:
-    """Nearest-rank quantile over an already-sorted sample list."""
+    """Ceil-based nearest-rank quantile over a sorted sample list.
+
+    Rounding the rank *up* keeps small windows honest: latency
+    quantiles are "at least this fraction of requests were at or below"
+    claims, so ties between two samples must resolve to the larger one
+    (p50 of a 2-sample window is the upper sample, p99 never
+    under-reports the tail).  ``round()`` here was a bug — banker's
+    rounding sent p50 of ``[a, b]`` to ``a``.
+    """
     if not sorted_samples:
         return 0.0
-    rank = max(0, min(len(sorted_samples) - 1, round(q * (len(sorted_samples) - 1))))
-    return sorted_samples[rank]
+    rank = math.ceil(q * (len(sorted_samples) - 1))
+    return sorted_samples[max(0, min(len(sorted_samples) - 1, rank))]
 
 
 class LatencyWindow:
     """A bounded reservoir of request latencies (seconds).
 
     Keeps the most recent ``maxlen`` samples so a long-running daemon's
-    memory stays bounded; quantiles are computed over the window.
+    memory stays bounded.  Mean and quantiles are all computed over the
+    window, so after ring-buffer wraparound they still describe one
+    population (a lifetime mean next to window quantiles drifted apart
+    as old samples aged out); ``count``/``total`` keep the lifetime
+    tallies separately.
     """
 
     def __init__(self, maxlen: int = 8192) -> None:
@@ -50,11 +63,17 @@ class LatencyWindow:
             self._cursor = (self._cursor + 1) % self.maxlen
 
     def summary(self) -> Dict[str, float]:
-        """``count/mean/p50/p99`` (milliseconds for the latency fields)."""
+        """Window-consistent ``mean/p50/p99`` plus lifetime ``count``.
+
+        ``count`` is the lifetime admission tally; ``window_count``,
+        ``mean_ms``, ``p50_ms`` and ``p99_ms`` all describe the same
+        population — the most recent ``window_count`` samples.
+        """
         window = sorted(self._samples)
-        mean = self.total / self.count if self.count else 0.0
+        mean = sum(window) / len(window) if window else 0.0
         return {
             "count": self.count,
+            "window_count": len(window),
             "mean_ms": mean * 1e3,
             "p50_ms": _quantile(window, 0.50) * 1e3,
             "p99_ms": _quantile(window, 0.99) * 1e3,

@@ -1,6 +1,8 @@
 """Per-tenant artifact namespaces with hot-swap on version change.
 
-Each tenant maps to one deploy artifact.  The tenant's
+Each tenant maps to one deploy artifact — a monolithic ``.npz`` path or
+a ``<store-dir>#<name>`` ref into a sharded
+:class:`~repro.store.ArtifactStore`.  The tenant's
 :class:`~repro.infer.plan.InferencePlan` is compiled lazily on first use
 via :meth:`InferencePlan.from_artifact` and *pinned against the
 artifact's weight version*, the same contract
@@ -8,21 +10,35 @@ artifact's weight version*, the same contract
 packed kernel: the expensive derived form (there: channel-packed words,
 here: a whole compiled plan) is cached against an identity token of the
 weights it was built from, and replacing the weights transparently
-invalidates it.  For an artifact on disk the identity token is a stat
-fingerprint (inode, size, mtime_ns) — re-exporting the artifact bumps
-the version and the tenant's next batch is served from a freshly
-compiled plan.  ``bump()`` forces the swap for callers that publish new
-weights through a side channel the stat fingerprint cannot see (e.g. an
-in-place mmap write).
+invalidates it.
+
+The identity token is a *content hash*.  For a store ref it is the
+manifest hash the ref resolves to (an O(1) read — flipping the ref is
+the deploy).  For a monolithic file it is the SHA-256 of the file's
+bytes, with the stat fingerprint kept only as a rehash-avoidance hint:
+if ``(inode, size, mtime_ns)`` is unchanged the cached digest stands,
+otherwise the file is re-hashed.  This fixes both failure modes of the
+old stat-only token: a copy-based deploy of *identical* bytes (new
+inode, new mtime) hashes to the same version and does **not** recompile,
+and a same-size in-place rewrite *does* swap because the content digest
+changes.  ``bump()`` still forces a swap for side channels no probe can
+see (e.g. an in-place mmap write that preserves the stat).
+
+A probe failure (the artifact mid-replace during an unlink-then-rename
+deploy) no longer takes down in-flight traffic: when a compiled plan
+exists the tenant keeps serving it and retries the probe on the next
+batch; only a tenant with nothing compiled propagates the error.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 from typing import Dict, List, Optional, Tuple
 
 from ..infer import InferencePlan
+from ..store import ArtifactStore, StoreRef
 
 __all__ = ["Tenant", "TenantRegistry", "UnknownTenantError"]
 
@@ -31,18 +47,32 @@ class UnknownTenantError(KeyError):
     """Raised when a request names a tenant that was never registered."""
 
 
-#: (inode, size, mtime_ns) — the artifact's on-disk weight version
-VersionToken = Tuple[int, int, int]
+#: content hash standing in for the artifact's weight version — the
+#: manifest hash for store refs, the file digest for monolithic files
+VersionToken = str
+
+#: stat triple used only to skip re-hashing an unchanged file
+_StatHint = Tuple[int, int, int]
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _artifact_version(path: str) -> VersionToken:
-    """Stat fingerprint standing in for the artifact's weight version."""
-    stat = os.stat(path)
-    return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+    """Content hash of the artifact (uncached; see ``Tenant._probe``)."""
+    ref = StoreRef.coerce(path)
+    if ref is not None:
+        return ArtifactStore(ref.root, create=False).resolve(ref.name)
+    return _file_sha256(path)
 
 
 class Tenant:
-    """One serving namespace: an artifact path plus its compiled plan."""
+    """One serving namespace: an artifact source plus its compiled plan."""
 
     def __init__(
         self,
@@ -58,8 +88,27 @@ class Tenant:
         self._lock = threading.RLock()
         self._plan: Optional[InferencePlan] = None
         self._pinned_version: Optional[VersionToken] = None
+        self._stat_hint: Optional[_StatHint] = None
+        self._hashed_version: Optional[VersionToken] = None
         self._forced_stale = False
         self.swaps = 0  # completed recompiles after the first
+
+    def _probe(self) -> VersionToken:
+        """The artifact's current content version (caller holds the lock).
+
+        Store refs resolve to their manifest hash directly.  Monolithic
+        files re-hash only when the stat fingerprint moved, so steady
+        traffic pays one ``stat()`` per batch, not one digest.
+        """
+        ref = StoreRef.coerce(self.artifact)
+        if ref is not None:
+            return ArtifactStore(ref.root, create=False).resolve(ref.name)
+        stat = os.stat(self.artifact)
+        hint = (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+        if hint != self._stat_hint or self._hashed_version is None:
+            self._hashed_version = _file_sha256(self.artifact)
+            self._stat_hint = hint
+        return self._hashed_version
 
     def plan(self) -> Tuple[InferencePlan, bool]:
         """The current plan, compiling or hot-swapping as needed.
@@ -68,9 +117,17 @@ class Tenant:
         call replaced a previously served plan (the first lazy compile
         is not a swap).  Thread-safe: the daemon's executor threads may
         race a version check; the lock makes compile-and-pin atomic.
+        When the version probe fails (e.g. the artifact is mid-replace
+        in an unlink-then-rename deploy) an already-compiled plan keeps
+        serving and the probe is retried on the next call.
         """
         with self._lock:
-            version = _artifact_version(self.artifact)
+            try:
+                version = self._probe()
+            except (OSError, KeyError):
+                if self._plan is not None:
+                    return self._plan, False
+                raise
             if (
                 self._plan is None
                 or self._forced_stale
@@ -90,7 +147,7 @@ class Tenant:
             return self._plan, False
 
     def bump(self) -> None:
-        """Mark the pinned plan stale regardless of the stat fingerprint."""
+        """Mark the pinned plan stale regardless of the content probe."""
         with self._lock:
             self._forced_stale = True
 
@@ -104,6 +161,7 @@ class Tenant:
                 "strategy": self.strategy,
                 "compiled": compiled,
                 "swaps": self.swaps,
+                "version": self._pinned_version,
                 "plan_steps": len(self._plan) if compiled else None,
                 "kernel_cache": (
                     self._plan.cache_stats() if compiled else None

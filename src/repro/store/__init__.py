@@ -1,0 +1,59 @@
+"""Content-addressed sharded artifact store with tiered kernel caching.
+
+The paper's decoder exists so a *bounded* on-chip scratchpad can serve
+compressed kernels on demand (Sec. IV-C): storage holds packed streams,
+the decoding unit materialises only the working set.  This package is
+that storage story at fleet scale.  A model version is a *manifest* — a
+small JSON document listing, per layer, the SHA-256 content key of that
+layer's packed bytes — and the bytes themselves live as shared,
+content-addressed blobs:
+
+===============================  ======================================
+decoder / deployment concept     store counterpart
+===============================  ======================================
+compressed streams in storage,   per-layer blobs under
+decoded on demand                ``blobs/<2-hex>/<sha256>.bin``;
+                                 readers mmap and fault in only the
+                                 layers they execute
+bounded scratchpad of decoded    tier 1: the plan's decoded-kernel
+kernels                          :class:`~repro.infer.cache.LruCache`
+                                 (per-key build locks — different
+                                 layers decode in parallel); tier 2:
+                                 the mmap'd blob store underneath
+weight version pinning           the manifest hash *is* the version
+                                 token — :mod:`repro.serve` hot-swaps
+                                 on content change and is immune to
+                                 inode churn / same-size rewrites
+one stream shared by many        deduplication: versions sharing a
+convolutions                     layer share its blob, so incremental
+                                 retrains publish only changed layers
+===============================  ======================================
+
+Quickstart::
+
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore("./models")
+    ref = store.import_artifact("model.npz", name="prod")   # shard it
+    plan = InferencePlan.from_artifact(str(ref))            # lazy fetch
+    store.pin("prod")                                       # survive gc
+    store.gc()                                              # sweep junk
+
+``save_compressed_model(model, "store-dir#name")`` exports straight
+into a store, and every artifact-path API (``InferencePlan``,
+``ServingDaemon.register``, CLI ``infer``/``serve``) accepts the
+``<store-dir>#<name>`` ref string wherever it accepts an ``.npz`` path.
+"""
+
+from .blobs import BlobStore, StoreRef, pack_blob, unpack_blob
+from .store import ArtifactStore, GcResult, ShardedArrays
+
+__all__ = [
+    "ArtifactStore",
+    "BlobStore",
+    "GcResult",
+    "ShardedArrays",
+    "StoreRef",
+    "pack_blob",
+    "unpack_blob",
+]

@@ -1,0 +1,207 @@
+"""Content-addressed blob substrate: packed layer bytes under SHA-256 keys.
+
+This module is the store's tier-2 media layer and deliberately knows
+nothing about models or manifests: it moves *blobs* — canonical packed
+byte strings holding one layer entry's arrays — in and out of a sharded
+on-disk layout (``blobs/<2-hex>/<sha256>.bin``, the git-style fan-out
+that keeps directories small at fleet scale).  Reads are mmap-backed, so
+a serving worker that only hosts a few layers faults in only those
+layers' pages; writes are content-addressed and atomic
+(write-to-temp + rename), so concurrent importers publishing the same
+layer bytes converge on one blob with no locking.
+
+The canonical pack format makes content addressing deterministic: a
+fixed magic, a compact sorted-keys JSON field table (name/dtype/shape),
+then each field's C-contiguous bytes in sorted name order.  Identical
+arrays always pack to identical bytes, so model versions sharing a
+layer automatically share its blob — the store's deduplication falls
+out of the addressing scheme rather than being bolted on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+__all__ = ["BlobStore", "StoreRef", "pack_blob", "unpack_blob"]
+
+#: 8-byte magic heading every packed layer blob
+_BLOB_MAGIC = b"RPROBLB1"
+
+
+def pack_blob(fields: Dict[str, np.ndarray]) -> bytes:
+    """Serialise one layer's arrays into canonical content-addressable bytes.
+
+    Fields are laid out in sorted name order with a compact JSON table up
+    front, so equal array dictionaries produce byte-identical blobs (and
+    therefore equal SHA-256 content keys).
+    """
+    if not fields:
+        raise ValueError("cannot pack an empty field dictionary")
+    names = sorted(fields)
+    table = []
+    payloads: List[bytes] = []
+    for name in names:
+        array = np.ascontiguousarray(fields[name])
+        table.append(
+            {
+                "name": name,
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+            }
+        )
+        payloads.append(array.tobytes())
+    header = json.dumps(
+        {"fields": table}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return b"".join(
+        [_BLOB_MAGIC, len(header).to_bytes(4, "little"), header, *payloads]
+    )
+
+
+def unpack_blob(buf) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`pack_blob`; zero-copy over mmap-backed buffers.
+
+    The returned arrays are read-only views into ``buf`` (consumers copy
+    via ``astype`` where they need ownership), so unpacking a blob costs
+    one page fault per touched page, not a materialised copy.
+    """
+    view = memoryview(buf)
+    magic = bytes(view[: len(_BLOB_MAGIC)])
+    if magic != _BLOB_MAGIC:
+        raise ValueError(f"not a layer blob (magic {magic!r})")
+    offset = len(_BLOB_MAGIC)
+    header_len = int.from_bytes(view[offset:offset + 4], "little")
+    offset += 4
+    header = json.loads(bytes(view[offset:offset + header_len]))
+    offset += header_len
+    fields: Dict[str, np.ndarray] = {}
+    for spec in header["fields"]:
+        dtype = np.dtype(spec["dtype"])
+        count = int(np.prod(spec["shape"])) if spec["shape"] else 1
+        nbytes = count * dtype.itemsize
+        array = np.frombuffer(
+            view[offset:offset + nbytes], dtype=dtype
+        ).reshape(spec["shape"])
+        fields[spec["name"]] = array
+        offset += nbytes
+    return fields
+
+
+@dataclass(frozen=True)
+class StoreRef:
+    """One model inside one store: ``<store-root>#<name-or-manifest-hash>``.
+
+    The string form is what flows through every artifact-path API
+    (``InferencePlan.from_artifact``, tenant registration, the CLI): any
+    parameter that accepts a monolithic ``.npz`` path also accepts a
+    store ref, and :meth:`coerce` is the single point deciding which one
+    a given source is.
+    """
+
+    root: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.root}#{self.name}"
+
+    @staticmethod
+    def parse(text: str) -> "StoreRef":
+        root, separator, name = str(text).rpartition("#")
+        if not separator or not root or not name:
+            raise ValueError(
+                f"store ref {text!r} is not of the form <store-dir>#<name>"
+            )
+        return StoreRef(root=root, name=name)
+
+    @staticmethod
+    def coerce(source) -> Optional["StoreRef"]:
+        """``source`` as a :class:`StoreRef`, or ``None`` for plain paths."""
+        if isinstance(source, StoreRef):
+            return source
+        if isinstance(source, str) and "#" in source:
+            return StoreRef.parse(source)
+        return None
+
+
+class BlobStore:
+    """Sharded on-disk blob storage keyed by SHA-256 of the blob bytes.
+
+    ``put`` is idempotent (same bytes, same key, one file) and atomic;
+    ``get`` returns an mmap-backed read-only buffer so large packed
+    layers are paged in on demand.  The read/write counters feed the
+    store benchmark and the laziness tests — they count *media* traffic,
+    which tier-1 caching exists to minimise.
+    """
+
+    def __init__(self, root: Union[str, Path], create: bool = True) -> None:
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+
+    def path(self, key: str) -> Path:
+        """On-disk location of one blob (two-hex-character fan-out)."""
+        return self.root / key[:2] / f"{key}.bin"
+
+    def has(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def put(self, data: bytes) -> str:
+        """Store ``data`` under its content key; returns the key."""
+        key = hashlib.sha256(data).hexdigest()
+        path = self.path(key)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            temp.write_bytes(data)
+            os.replace(temp, path)
+            self.writes += 1
+        return key
+
+    def get(self, key: str):
+        """The blob's bytes as an mmap-backed read-only buffer."""
+        path = self.path(key)
+        if not path.exists():
+            raise KeyError(f"blob {key} is not in the store at {self.root}")
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        self.reads += 1
+        self.bytes_read += len(mapped)
+        return memoryview(mapped)
+
+    def size(self, key: str) -> int:
+        """One blob's on-disk byte size."""
+        return self.path(key).stat().st_size
+
+    def delete(self, key: str) -> None:
+        path = self.path(key)
+        if path.exists():
+            path.unlink()
+
+    def keys(self) -> Iterator[str]:
+        """Every stored content key (unordered)."""
+        if not self.root.exists():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.bin")):
+                yield path.stem
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready traffic counters (media reads/writes, bytes read)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+        }

@@ -1,0 +1,432 @@
+"""The content-addressed artifact store: manifests, refs, pinning, GC.
+
+An :class:`ArtifactStore` is the software analogue of the paper's
+bounded decoder scratchpad taken to fleet scale: instead of one opaque
+``.npz`` per model, every layer entry's packed bytes live as one
+content-addressed blob (:mod:`repro.store.blobs`), and a *manifest* —
+the artifact header with each layer annotated by its SHA-256 content
+key — describes one model version.  The consequences the serving tier
+cares about all fall out of that shape:
+
+* **Partial fetch** — a worker hosting a slice of a model resolves the
+  manifest (a small JSON document) and faults in only its layers'
+  blobs; nothing else is read.
+* **Deduplication** — two model versions sharing a layer share its
+  blob, so publishing an incremental retrain costs only the changed
+  layers.
+* **Instant rollout** — the manifest hash *is* the weight version:
+  :mod:`repro.serve` pins compiled plans against it, so a ref flip is
+  an O(1) atomic deploy and copying identical bytes can never fake a
+  new version (the stat-fingerprint failure this store replaces).
+
+Layout on disk::
+
+    <root>/blobs/<2-hex>/<sha256>.bin   content-addressed layer blobs
+    <root>/manifests/<sha256>.json      one manifest per model version
+    <root>/refs/<name>                  mutable name -> manifest hash
+    <root>/pins.json                    GC roots beyond the refs
+
+``gc()`` is mark-and-sweep from the refs and pins: blobs referenced by
+no live manifest (and manifests referenced by no ref or pin) are
+deleted.  ``pin()`` protects a manifest (and so its blobs) or one blob
+from collection even after its ref is removed — the rollback window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from .blobs import BlobStore, StoreRef, pack_blob, unpack_blob
+
+__all__ = ["ArtifactStore", "GcResult", "ShardedArrays"]
+
+
+class ShardedArrays:
+    """Lazy ``{array name: ndarray}`` mapping over a manifest's blobs.
+
+    The sharded counterpart of the eager dictionary
+    :class:`~repro.deploy.ArtifactReader` builds from a monolithic
+    ``.npz``: indexing ``"layer3.shift"`` fetches (and memoises) only
+    layer 3's blob, so a plan that never executes a layer never reads
+    its bytes.  Arrays are read-only views into the mmap'd blob.
+    """
+
+    def __init__(self, blobs: BlobStore, header: Dict) -> None:
+        self.blobs = blobs
+        self._index: Dict[str, str] = {}
+        self._loaded: Dict[str, Dict[str, np.ndarray]] = {}
+        for entry in header["layers"]:
+            key = f"layer{entry['index']}"
+            content_key = entry.get("content_key")
+            for name in entry.get("fields", ()):
+                self._index[f"{key}.{name}"] = content_key
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        content_key = self._index[name]
+        fields = self._loaded.get(content_key)
+        if fields is None:
+            fields = unpack_blob(self.blobs.get(content_key))
+            self._loaded[content_key] = fields
+        return fields[name.split(".", 1)[1]]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._index)
+
+    @property
+    def fetched_blobs(self) -> int:
+        """How many distinct blobs this reader has materialised so far."""
+        return len(self._loaded)
+
+
+@dataclass(frozen=True)
+class GcResult:
+    """What one mark-and-sweep pass removed and what it kept."""
+
+    removed_blobs: List[str] = field(default_factory=list)
+    removed_manifests: List[str] = field(default_factory=list)
+    kept_blobs: int = 0
+    pinned_blobs: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "removed_blobs": list(self.removed_blobs),
+            "removed_manifests": list(self.removed_manifests),
+            "kept_blobs": self.kept_blobs,
+            "pinned_blobs": self.pinned_blobs,
+        }
+
+
+def _canonical_json(document: Dict) -> bytes:
+    """Deterministic manifest bytes — the input to content hashing."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class ArtifactStore:
+    """Content-addressed, sharded model storage with refs, pins and GC."""
+
+    def __init__(self, root: Union[str, Path], create: bool = True) -> None:
+        self.root = Path(root)
+        self._manifests = self.root / "manifests"
+        self._refs = self.root / "refs"
+        self._pins_path = self.root / "pins.json"
+        if create:
+            self._manifests.mkdir(parents=True, exist_ok=True)
+            self._refs.mkdir(parents=True, exist_ok=True)
+        elif not self.root.exists():
+            raise FileNotFoundError(f"no artifact store at {self.root}")
+        self.blobs = BlobStore(self.root / "blobs", create=create)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def put_model(
+        self, header: Dict, arrays: Dict, name: Optional[str] = None
+    ) -> StoreRef:
+        """Shard ``(header, arrays)`` into the store; returns its ref.
+
+        ``header``/``arrays`` are exactly what the monolithic ``.npz``
+        path serialises: each manifest layer entry gains the SHA-256
+        ``content_key`` of its packed arrays plus the ``fields`` list
+        that lets readers index arrays without fetching the blob.
+        Blobs already present (a shared layer) are not rewritten.
+        """
+        layers = []
+        for entry in header["layers"]:
+            prefix = f"layer{entry['index']}."
+            fields = {
+                array_name[len(prefix):]: array
+                for array_name, array in arrays.items()
+                if array_name.startswith(prefix)
+            }
+            sharded = dict(entry)
+            sharded.pop("content_key", None)
+            sharded.pop("fields", None)
+            if fields:
+                sharded["content_key"] = self.blobs.put(pack_blob(fields))
+                sharded["fields"] = sorted(fields)
+            layers.append(sharded)
+        manifest = dict(header)
+        manifest["layers"] = layers
+        manifest_hash = self._write_manifest(manifest)
+        ref_name = name or manifest.get("name") or manifest_hash
+        self.set_ref(ref_name, manifest_hash)
+        return StoreRef(root=str(self.root), name=ref_name)
+
+    def import_artifact(self, source, name: Optional[str] = None) -> StoreRef:
+        """Shard one monolithic ``.npz`` artifact into the store.
+
+        The artifact passes through
+        :class:`~repro.deploy.ArtifactReader`, so its manifest is
+        format-validated before anything is written.  Importing the same
+        bytes twice is a no-op (same blobs, same manifest hash).
+        """
+        from ..deploy import ArtifactReader  # local: deploy imports us
+
+        reader = ArtifactReader(source)
+        return self.put_model(
+            reader.header, reader.arrays, name=name or reader.name
+        )
+
+    def _write_manifest(self, manifest: Dict) -> str:
+        data = _canonical_json(manifest)
+        manifest_hash = hashlib.sha256(data).hexdigest()
+        path = self._manifests / f"{manifest_hash}.json"
+        if not path.exists():
+            path.write_text(data.decode("utf-8"))
+        return manifest_hash
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def refs(self) -> Dict[str, str]:
+        """Every ``name -> manifest hash`` mapping."""
+        if not self._refs.exists():
+            return {}
+        return {
+            path.name: path.read_text().strip()
+            for path in sorted(self._refs.iterdir())
+            if path.is_file()
+        }
+
+    def set_ref(self, name: str, manifest_hash: str) -> None:
+        """Point ``name`` at a manifest — the O(1) atomic rollout step."""
+        if not (self._manifests / f"{manifest_hash}.json").exists():
+            raise KeyError(f"manifest {manifest_hash} is not in the store")
+        self._refs.mkdir(parents=True, exist_ok=True)
+        path = self._refs / name
+        temp = path.with_name(f".{name}.tmp")
+        temp.write_text(manifest_hash + "\n")
+        temp.replace(path)
+
+    def remove(self, name: str) -> None:
+        """Drop a ref; blobs/manifest linger until :meth:`gc`."""
+        path = self._refs / name
+        if not path.exists():
+            raise KeyError(f"model {name!r} is not in the store")
+        path.unlink()
+
+    def resolve(self, name: str) -> str:
+        """``name`` (ref or literal manifest hash) -> manifest hash."""
+        path = self._refs / name
+        if path.exists():
+            return path.read_text().strip()
+        if (self._manifests / f"{name}.json").exists():
+            return name
+        raise KeyError(
+            f"model {name!r} is not in the store at {self.root} "
+            f"(known: {sorted(self.refs()) or 'none'})"
+        )
+
+    def manifest(self, name: str) -> Dict:
+        """The resolved manifest document for a ref name or hash."""
+        manifest_hash = self.resolve(name)
+        return json.loads(
+            (self._manifests / f"{manifest_hash}.json").read_text()
+        )
+
+    def arrays(self, name: str) -> ShardedArrays:
+        """Lazy array mapping over one model's blobs."""
+        return ShardedArrays(self.blobs, self.manifest(name))
+
+    def ref(self, name: str) -> StoreRef:
+        """A :class:`StoreRef` for a model in this store."""
+        self.resolve(name)  # raises KeyError for unknown names
+        return StoreRef(root=str(self.root), name=name)
+
+    # ------------------------------------------------------------------
+    # Pinning and GC
+    # ------------------------------------------------------------------
+    def _load_pins(self) -> Dict[str, List[str]]:
+        if not self._pins_path.exists():
+            return {"blobs": [], "manifests": []}
+        pins = json.loads(self._pins_path.read_text())
+        return {
+            "blobs": list(pins.get("blobs", ())),
+            "manifests": list(pins.get("manifests", ())),
+        }
+
+    def _save_pins(self, pins: Dict[str, List[str]]) -> None:
+        self._pins_path.write_text(
+            json.dumps(
+                {key: sorted(set(value)) for key, value in pins.items()},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    def pins(self) -> Dict[str, List[str]]:
+        """The GC roots beyond the refs: pinned manifests and blobs."""
+        pins = self._load_pins()
+        return {key: sorted(set(value)) for key, value in pins.items()}
+
+    def pin(self, target: str) -> str:
+        """Protect a model (ref name / manifest hash) or blob from GC.
+
+        Returns ``"manifest"`` or ``"blob"`` according to what was
+        pinned.  Pinning a model pins its manifest, which transitively
+        keeps every blob the manifest references.
+        """
+        pins = self._load_pins()
+        try:
+            manifest_hash = self.resolve(target)
+        except KeyError:
+            if not self.blobs.has(target):
+                raise KeyError(
+                    f"{target!r} names neither a model nor a blob in the store"
+                ) from None
+            pins["blobs"].append(target)
+            self._save_pins(pins)
+            return "blob"
+        pins["manifests"].append(manifest_hash)
+        self._save_pins(pins)
+        return "manifest"
+
+    def unpin(self, target: str) -> None:
+        pins = self._load_pins()
+        candidates = {target}
+        try:
+            candidates.add(self.resolve(target))
+        except KeyError:
+            pass
+        before = sum(len(v) for v in pins.values())
+        pins = {
+            key: [item for item in value if item not in candidates]
+            for key, value in pins.items()
+        }
+        if sum(len(v) for v in pins.values()) == before:
+            raise KeyError(f"{target!r} is not pinned")
+        self._save_pins(pins)
+
+    def manifest_hashes(self) -> List[str]:
+        """Every manifest hash present on disk (live or not)."""
+        if not self._manifests.exists():
+            return []
+        return sorted(path.stem for path in self._manifests.glob("*.json"))
+
+    def _manifest_blob_keys(self, manifest_hash: str) -> List[str]:
+        manifest = self.manifest(manifest_hash)
+        return [
+            entry["content_key"]
+            for entry in manifest["layers"]
+            if entry.get("content_key")
+        ]
+
+    def refcounts(self) -> Dict[str, int]:
+        """``blob key -> number of live manifests referencing it``.
+
+        Live means reachable from a ref or a manifest pin — the same
+        mark set :meth:`gc` sweeps against, so a refcount of zero (a key
+        missing here) predicts exactly what a GC pass would delete.
+        """
+        counts: Dict[str, int] = {}
+        for manifest_hash in self._live_manifests():
+            for key in set(self._manifest_blob_keys(manifest_hash)):
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def _live_manifests(self) -> List[str]:
+        pins = self._load_pins()
+        live = set(self.refs().values()) | set(pins["manifests"])
+        return sorted(
+            manifest_hash
+            for manifest_hash in live
+            if (self._manifests / f"{manifest_hash}.json").exists()
+        )
+
+    def gc(self) -> GcResult:
+        """Mark-and-sweep unreferenced manifests and blobs."""
+        pins = self._load_pins()
+        live_manifests = set(self._live_manifests())
+        referenced: set = set()
+        for manifest_hash in live_manifests:
+            referenced.update(self._manifest_blob_keys(manifest_hash))
+        pinned_blobs = set(pins["blobs"])
+        keep = referenced | pinned_blobs
+        removed_blobs = []
+        for key in list(self.blobs.keys()):
+            if key not in keep:
+                self.blobs.delete(key)
+                removed_blobs.append(key)
+        removed_manifests = []
+        for manifest_hash in self.manifest_hashes():
+            if manifest_hash not in live_manifests:
+                (self._manifests / f"{manifest_hash}.json").unlink()
+                removed_manifests.append(manifest_hash)
+        return GcResult(
+            removed_blobs=sorted(removed_blobs),
+            removed_manifests=sorted(removed_manifests),
+            kept_blobs=len(keep & set(self.blobs.keys())),
+            pinned_blobs=len(pinned_blobs),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict:
+        """JSON-ready store inventory: per-model rows plus totals.
+
+        Each model row reports its manifest hash, layer/blob counts,
+        on-disk bytes, and how many of its blobs are shared with at
+        least one other live manifest — the measured deduplication the
+        content addressing buys.
+        """
+        counts = self.refcounts()
+        holders: Dict[str, set] = {}
+        for manifest_hash in self._live_manifests():
+            for key in set(self._manifest_blob_keys(manifest_hash)):
+                holders.setdefault(key, set()).add(manifest_hash)
+        models = {}
+        for name, manifest_hash in self.refs().items():
+            keys = self._manifest_blob_keys(manifest_hash)
+            models[name] = {
+                "manifest": manifest_hash,
+                "layers": len(self.manifest(manifest_hash)["layers"]),
+                "layer_refs": len(keys),
+                "blobs": len(set(keys)),
+                "bytes": sum(
+                    self.blobs.size(key)
+                    for key in set(keys)
+                    if self.blobs.has(key)
+                ),
+                # blobs this model shares with a *different* model version
+                "shared_blobs": sum(
+                    1
+                    for key in set(keys)
+                    if len(holders.get(key, ())) >= 2
+                ),
+            }
+        all_keys = list(self.blobs.keys())
+        total_referenced = sum(counts.values())
+        return {
+            "root": str(self.root),
+            "models": models,
+            "pins": self.pins(),
+            "totals": {
+                "blobs": len(all_keys),
+                "bytes": sum(self.blobs.size(key) for key in all_keys),
+                "manifests": len(self.manifest_hashes()),
+                "referenced_keys": total_referenced,
+                "unique_referenced_keys": len(counts),
+                "dedup_ratio": (
+                    total_referenced / len(counts) if counts else 1.0
+                ),
+            },
+        }

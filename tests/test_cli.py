@@ -184,6 +184,74 @@ class TestServeCommand:
         assert payload["registry"]["edge"]["compiled"] is True
 
 
+class TestStoreCommand:
+    @pytest.fixture()
+    def artifact(self, tmp_path):
+        from repro.bnn.reactnet import build_small_bnn
+        from repro.deploy import save_compressed_model
+
+        model = build_small_bnn(
+            in_channels=1, num_classes=4, image_size=8, channels=(8, 16),
+            seed=5,
+        )
+        model.eval()
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        return path
+
+    def test_parser_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "ls"])
+        args = build_parser().parse_args(
+            ["store", "import", "m.npz", "--store", "s", "--name", "v1"]
+        )
+        assert (args.action, args.target) == ("import", "m.npz")
+        assert (args.store, args.name) == ("s", "v1")
+
+    def test_import_ls_pin_rm_gc_lifecycle(self, capsys, artifact, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["store", "import", str(artifact), "--store", store,
+             "--name", "v1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"as {store}#v1" in out
+
+        assert main(["store", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "v1" in out and "dedup" in out
+
+        assert main(["store", "pin", "v1", "--store", store]) == 0
+        assert "pinned manifest" in capsys.readouterr().out
+        assert main(["store", "rm", "v1", "--store", store]) == 0
+        capsys.readouterr()
+
+        # pinned: gc removes nothing, unpin then gc sweeps everything
+        assert main(["store", "gc", "--store", store]) == 0
+        assert "removed 0 blobs" in capsys.readouterr().out
+        manifest = next(
+            (tmp_path / "store" / "manifests").glob("*.json")
+        ).stem
+        assert main(["store", "unpin", manifest, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", store]) == 0
+        assert "0 manifests" not in capsys.readouterr().out
+
+    def test_infer_accepts_store_refs(self, capsys, artifact, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["store", "import", str(artifact), "--store", store,
+             "--name", "v1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["infer", "--artifact", f"{store}#v1", "--images", "8",
+             "--batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "images/sec" in out
+
+
 class TestSimulateCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["simulate"])

@@ -173,6 +173,29 @@ class TestManifestFormat:
         with pytest.raises(ValueError, match="unsupported artifact version"):
             load_compressed_model(future_path)
 
+    def test_future_version_rejected_by_report(self, trained_model, tmp_path):
+        """``artifact_report`` goes through the reader's validation too.
+
+        It used to load the manifest by hand and happily walk entries of
+        artifacts it did not understand.
+        """
+        import json
+
+        model, _ = trained_model
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        with np.load(path) as arrays:
+            stored = {name: arrays[name] for name in arrays.files}
+            header = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        header["format_version"] = 99
+        stored["manifest"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        future_path = tmp_path / "model_v99.npz"
+        np.savez(future_path, **stored)
+        with pytest.raises(ValueError, match="unsupported artifact version"):
+            artifact_report(future_path)
+
     def test_treeless_codec_rejected(self, trained_model, tmp_path):
         model, _ = trained_model
         with pytest.raises(ValueError, match="no decoder tree"):

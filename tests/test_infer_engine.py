@@ -266,7 +266,7 @@ class TestLruCache:
         from collections import Counter
 
         cache = LruCache(maxsize=64)
-        builds = Counter()  # mutated under the cache's own lock
+        builds = Counter()  # distinct keys: serialised by per-key locks
         threads, gets_per_thread, keys = 8, 200, 16
         barrier = threading.Barrier(threads)
 
@@ -303,6 +303,9 @@ class TestLruCache:
 
         cache = LruCache(maxsize=4)
         total = {"builds": 0}
+        # builds of *different* keys run concurrently under per-key
+        # locks, so the shared tally needs its own lock
+        tally_lock = threading.Lock()
 
         def worker(seed):
             rng = random.Random(seed)
@@ -310,7 +313,8 @@ class TestLruCache:
                 key = rng.randrange(32)
 
                 def build():
-                    total["builds"] += 1
+                    with tally_lock:
+                        total["builds"] += 1
                     return key
 
                 assert cache.get(key, build) == key
@@ -329,6 +333,85 @@ class TestLruCache:
         assert stats["misses"] == total["builds"]
         assert stats["hits"] + stats["misses"] == 6 * 300
         assert stats["evictions"] == stats["misses"] - stats["size"]
+
+    def test_misses_on_different_keys_build_in_parallel(self):
+        """Two workers decoding *different* layers overlap their builds.
+
+        Both builders rendezvous on a barrier from inside ``build()``:
+        that is only possible when the two builds run concurrently.
+        Under the old cache — one re-entrant lock held across
+        ``build()`` — the second builder could not enter and the
+        barrier timed out.
+        """
+        import threading
+
+        cache = LruCache(maxsize=8)
+        inside_build = threading.Barrier(2)
+        results = {}
+
+        def build(key):
+            inside_build.wait(timeout=5.0)
+            return key * 10
+
+        def worker(key):
+            results[key] = cache.get(key, lambda: build(key))
+
+        pool = [
+            threading.Thread(target=worker, args=(key,)) for key in (1, 2)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert not inside_build.broken, "builds never overlapped"
+        assert results == {1: 10, 2: 20}
+        stats = cache.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+
+    def test_contended_same_key_miss_builds_exactly_once(self):
+        """Late arrivals at a key being built block, then hit."""
+        import threading
+
+        cache = LruCache(maxsize=8)
+        first_inside = threading.Event()
+        release = threading.Event()
+        builds = []
+        results = []
+
+        def slow_build():
+            builds.append(threading.get_ident())
+            first_inside.set()
+            assert release.wait(timeout=5.0)
+            return "decoded"
+
+        def worker():
+            results.append(cache.get("k", slow_build))
+
+        pool = [threading.Thread(target=worker) for _ in range(4)]
+        pool[0].start()
+        assert first_inside.wait(timeout=5.0)
+        for thread in pool[1:]:  # arrive while the build is in flight
+            thread.start()
+        release.set()
+        for thread in pool:
+            thread.join()
+
+        assert len(builds) == 1
+        assert results == ["decoded"] * 4
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 3
+
+    def test_failed_build_leaves_no_entry_and_can_retry(self):
+        cache = LruCache(maxsize=4)
+        with pytest.raises(RuntimeError, match="decode failed"):
+            cache.get("k", self._raise_decode_error)
+        assert "k" not in cache
+        assert cache.get("k", lambda: 7) == 7
+
+    @staticmethod
+    def _raise_decode_error():
+        raise RuntimeError("decode failed")
 
 
 # ----------------------------------------------------------------------

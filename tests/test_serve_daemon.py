@@ -12,12 +12,15 @@ bit-identical to the float reference oracle at that same minibatching.
 
 import asyncio
 import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.bnn.reactnet import build_small_bnn
 from repro.deploy import load_compressed_model, save_compressed_model
+from repro.serve.metrics import _quantile
+from repro.store import ArtifactStore
 from repro.serve import (
     DaemonClosedError,
     LatencyWindow,
@@ -307,6 +310,100 @@ class TestHotSwap:
 
 
 # ----------------------------------------------------------------------
+# Version tokens: content hashes, probe failures, store refs
+# ----------------------------------------------------------------------
+class TestVersionProbe:
+    def test_copy_deploy_of_identical_bytes_does_not_swap(self, tmp_path):
+        """A new inode with the same content is the same weight version."""
+        artifact = _save_artifact(tmp_path, seed=11)
+        tenant = TenantRegistry().register("t", str(artifact))
+        plan_a, _ = tenant.plan()
+
+        staged = tmp_path / "staged.npz"
+        staged.write_bytes(artifact.read_bytes())
+        os.replace(staged, artifact)  # new inode + mtime, identical bytes
+
+        plan_b, swapped = tenant.plan()
+        assert plan_b is plan_a and not swapped
+        assert tenant.swaps == 0
+
+    def test_content_rewrite_of_same_size_swaps(self, tmp_path):
+        """Same-size in-place republish still changes the content digest."""
+        model = _build_model(seed=11)
+        artifact = tmp_path / "model.npz"
+        save_compressed_model(model, artifact)
+        size_before = artifact.stat().st_size
+        tenant = TenantRegistry().register("t", str(artifact))
+        plan_a, _ = tenant.plan()
+
+        conv = model.binary_conv_layers(3)[0]
+        conv.set_weight_bits(1 - conv.binary_weight_bits())
+        save_compressed_model(model, artifact)
+        assert artifact.stat().st_size == size_before  # same shapes
+
+        plan_b, swapped = tenant.plan()
+        assert swapped and plan_b is not plan_a
+        assert tenant.swaps == 1
+
+    def test_probe_failure_keeps_serving_pinned_plan(self, tmp_path):
+        """An unlink-then-rename deploy must not fail in-flight batches."""
+        artifact = _save_artifact(tmp_path, seed=11)
+        tenant = TenantRegistry().register("t", str(artifact))
+        plan_a, _ = tenant.plan()
+
+        artifact.unlink()  # the gap in the middle of the deploy
+        plan_b, swapped = tenant.plan()
+        assert plan_b is plan_a and not swapped
+
+        # the deploy lands with new weights: the next batch swaps
+        save_compressed_model(_build_model(seed=12), artifact)
+        plan_c, swapped_c = tenant.plan()
+        assert swapped_c and plan_c is not plan_a
+        assert tenant.swaps == 1
+
+    def test_probe_failure_without_plan_propagates(self, tmp_path):
+        tenant = TenantRegistry().register("t", str(tmp_path / "no.npz"))
+        with pytest.raises(OSError):
+            tenant.plan()
+
+    def test_store_ref_version_is_the_manifest_hash(self, tmp_path):
+        """Ref flips swap; a dropped ref keeps serving the pinned plan."""
+        store = ArtifactStore(tmp_path / "store")
+        model = _build_model(seed=11)
+        ref = save_compressed_model(model, f"{store.root}#prod")
+        tenant = TenantRegistry().register("t", str(ref))
+        plan_a, _ = tenant.plan()
+        assert tenant.describe()["version"] == store.resolve("prod")
+
+        store.remove("prod")  # probe now fails; traffic must continue
+        plan_b, swapped = tenant.plan()
+        assert plan_b is plan_a and not swapped
+
+        conv = model.binary_conv_layers(3)[0]
+        conv.set_weight_bits(1 - conv.binary_weight_bits())
+        save_compressed_model(model, f"{store.root}#prod")
+        plan_c, swapped_c = tenant.plan()
+        assert swapped_c and tenant.swaps == 1
+        images = _images(3)
+        assert np.array_equal(
+            plan_c.run_batch(images), _oracle(str(ref), images)
+        )
+
+    def test_republishing_identical_store_bytes_does_not_swap(
+        self, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        model = _build_model(seed=11)
+        ref = save_compressed_model(model, f"{store.root}#prod")
+        tenant = TenantRegistry().register("t", str(ref))
+        plan_a, _ = tenant.plan()
+        save_compressed_model(model, f"{store.root}#prod")  # same content
+        plan_b, swapped = tenant.plan()
+        assert plan_b is plan_a and not swapped
+        assert tenant.swaps == 0
+
+
+# ----------------------------------------------------------------------
 # Graceful drain / shutdown
 # ----------------------------------------------------------------------
 class TestDrain:
@@ -424,3 +521,46 @@ class TestMetrics:
         assert sorted(window._samples) == [96.0, 97.0, 98.0, 99.0]
         with pytest.raises(ValueError):
             LatencyWindow(maxlen=0)
+
+    def test_quantile_small_windows_resolve_ties_upward(self):
+        """Nearest-rank rounds *up*: p50 of two samples is the upper one.
+
+        ``round()`` (banker's rounding) sent the rank down, so a
+        2-sample window reported its p50 as the *lower* latency — an
+        under-claim exactly where windows are smallest.
+        """
+        assert _quantile([], 0.50) == 0.0
+        assert _quantile([7.0], 0.99) == 7.0
+        assert _quantile([1.0, 2.0], 0.50) == 2.0
+        assert _quantile([1.0, 2.0], 0.99) == 2.0
+        assert _quantile([1.0, 2.0, 3.0], 0.0) == 1.0
+        assert _quantile([1.0, 2.0, 3.0], 0.50) == 2.0
+        assert _quantile([1.0, 2.0, 3.0, 4.0], 0.50) == 3.0
+        assert _quantile([float(v) for v in range(1, 101)], 0.99) == 100.0
+
+    def test_summary_is_window_consistent_after_wraparound(self):
+        """Every summary statistic describes the same sample population.
+
+        After the ring buffer wraps, the old summary mixed a *lifetime*
+        mean with *window* quantiles — here that would report a mean of
+        50.5 s under a p50 of 99 s.  All window statistics must describe
+        the surviving samples [97, 98, 99, 100].
+        """
+        window = LatencyWindow(maxlen=4)
+        for value in range(1, 101):
+            window.record(float(value))
+        summary = window.summary()
+        assert summary["count"] == 100
+        assert summary["window_count"] == 4
+        assert summary["mean_ms"] == pytest.approx(98.5e3)
+        assert summary["p50_ms"] == pytest.approx(99.0e3)
+        assert summary["p99_ms"] == pytest.approx(100.0e3)
+        # the mean sits inside the window's own range
+        assert summary["p50_ms"] >= summary["mean_ms"] >= 97.0e3
+
+    def test_empty_window_summary_is_zero(self):
+        summary = LatencyWindow().summary()
+        assert summary == {
+            "count": 0, "window_count": 0,
+            "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0,
+        }

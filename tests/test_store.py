@@ -1,0 +1,311 @@
+"""Tests for the content-addressed sharded artifact store."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bnn.reactnet import build_small_bnn
+from repro.deploy import (
+    ArtifactReader,
+    load_compressed_model,
+    save_compressed_model,
+)
+from repro.infer import InferencePlan
+from repro.store import (
+    ArtifactStore,
+    BlobStore,
+    StoreRef,
+    pack_blob,
+    unpack_blob,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data"
+GOLDEN_ARTIFACTS = {
+    1: GOLDEN_DIR / "golden_deploy_v1.npz",
+    2: GOLDEN_DIR / "golden_deploy_v2.npz",
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    model = build_small_bnn(
+        in_channels=1, num_classes=10, image_size=8, channels=(8, 16),
+        seed=7,
+    )
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def artifact(model, tmp_path):
+    path = tmp_path / "model.npz"
+    save_compressed_model(model, path)
+    return path
+
+
+class TestBlobFormat:
+    def test_pack_unpack_roundtrip(self):
+        fields = {
+            "bits": np.arange(12, dtype=np.uint8).reshape(3, 4),
+            "scale": np.array([1.5, -2.0], dtype=np.float32),
+        }
+        unpacked = unpack_blob(pack_blob(fields))
+        assert sorted(unpacked) == sorted(fields)
+        for name, array in fields.items():
+            assert unpacked[name].dtype == array.dtype
+            assert np.array_equal(unpacked[name], array)
+
+    def test_packing_is_deterministic(self):
+        fields = {
+            "b": np.ones((2, 2), dtype=np.int32),
+            "a": np.zeros(3, dtype=np.float64),
+        }
+        assert pack_blob(fields) == pack_blob(dict(reversed(fields.items())))
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            pack_blob({})
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_blob(b"NOTABLOB" + b"\x00" * 16)
+
+
+class TestBlobStore:
+    def test_put_is_idempotent_and_content_addressed(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        data = pack_blob({"x": np.arange(4, dtype=np.uint8)})
+        key = blobs.put(data)
+        assert blobs.put(data) == key
+        assert blobs.writes == 1  # second put found the blob in place
+        assert bytes(blobs.get(key)) == data
+        assert sorted(blobs.keys()) == [key]
+
+    def test_missing_blob_raises(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        with pytest.raises(KeyError):
+            blobs.get("0" * 64)
+
+
+class TestStoreRef:
+    def test_parse_and_str_roundtrip(self):
+        ref = StoreRef.parse("/data/store#prod")
+        assert (ref.root, ref.name) == ("/data/store", "prod")
+        assert StoreRef.parse(str(ref)) == ref
+
+    @pytest.mark.parametrize("text", ["#name", "root#", "no-separator"])
+    def test_malformed_refs_rejected(self, text):
+        with pytest.raises(ValueError, match="store ref"):
+            StoreRef.parse(text)
+
+    def test_coerce_dispatches(self, tmp_path):
+        assert StoreRef.coerce(str(tmp_path / "model.npz")) is None
+        assert StoreRef.coerce(tmp_path / "model.npz") is None
+        ref = StoreRef.coerce(f"{tmp_path}#v1")
+        assert ref == StoreRef(root=str(tmp_path), name="v1")
+        assert StoreRef.coerce(ref) is ref
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ArtifactStore(tmp_path / "absent", create=False)
+
+
+class TestImportRoundtrip:
+    def test_import_is_bit_identical_to_monolithic(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        ref = store.import_artifact(artifact, name="v1")
+
+        reader_npz = ArtifactReader(artifact)
+        reader_store = ArtifactReader(str(ref))
+        assert reader_store.header["layers"] == store.manifest("v1")["layers"]
+        for entry in reader_npz.entries:
+            for name in reader_npz.array_names(entry):
+                assert np.array_equal(
+                    reader_store.arrays[name], reader_npz.arrays[name]
+                )
+
+    def test_reimport_same_bytes_is_a_noop(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        writes = store.blobs.writes
+        store.import_artifact(artifact, name="again")
+        assert store.blobs.writes == writes  # no new blobs
+        assert store.resolve("v1") == store.resolve("again")
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_golden_artifacts_serve_bitexact_from_store(
+        self, version, tmp_path
+    ):
+        golden = GOLDEN_ARTIFACTS[version]
+        store = ArtifactStore(tmp_path / "store")
+        ref = store.import_artifact(golden, name=f"golden-v{version}")
+
+        rng = np.random.default_rng(3)
+        images = rng.standard_normal((6, 1, 8, 8)).astype(np.float32)
+        logits_store = InferencePlan.from_artifact(str(ref)).run_batch(images)
+        logits_npz = InferencePlan.from_artifact(golden).run_batch(images)
+        oracle = load_compressed_model(golden).forward(images)
+        assert np.array_equal(logits_store, logits_npz)
+        assert np.array_equal(logits_store, oracle)
+
+    def test_golden_versions_share_every_blob(self, tmp_path):
+        # the golden pair is the same model saved under both formats, so
+        # content addressing must dedup the blobs completely
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(GOLDEN_ARTIFACTS[1], name="v1")
+        keys_after_v1 = set(store.blobs.keys())
+        store.import_artifact(GOLDEN_ARTIFACTS[2], name="v2")
+        assert set(store.blobs.keys()) == keys_after_v1
+        described = store.describe()
+        assert described["models"]["v2"]["shared_blobs"] == len(keys_after_v1)
+        assert described["totals"]["dedup_ratio"] == 2.0
+
+
+class TestLazyFetch:
+    def test_arrays_fetch_blobs_on_demand(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        arrays = store.arrays("v1")
+        assert arrays.fetched_blobs == 0
+        reads_before = store.blobs.reads
+
+        first = next(iter(arrays))
+        arrays[first]
+        assert arrays.fetched_blobs == 1
+        assert store.blobs.reads == reads_before + 1
+
+        # a second array from the same layer reuses the memoised blob
+        layer = first.split(".", 1)[0]
+        siblings = [name for name in arrays if name.startswith(f"{layer}.")]
+        for name in siblings:
+            arrays[name]
+        assert arrays.fetched_blobs == 1
+        assert store.blobs.reads == reads_before + 1
+
+    def test_sharded_reader_defers_blob_reads(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        ref = store.import_artifact(artifact, name="v1")
+        reader = ArtifactReader(str(ref))
+        assert reader.arrays.fetched_blobs == 0  # header-only construction
+        plan = InferencePlan.from_artifact(reader)
+        total_blobs = len(
+            {
+                entry["content_key"]
+                for entry in reader.header["layers"]
+                if entry.get("content_key")
+            }
+        )
+        assert 0 < reader.arrays.fetched_blobs <= total_blobs
+        images = np.zeros((1, 1, 8, 8), dtype=np.float32)
+        plan.run_batch(images)
+        assert reader.arrays.fetched_blobs <= total_blobs
+
+
+class TestPinsAndGc:
+    def test_remove_then_gc_sweeps_unshared_blobs(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        keys = set(store.blobs.keys())
+        store.remove("v1")
+        result = store.gc()
+        assert set(result.removed_blobs) == keys
+        assert len(result.removed_manifests) == 1
+        assert list(store.blobs.keys()) == []
+        assert store.manifest_hashes() == []
+
+    def test_pinned_manifest_survives_gc_and_still_serves(
+        self, artifact, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        manifest_hash = store.resolve("v1")
+        assert store.pin("v1") == "manifest"
+        store.remove("v1")
+        result = store.gc()
+        assert result.removed_blobs == []
+        assert result.removed_manifests == []
+
+        # the pinned manifest is still loadable by hash — rollback window
+        ref = StoreRef(root=str(store.root), name=manifest_hash)
+        images = np.zeros((1, 1, 8, 8), dtype=np.float32)
+        InferencePlan.from_artifact(str(ref)).run_batch(images)
+
+        store.unpin(manifest_hash)
+        swept = store.gc()
+        assert len(swept.removed_manifests) == 1
+        assert list(store.blobs.keys()) == []
+
+    def test_pinned_blob_survives_gc(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        key = next(iter(store.blobs.keys()))
+        assert store.pin(key) == "blob"
+        store.remove("v1")
+        result = store.gc()
+        assert key not in result.removed_blobs
+        assert store.blobs.has(key)
+
+    def test_pin_unknown_target_raises(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        with pytest.raises(KeyError, match="neither a model nor a blob"):
+            store.pin("nonsense")
+        with pytest.raises(KeyError, match="not pinned"):
+            store.unpin("v1")
+
+    def test_remove_unknown_model_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(KeyError):
+            store.remove("ghost")
+
+    def test_refcounts_track_live_manifests(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        store.import_artifact(artifact, name="v2")  # same manifest, two refs
+        counts = store.refcounts()
+        assert counts  # every blob referenced at least once
+        assert all(count == 1 for count in counts.values())
+
+
+class TestManifestValidation:
+    def test_unsupported_version_manifest_rejected(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        manifest = store.manifest("v1")
+        manifest["format_version"] = 99
+        bad_hash = store._write_manifest(manifest)
+        store.set_ref("bad", bad_hash)
+        with pytest.raises(ValueError, match="unsupported artifact version"):
+            ArtifactReader(str(store.ref("bad")))
+
+    def test_unknown_model_name_raises(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        with pytest.raises(KeyError, match="ghost"):
+            ArtifactReader(f"{store.root}#ghost")
+
+    def test_set_ref_requires_existing_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(KeyError, match="not in the store"):
+            store.set_ref("v1", "f" * 64)
+
+
+class TestSaveDirectlyToStore:
+    def test_save_compressed_model_accepts_store_refs(self, model, tmp_path):
+        ref = save_compressed_model(model, f"{tmp_path / 'store'}#prod")
+        assert isinstance(ref, StoreRef)
+        store = ArtifactStore(ref.root, create=False)
+        assert "prod" in store.refs()
+        images = np.zeros((2, 1, 8, 8), dtype=np.float32)
+        logits = InferencePlan.from_artifact(str(ref)).run_batch(images)
+        assert logits.shape == (2, 10)
+
+    def test_describe_is_json_ready(self, model, tmp_path):
+        save_compressed_model(model, f"{tmp_path / 'store'}#prod")
+        store = ArtifactStore(tmp_path / "store", create=False)
+        described = store.describe()
+        json.dumps(described)  # no numpy scalars or Paths leak through
+        assert described["models"]["prod"]["blobs"] > 0
+        assert described["totals"]["manifests"] == 1
