@@ -144,6 +144,7 @@ def test_batch_speedup_vs_scalar_reference(name, skewed_batch):
             "scalar_sequences_per_second": float(total / scalar_elapsed),
             "floor": SPEEDUP_FLOOR,
         },
+        headline="speedup",
     )
     print(
         f"\n{name}: batch {total / batch_elapsed / 1e6:.2f} M seq/s, "

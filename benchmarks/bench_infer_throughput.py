@@ -105,6 +105,7 @@ def test_batched_engine_speedup_over_per_image_reference():
             "floor": float(floor),
             "per_image_top1_agreement": agreement,
         },
+        headline="speedup",
     )
     print(
         f"\nserving {images} images (batch {batch}): "
@@ -162,6 +163,7 @@ def test_artifact_plan_serving_throughput():
             "images_per_second": float(images / serving_seconds),
             "kernel_cache": warm_stats,
         },
+        headline="images_per_second",
     )
     print(
         f"\nartifact plan: compile {compile_seconds * 1e3:.1f} ms, "

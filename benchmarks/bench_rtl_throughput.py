@@ -112,6 +112,7 @@ def test_replay_speedup_over_fsm():
             "fsm_cycles_per_second": float(stats.cycles / fsm_seconds),
             "replay_cycles_per_second": float(stats.cycles / replay_seconds),
         },
+        headline="speedup",
     )
     print(
         f"\nrtl decode {count} sequences ({stats.cycles} cycles): "
@@ -174,6 +175,7 @@ def test_pipeline_scoreboard_speedup():
             "fast_seconds": float(fast_seconds),
             "speedup": float(speedup),
         },
+        headline="speedup",
     )
     print(
         f"\npipeline {len(program)} instructions ({reference.cycles} "

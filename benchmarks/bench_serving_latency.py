@@ -162,6 +162,7 @@ def test_dynamic_batching_speedup_over_sequential():
             "batch_histogram": tenant["batch_histogram"],
             "latency": tenant["latency"],
         },
+        headline="speedup",
     )
     print(
         f"\nserving {requests} requests at concurrency {CONCURRENCY}: "
@@ -247,6 +248,7 @@ def test_poisson_arrivals_latency_profile():
             "batch_histogram": tenant["batch_histogram"],
             "latency": tenant["latency"],
         },
+        headline="mean_batch_size",
     )
     print(
         f"\npoisson load: {requests} requests at "

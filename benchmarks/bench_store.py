@@ -102,6 +102,7 @@ def test_versions_sharing_layers_deduplicate():
                 "two_monolithic_artifacts_bytes": monolithic_bytes,
                 "import_seconds": import_seconds,
             },
+            headline="dedup_ratio",
         )
 
 
@@ -156,4 +157,5 @@ def test_store_plan_bitexact_and_lazy():
                 "logits_bitexact_vs_oracle": True,
                 "kernel_cache": plan_store.cache_stats(),
             },
+            headline="images_per_second",
         )

@@ -16,8 +16,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import pytest
 
@@ -35,7 +36,16 @@ def bench_reduced() -> bool:
     return os.environ.get("BENCH_REDUCED", "") not in ("", "0")
 
 
-def update_bench_artifact(name: str, key: str, payload: Dict[str, Any]) -> Path:
+#: cap on the per-section perf trajectory; old entries age out first
+_MAX_HISTORY = 500
+
+
+def update_bench_artifact(
+    name: str,
+    key: str,
+    payload: Dict[str, Any],
+    headline: Optional[str] = None,
+) -> Path:
     """Merge one result section into ``BENCH_<name>.json``.
 
     Artifacts are merge-updated (read, set ``key``, rewrite) so a bench
@@ -43,6 +53,14 @@ def update_bench_artifact(name: str, key: str, payload: Dict[str, Any]) -> Path:
     one section per parameter — composes into a single JSON document.
     Provenance (interpreter, machine, reduced mode) is stamped *per
     section*: merged documents may mix sections from different runs.
+
+    ``headline`` names the payload entry that is the section's headline
+    metric; each run then *appends* to the section's ``history`` list —
+    timestamp, reduced flag, metric name, value — so the committed
+    artifact carries the perf trajectory across runs instead of only the
+    latest sample.  History survives the merge-update (it is carried
+    over from the previous document) and is capped at the most recent
+    ``_MAX_HISTORY`` entries.
     """
     directory = Path(os.environ.get("BENCH_ARTIFACT_DIR") or REPO_ROOT)
     directory.mkdir(parents=True, exist_ok=True)
@@ -53,8 +71,23 @@ def update_bench_artifact(name: str, key: str, payload: Dict[str, Any]) -> Path:
             document = json.loads(path.read_text())
         except json.JSONDecodeError:
             document = {}
+    previous = document.get(key) or {}
+    history = list(previous.get("history") or [])
+    if headline is not None and headline in payload:
+        history.append(
+            {
+                "at": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+                "reduced": bench_reduced(),
+                "metric": headline,
+                "value": payload[headline],
+            }
+        )
+        history = history[-_MAX_HISTORY:]
     document[key] = {
         **payload,
+        "history": history,
         "meta": {
             "python": platform.python_version(),
             "machine": platform.machine(),

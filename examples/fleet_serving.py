@@ -1,0 +1,104 @@
+"""Fleet serving flow: publish -> fleet up -> load -> rolling rollout.
+
+The production path on top of the single-process daemon: two model
+versions are published into a content-addressed ``ArtifactStore``, a
+``FleetRouter`` spawns worker processes that each run their own
+``ServingDaemon`` against the store ref, client threads drive image
+blocks through the router's least-outstanding dispatch, and
+``fleet.rollout()`` hot-swaps every worker to the new version one at a
+time — zero failed requests, never a mixed batch, old and new
+manifests pinned until the flip completes.
+
+Run:  python examples/fleet_serving.py
+"""
+
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.bnn import build_small_bnn
+from repro.deploy import save_compressed_model
+from repro.fleet import FleetConfig, FleetRouter
+from repro.serve import QueueFullError, ServeConfig
+from repro.store import ArtifactStore
+
+IMAGE_SIZE = 8
+BLOCK = 32
+
+
+def _publish(store: ArtifactStore, name: str, seed: int) -> str:
+    model = build_small_bnn(
+        in_channels=1, num_classes=4, image_size=IMAGE_SIZE,
+        channels=(8, 16), seed=seed,
+    )
+    model.eval()
+    ref = f"{store.root}#{name}"
+    save_compressed_model(model, ref)
+    return ref
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(Path(tmp) / "store")
+        v1 = _publish(store, "v1", seed=3)
+        v2 = _publish(store, "v2", seed=4)
+        print(f"published v1 and v2 into {store.root}")
+
+        config = FleetConfig(
+            workers=2,
+            serve=ServeConfig(max_batch=BLOCK, max_wait_ms=1.0),
+        )
+        rng = np.random.default_rng(0)
+        blocks = [
+            rng.standard_normal(
+                (BLOCK, 1, IMAGE_SIZE, IMAGE_SIZE)
+            ).astype(np.float32)
+            for _ in range(12)
+        ]
+
+        def submit(block: np.ndarray) -> np.ndarray:
+            while True:  # QueueFullError is retriable by contract
+                try:
+                    return fleet.submit("prod", block)
+                except QueueFullError:
+                    time.sleep(0.001)
+
+        with FleetRouter(config) as fleet:
+            pinned = fleet.register("prod", v1)
+            print(f"fleet of {config.workers} serving {pinned}")
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = list(pool.map(submit, blocks))
+            served = sum(block.shape[0] for block in results)
+            print(f"served {served} images across the fleet")
+
+            result = fleet.rollout("prod", v2)
+            print(
+                f"rolling rollout to v2 flipped {list(result.flipped)} "
+                f"in {result.seconds:.2f} s "
+                f"({result.old_manifest[:12]} -> {result.new_manifest[:12]})"
+            )
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(pool.map(submit, blocks))
+            status = fleet.status()
+            for name, worker in status["workers"].items():
+                tenant = worker["snapshot"]["registry"]["prod"]
+                fetched = (tenant["store"] or {}).get("fetched_blobs")
+                print(
+                    f"  {name}: pid {worker['pid']} healthy="
+                    f"{worker['healthy']} fetched_blobs={fetched}"
+                )
+            counters = status["counters"]
+            print(
+                f"counters: {counters['dispatched']} dispatched, "
+                f"{counters['failovers']} failovers, "
+                f"{counters['worker_deaths']} worker deaths"
+            )
+
+
+if __name__ == "__main__":
+    main()

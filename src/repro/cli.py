@@ -12,8 +12,12 @@ aligned text report used in EXPERIMENTS.md:
    python -m repro backends        # simulation backend + model registries
    python -m repro infer --artifact model.npz --batch 64   # serve it
    python -m repro serve --artifact model.npz --tenant t0  # daemon demo
+   python -m repro fleet run --artifact ./models#prod --workers 4
+   python -m repro fleet rollout --artifact ./models#prod \
+                                 --rollout-to ./models#next
    python -m repro store import model.npz --store ./models # shard it
    python -m repro store ls --store ./models               # inventory
+   python -m repro store gc --store ./models --dry-run     # audit a sweep
    python -m repro store gc --store ./models               # sweep blobs
    python -m repro fig3            # top-16 frequency head
    python -m repro mix             # code-length mix (Sec. VI)
@@ -230,6 +234,76 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return json.dumps(snapshot, indent=2)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    import numpy as np
+
+    from .fleet import FleetConfig, FleetRouter
+    from .serve import QueueFullError, ServeConfig
+
+    config = FleetConfig(
+        workers=args.workers,
+        serve=ServeConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_depth=args.queue_depth,
+        ),
+    )
+    input_shape = _artifact_input_shape(args.artifact)
+    rng = np.random.default_rng(args.seed)
+    document = {"action": args.action, "tenant": args.tenant}
+
+    def _drive(fleet: FleetRouter) -> None:
+        images = rng.standard_normal(
+            (args.requests, *input_shape)
+        ).astype(np.float32)
+        blocks = [
+            images[index:index + args.batch]
+            for index in range(0, args.requests, args.batch)
+        ]
+
+        def _one(block):
+            while True:  # QueueFullError is retriable by contract
+                try:
+                    return fleet.submit(args.tenant, block)
+                except QueueFullError:
+                    time.sleep(0.001)
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+            for result in pool.map(_one, blocks):
+                result.shape  # surface worker errors eagerly
+        seconds = time.perf_counter() - start
+        document["load"] = {
+            "requests": int(args.requests),
+            "failed": 0,  # _one raised otherwise and we never got here
+            "block_size": int(args.batch),
+            "concurrency": int(args.concurrency),
+            "seconds": seconds,
+            "images_per_second": (
+                args.requests / seconds if seconds else None
+            ),
+        }
+
+    with FleetRouter(config) as fleet:
+        document["artifact"] = fleet.register(
+            args.tenant, args.artifact, cache_size=args.cache_size
+        )
+        if args.action in ("run", "rollout"):
+            _drive(fleet)
+        if args.action == "rollout":
+            if not args.rollout_to:
+                raise SystemExit("fleet rollout needs --rollout-to")
+            document["rollout"] = fleet.rollout(
+                args.tenant, args.rollout_to
+            ).to_dict()
+            _drive(fleet)  # prove the new version serves
+        document["status"] = fleet.status()
+    return json.dumps(document, indent=2)
+
+
 def _artifact_input_shape(path):
     """Infer a servable (C, H, W) for the artifact's stem.
 
@@ -297,12 +371,21 @@ def _cmd_store(args: argparse.Namespace) -> str:
             f"{totals['unique_referenced_keys']} unique)"
         )
     if args.action == "gc":
-        result = store.gc()
-        return (
-            f"gc: removed {len(result.removed_blobs)} blobs, "
+        result = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        lines = [
+            f"gc{' (dry run)' if args.dry_run else ''}: "
+            f"{verb} {len(result.removed_blobs)} blobs, "
             f"{len(result.removed_manifests)} manifests "
             f"(kept {result.kept_blobs}, pinned {result.pinned_blobs})"
-        )
+        ]
+        if args.dry_run:
+            lines.extend(
+                f"  manifest {manifest_hash}"
+                for manifest_hash in result.removed_manifests
+            )
+            lines.extend(f"  blob {key}" for key in result.removed_blobs)
+        return "\n".join(lines)
     if not args.target:
         raise SystemExit(f"store {args.action} needs a model name or blob key")
     if args.action == "pin":
@@ -471,6 +554,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "backends": _cmd_backends,
     "infer": _cmd_infer,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "store": _cmd_store,
     "fig3": _cmd_fig3,
     "mix": _cmd_mix,
@@ -502,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("backends", "list the simulation backend + workload registries"),
         ("infer", "batched packed inference from a deploy artifact"),
         ("serve", "drive the dynamic-batching daemon; print metrics JSON"),
+        ("fleet", "multi-process serving fleet: run/rollout/status"),
         ("store", "content-addressed artifact store: import/ls/gc/pin"),
         ("fig3", "Fig. 3: top-16 bit-sequence frequencies"),
         ("mix", "Sec. VI: share of channels per code length"),
@@ -597,6 +682,58 @@ def build_parser() -> argparse.ArgumentParser:
                 "--cache-size", type=int, default=8,
                 help="decoded-kernel LRU capacity for artifact plans",
             )
+        if name == "fleet":
+            sub.add_argument(
+                "action", choices=("run", "rollout", "status"),
+                help="drive load, perform a rolling hot-swap, or just "
+                     "report fleet status",
+            )
+            sub.add_argument(
+                "--artifact", required=True,
+                help="deploy artifact (.npz path or <store-dir>#<name> "
+                     "ref) the fleet serves",
+            )
+            sub.add_argument(
+                "--rollout-to", default=None,
+                help="rollout only: the artifact to hot-swap the "
+                     "tenant to, one worker at a time",
+            )
+            sub.add_argument(
+                "--tenant", default="default",
+                help="tenant namespace to register (default 'default')",
+            )
+            sub.add_argument(
+                "--workers", type=int, default=2,
+                help="worker processes in the fleet (default 2)",
+            )
+            sub.add_argument(
+                "--requests", type=int, default=64,
+                help="demo-load image count to drive (default 64)",
+            )
+            sub.add_argument(
+                "--batch", type=int, default=16,
+                help="images per submitted block (default 16)",
+            )
+            sub.add_argument(
+                "--concurrency", type=int, default=4,
+                help="concurrent client threads in the demo load",
+            )
+            sub.add_argument(
+                "--max-batch", type=int, default=32,
+                help="per-worker dynamic-batch flush size (default 32)",
+            )
+            sub.add_argument(
+                "--max-wait-ms", type=float, default=2.0,
+                help="per-worker batcher wait bound (default 2.0)",
+            )
+            sub.add_argument(
+                "--queue-depth", type=int, default=1024,
+                help="per-worker admitted-image bound (default 1024)",
+            )
+            sub.add_argument(
+                "--cache-size", type=int, default=8,
+                help="decoded-kernel LRU capacity of each worker's plan",
+            )
         if name == "store":
             sub.add_argument(
                 "action",
@@ -616,6 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--name", default=None,
                 help="model name to register on import (default: the "
                      "artifact's own model name)",
+            )
+            sub.add_argument(
+                "--dry-run", action="store_true",
+                help="gc only: list what a sweep would remove without "
+                     "deleting anything",
             )
         if name == "serve":
             sub.add_argument(

@@ -363,6 +363,21 @@ class ArtifactReader:
         prefix = f"{key}."
         return [name for name in self.arrays if name.startswith(prefix)]
 
+    def fetch_stats(self) -> Optional[Dict]:
+        """Store I/O counters for sharded readers, ``None`` for eager ones.
+
+        A store-ref reader reports how many distinct blobs it has
+        materialised (:attr:`~repro.store.ShardedArrays.fetched_blobs`)
+        plus the underlying :meth:`~repro.store.blobs.BlobStore.stats`
+        media counters — the observable footprint of lazy fetching.  A
+        monolithic ``.npz`` reader loads everything up front, so there
+        is nothing to count and this returns ``None``.
+        """
+        fetched = getattr(self.arrays, "fetched_blobs", None)
+        if fetched is None:
+            return None
+        return {"fetched_blobs": fetched, **self.arrays.blobs.stats()}
+
     def stream_blob(self, entry: Dict) -> bytes:
         """Raw compressed-stream bytes of a ``compressed3x3`` entry."""
         if entry.get("storage") != "compressed3x3":

@@ -1,0 +1,97 @@
+"""Length-prefixed message frames: JSON header + raw array payloads.
+
+The fleet's wire format, shared by the router and every worker.  One
+frame is::
+
+    u32 header_len | header JSON (utf-8) | array payloads, in table order
+
+The header is an arbitrary JSON-safe message dictionary; when arrays
+ride along, the encoder records an ``arrays`` table (name/dtype/shape,
+in sorted name order) in the header and appends each array's
+C-contiguous bytes after it — the same canonical-table idiom as
+:func:`repro.store.blobs.pack_blob`, so a frame's meaning never depends
+on pickle.  The leading length field makes a frame self-delimiting, so
+the format works unchanged over raw stream sockets; across
+:class:`multiprocessing.connection.Connection` pipes (the fleet's
+default transport) ``send_bytes``/``recv_bytes`` carry one frame per
+call.
+
+Decoded arrays are read-only views into the received buffer — consumers
+that need ownership copy explicitly, exactly like
+:func:`~repro.store.blobs.unpack_blob` consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["encode_frame", "decode_frame"]
+
+#: sanity bound on the header table; a corrupt length prefix fails fast
+#: instead of attempting a multi-gigabyte allocation
+_MAX_HEADER_BYTES = 1 << 24
+
+
+def encode_frame(
+    message: Dict, arrays: Optional[Dict[str, np.ndarray]] = None
+) -> bytes:
+    """Serialise ``message`` (plus optional arrays) into one frame."""
+    message = dict(message)
+    payloads = []
+    if arrays:
+        table = []
+        for name in sorted(arrays):
+            array = np.ascontiguousarray(arrays[name])
+            table.append(
+                {
+                    "name": name,
+                    "dtype": str(array.dtype),
+                    "shape": list(array.shape),
+                }
+            )
+            payloads.append(array.tobytes())
+        message["arrays"] = table
+    else:
+        message.pop("arrays", None)
+    header = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return b"".join(
+        [len(header).to_bytes(4, "little"), header, *payloads]
+    )
+
+
+def decode_frame(buf) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_frame`: ``(message, arrays)``.
+
+    Arrays are zero-copy read-only views into ``buf``; the ``arrays``
+    table is consumed from the returned message.
+    """
+    view = memoryview(buf)
+    if len(view) < 4:
+        raise ValueError(f"truncated frame ({len(view)} bytes)")
+    header_len = int.from_bytes(view[:4], "little")
+    if header_len > _MAX_HEADER_BYTES or 4 + header_len > len(view):
+        raise ValueError(
+            f"corrupt frame: header length {header_len} exceeds "
+            f"frame of {len(view)} bytes"
+        )
+    message = json.loads(bytes(view[4:4 + header_len]))
+    offset = 4 + header_len
+    arrays: Dict[str, np.ndarray] = {}
+    for spec in message.pop("arrays", ()):
+        dtype = np.dtype(spec["dtype"])
+        count = int(np.prod(spec["shape"])) if spec["shape"] else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(view):
+            raise ValueError(
+                f"corrupt frame: array {spec['name']!r} overruns the buffer"
+            )
+        arrays[spec["name"]] = np.frombuffer(
+            view[offset:offset + nbytes], dtype=dtype
+        ).reshape(spec["shape"])
+        offset += nbytes
+    return message, arrays

@@ -239,10 +239,26 @@ class InferencePlan:
         steps: Sequence[PlanStep],
         name: str = "model",
         kernel_cache: Optional[LruCache] = None,
+        reader: Optional[ArtifactReader] = None,
     ) -> None:
         self.steps: List[PlanStep] = list(steps)
         self.name = name
         self.kernel_cache = kernel_cache
+        self.reader = reader
+
+    def fetch_stats(self) -> Optional[Dict]:
+        """Store fetch counters of the plan's backing reader.
+
+        Non-``None`` only for store-ref artifact plans (see
+        :meth:`ArtifactReader.fetch_stats
+        <repro.deploy.ArtifactReader.fetch_stats>`): the number of
+        distinct layer blobs this plan has faulted in so far plus the
+        blob-store media counters.  Serving surfaces it per tenant, so a
+        fleet worker's lazy-shard footprint is observable.
+        """
+        if self.reader is None:
+            return None
+        return self.reader.fetch_stats()
 
     # ------------------------------------------------------------------
     # Compilation
@@ -395,7 +411,7 @@ class InferencePlan:
             else:
                 steps.append(FloatStep(reader.rebuild_layer(entry)))
                 index += 1
-        return cls(steps, name=reader.name, kernel_cache=cache)
+        return cls(steps, name=reader.name, kernel_cache=cache, reader=reader)
 
     @staticmethod
     def _artifact_conv_step(

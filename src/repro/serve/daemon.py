@@ -52,7 +52,8 @@ class ServeConfig:
     max_batch: int = 32
     #: ... or once the oldest queued request has waited this long
     max_wait_ms: float = 2.0
-    #: per-tenant bound on admitted-but-unfinished requests
+    #: per-tenant bound on admitted-but-unfinished *images* (a
+    #: submit_batch block of B images consumes B units of this budget)
     queue_depth: int = 256
     #: thread-pool width: how many tenant batches may run concurrently
     workers: int = 2
@@ -75,12 +76,28 @@ class ServeConfig:
 
 
 class _Request:
-    """One admitted image: payload, its future, and the admit timestamp."""
+    """One admitted unit of work: a ``(B, ...)`` image block, its future,
+    and the admit timestamp.
 
-    __slots__ = ("image", "future", "admitted_at")
+    ``submit`` admits single-image units (``B == 1``, ``single=True`` —
+    the future resolves to that image's ``(classes,)`` logits);
+    ``submit_batch`` admits whole blocks whose future resolves to the
+    ``(B, classes)`` slice.  ``count`` is what the backpressure budget
+    and the batcher's flush threshold are measured in: images, not
+    units, so a mixed stream of singles and blocks shares one budget.
+    """
 
-    def __init__(self, image: np.ndarray, future: "asyncio.Future") -> None:
-        self.image = image
+    __slots__ = ("images", "count", "single", "future", "admitted_at")
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        future: "asyncio.Future",
+        single: bool = False,
+    ) -> None:
+        self.images = images
+        self.count = images.shape[0]
+        self.single = single
         self.future = future
         self.admitted_at = time.perf_counter()
 
@@ -162,22 +179,57 @@ class ServingDaemon:
         exhausted (retriable), and :class:`DaemonClosedError` after
         shutdown has begun.
         """
+        image = np.asarray(image, dtype=np.float32)
+        return await self._admit(tenant, image[None], single=True)
+
+    async def submit_batch(
+        self, tenant: str, images: np.ndarray
+    ) -> np.ndarray:
+        """Serve a ``(B, ...)`` block of images as one admission unit.
+
+        The batch-granular ingress the fleet router dispatches through:
+        one admission check, one queue entry and one future cover ``B``
+        images, so none of the per-image event-loop overhead of
+        :meth:`submit` is paid — while the block still coalesces with
+        whatever else is queued, exactly like single submissions.
+        Returns the block's ``(B, classes)`` logits; all-or-nothing —
+        a block is either admitted whole or rejected whole.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim < 2 or images.shape[0] < 1:
+            raise ValueError(
+                f"expected a non-empty (B, ...) image block, got shape "
+                f"{images.shape}"
+            )
+        return await self._admit(tenant, images, single=False)
+
+    async def _admit(
+        self, tenant: str, images: np.ndarray, single: bool
+    ) -> np.ndarray:
         if self._closing:
             raise DaemonClosedError("daemon is shutting down")
         tenant_obj = self.registry.get(tenant)  # raises UnknownTenantError
         lane = self._lane(tenant_obj.name)
-        if lane.inflight >= self.config.queue_depth:
+        count = images.shape[0]
+        # a block larger than the whole budget could never be admitted;
+        # let it through alone on an idle lane rather than livelock the
+        # retry loop of a misconfigured client
+        if (
+            lane.inflight + count > self.config.queue_depth
+            and not (lane.inflight == 0 and count > self.config.queue_depth)
+        ):
             self.metrics.record_rejected(tenant)
             raise QueueFullError(
                 f"tenant {tenant!r} queue is full "
-                f"({lane.inflight}/{self.config.queue_depth} in flight); "
-                "back off and retry"
+                f"({lane.inflight}/{self.config.queue_depth} images in "
+                f"flight, {count} offered); back off and retry"
             )
-        lane.inflight += 1
+        lane.inflight += count
         self.metrics.record_admitted(tenant)
         request = _Request(
-            np.asarray(image, dtype=np.float32),
+            images,
             asyncio.get_running_loop().create_future(),
+            single=single,
         )
         lane.queue.put_nowait(request)
         return await request.future
@@ -204,10 +256,11 @@ class ServingDaemon:
             if first is _SHUTDOWN:
                 return
             batch: List[_Request] = [first]
+            gathered = first.count
             deadline = loop.time() + max_wait
             shutdown = False
             try:
-                while len(batch) < self.config.max_batch:
+                while gathered < self.config.max_batch:
                     try:
                         # fast path: burst already queued — drain without
                         # paying a wait_for wrapper task per item
@@ -226,11 +279,12 @@ class ServingDaemon:
                         shutdown = True
                         break
                     batch.append(item)
+                    gathered += item.count
             except asyncio.CancelledError:
                 # aborted mid-collection: requests already claimed into
                 # the partial batch would otherwise never resolve
                 for request in batch:
-                    lane.inflight -= 1
+                    lane.inflight -= request.count
                     if not request.future.done():
                         request.future.set_exception(
                             DaemonClosedError("daemon stopped before serving")
@@ -255,9 +309,10 @@ class ServingDaemon:
         """Run one coalesced batch on the thread pool and fan results out."""
         loop = asyncio.get_running_loop()
         tenant = self.registry.get(name)
+        total = sum(request.count for request in batch)
 
         def run_on_worker():
-            images = np.stack([request.image for request in batch])
+            images = np.concatenate([request.images for request in batch])
             plan, swapped = tenant.plan()  # lazy compile / hot-swap
             return plan.run_batch(images), swapped
 
@@ -272,15 +327,18 @@ class ServingDaemon:
                 self.metrics.record_failed(name)
             return
         finally:
-            lane.inflight -= len(batch)
-        self.metrics.record_batch(name, len(batch), swapped)
+            lane.inflight -= total
+        self.metrics.record_batch(name, total, swapped)
         completed_at = time.perf_counter()
-        for index, request in enumerate(batch):
+        offset = 0
+        for request in batch:
             if not request.future.done():
-                request.future.set_result(logits[index])
+                block = logits[offset:offset + request.count]
+                request.future.set_result(block[0] if request.single else block)
                 self.metrics.record_completed(
                     name, completed_at - request.admitted_at
                 )
+            offset += request.count
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -318,7 +376,7 @@ class ServingDaemon:
                     item = lane.queue.get_nowait()
                     if item is _SHUTDOWN:
                         continue
-                    lane.inflight -= 1
+                    lane.inflight -= item.count
                     if not item.future.done():
                         item.future.set_exception(
                             DaemonClosedError("daemon stopped before serving")
@@ -342,7 +400,7 @@ class ServingDaemon:
     # Introspection
     # ------------------------------------------------------------------
     def queue_depths(self) -> Dict[str, int]:
-        """Live admitted-but-unfinished count per tenant."""
+        """Live admitted-but-unfinished image count per tenant."""
         return {name: lane.inflight for name, lane in self._lanes.items()}
 
     def snapshot(self) -> Dict:

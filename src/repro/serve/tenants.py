@@ -152,7 +152,14 @@ class Tenant:
             self._forced_stale = True
 
     def describe(self) -> Dict:
-        """JSON-ready tenant descriptor for the metrics surface."""
+        """JSON-ready tenant descriptor for the metrics surface.
+
+        Store-ref tenants additionally report their ``store`` fetch
+        counters (distinct blobs faulted in, media reads, bytes) via
+        :meth:`InferencePlan.fetch_stats
+        <repro.infer.plan.InferencePlan.fetch_stats>` — ``None`` for
+        monolithic ``.npz`` tenants, whose reader loads eagerly.
+        """
         with self._lock:
             compiled = self._plan is not None
             return {
@@ -165,6 +172,9 @@ class Tenant:
                 "plan_steps": len(self._plan) if compiled else None,
                 "kernel_cache": (
                     self._plan.cache_stats() if compiled else None
+                ),
+                "store": (
+                    self._plan.fetch_stats() if compiled else None
                 ),
             }
 

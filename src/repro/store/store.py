@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
@@ -263,7 +264,10 @@ class ArtifactStore:
         }
 
     def _save_pins(self, pins: Dict[str, List[str]]) -> None:
-        self._pins_path.write_text(
+        # write-to-temp + rename, like refs and blobs: readers polling
+        # pins() mid-rollout must never see a half-written document
+        temp = self._pins_path.with_name(f".pins.{os.getpid()}.tmp")
+        temp.write_text(
             json.dumps(
                 {key: sorted(set(value)) for key, value in pins.items()},
                 indent=2,
@@ -271,6 +275,7 @@ class ArtifactStore:
             )
             + "\n"
         )
+        os.replace(temp, self._pins_path)
 
     def pins(self) -> Dict[str, List[str]]:
         """The GC roots beyond the refs: pinned manifests and blobs."""
@@ -351,8 +356,14 @@ class ArtifactStore:
             if (self._manifests / f"{manifest_hash}.json").exists()
         )
 
-    def gc(self) -> GcResult:
-        """Mark-and-sweep unreferenced manifests and blobs."""
+    def gc(self, dry_run: bool = False) -> GcResult:
+        """Mark-and-sweep unreferenced manifests and blobs.
+
+        With ``dry_run=True`` nothing is deleted: the returned
+        :class:`GcResult` lists exactly what a real pass over the same
+        store state *would* remove, so an operator can audit a sweep
+        before committing to it.
+        """
         pins = self._load_pins()
         live_manifests = set(self._live_manifests())
         referenced: set = set()
@@ -363,12 +374,14 @@ class ArtifactStore:
         removed_blobs = []
         for key in list(self.blobs.keys()):
             if key not in keep:
-                self.blobs.delete(key)
+                if not dry_run:
+                    self.blobs.delete(key)
                 removed_blobs.append(key)
         removed_manifests = []
         for manifest_hash in self.manifest_hashes():
             if manifest_hash not in live_manifests:
-                (self._manifests / f"{manifest_hash}.json").unlink()
+                if not dry_run:
+                    (self._manifests / f"{manifest_hash}.json").unlink()
                 removed_manifests.append(manifest_hash)
         return GcResult(
             removed_blobs=sorted(removed_blobs),

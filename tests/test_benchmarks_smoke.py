@@ -9,6 +9,8 @@ exactly once — and any exception (import error, API drift, assertion
 failure inside the bench) fails the corresponding smoke test.
 """
 
+import importlib.util
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -35,6 +37,61 @@ def test_benchmark_suite_is_discovered():
     assert "bench_infer_throughput.py" in names
     assert "bench_table5_compression.py" in names
     assert "bench_model_compression.py" in names
+
+
+def _load_bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", BENCH_DIR / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchArtifactHistory:
+    """``update_bench_artifact`` keeps a perf trajectory per section."""
+
+    def test_history_appends_across_runs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_ARTIFACT_DIR", str(tmp_path))
+        monkeypatch.setenv("BENCH_REDUCED", "1")
+        conftest = _load_bench_conftest()
+
+        path = conftest.update_bench_artifact(
+            "history", "section", {"speedup": 2.0}, headline="speedup"
+        )
+        conftest.update_bench_artifact(
+            "history", "section", {"speedup": 3.0}, headline="speedup"
+        )
+        section = json.loads(path.read_text())["section"]
+        assert section["speedup"] == 3.0
+        assert [entry["value"] for entry in section["history"]] == [2.0, 3.0]
+        for entry in section["history"]:
+            assert entry["metric"] == "speedup"
+            assert entry["reduced"] is True
+            assert "T" in entry["at"]  # ISO timestamp
+
+    def test_history_survives_merge_of_other_sections(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("BENCH_ARTIFACT_DIR", str(tmp_path))
+        conftest = _load_bench_conftest()
+
+        conftest.update_bench_artifact(
+            "history", "a", {"ratio": 1.5}, headline="ratio"
+        )
+        path = conftest.update_bench_artifact(
+            "history", "b", {"ratio": 9.0}, headline="ratio"
+        )
+        document = json.loads(path.read_text())
+        assert len(document["a"]["history"]) == 1
+        assert len(document["b"]["history"]) == 1
+
+    def test_no_headline_keeps_history_empty(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_ARTIFACT_DIR", str(tmp_path))
+        conftest = _load_bench_conftest()
+
+        path = conftest.update_bench_artifact("history", "plain", {"x": 1})
+        assert json.loads(path.read_text())["plain"]["history"] == []
 
 
 @pytest.mark.parametrize("bench", BENCH_FILES, ids=lambda path: path.stem)

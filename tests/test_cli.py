@@ -184,6 +184,61 @@ class TestServeCommand:
         assert payload["registry"]["edge"]["compiled"] is True
 
 
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["fleet", "run", "--artifact", "m.npz"]
+        )
+        assert args.action == "run"
+        assert args.artifact == "m.npz"
+        assert args.tenant == "default"
+        assert args.workers == 2
+        assert args.requests == 64
+        assert args.batch == 16
+        assert args.concurrency == 4
+        assert args.rollout_to is None
+
+    def test_artifact_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "run"])
+
+    def test_action_choices(self):
+        for action in ("run", "rollout", "status"):
+            args = build_parser().parse_args(
+                ["fleet", action, "--artifact", "m.npz"]
+            )
+            assert args.action == action
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "nonsense", "--artifact", "m.npz"]
+            )
+
+    def test_fleet_run_prints_status_json(self, capsys, tmp_path):
+        from repro.bnn.reactnet import build_small_bnn
+        from repro.deploy import save_compressed_model
+
+        model = build_small_bnn(
+            in_channels=1, num_classes=4, image_size=8, channels=(8, 16),
+            seed=5,
+        )
+        model.eval()
+        path = tmp_path / "model.npz"
+        save_compressed_model(model, path)
+        assert main(
+            ["fleet", "run", "--artifact", str(path), "--tenant", "edge",
+             "--workers", "2", "--requests", "24", "--batch", "4",
+             "--concurrency", "3"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["load"]["requests"] == 24
+        assert payload["load"]["failed"] == 0
+        status = payload["status"]
+        assert set(status["workers"]) == {"w0", "w1"}
+        assert all(w["healthy"] for w in status["workers"].values())
+        assert "edge" in status["tenants"]
+        assert status["counters"]["dispatched"] >= 1
+
+
 class TestStoreCommand:
     @pytest.fixture()
     def artifact(self, tmp_path):
@@ -236,6 +291,28 @@ class TestStoreCommand:
         capsys.readouterr()
         assert main(["store", "gc", "--store", store]) == 0
         assert "0 manifests" not in capsys.readouterr().out
+
+    def test_gc_dry_run_lists_without_deleting(
+        self, capsys, artifact, tmp_path
+    ):
+        store = str(tmp_path / "store")
+        assert main(
+            ["store", "import", str(artifact), "--store", store,
+             "--name", "v1"]
+        ) == 0
+        assert main(["store", "rm", "v1", "--store", store]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "gc", "--store", store, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "gc (dry run): would remove" in out
+        assert "  manifest " in out and "  blob " in out
+
+        # the audit deleted nothing: the real sweep still finds it all
+        assert main(["store", "gc", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "would remove" not in out
+        assert "removed 0 blobs" not in out
 
     def test_infer_accepts_store_refs(self, capsys, artifact, tmp_path):
         store = str(tmp_path / "store")

@@ -136,6 +136,124 @@ class TestCoalescing:
 
 
 # ----------------------------------------------------------------------
+# Batch-granular admission: submit_batch
+# ----------------------------------------------------------------------
+class TestSubmitBatch:
+    def test_block_serves_bitexact_without_per_image_overhead(
+        self, tmp_path
+    ):
+        """A (B, ...) block admitted whole == the oracle at that batch."""
+        artifact = _save_artifact(tmp_path, seed=3)
+        images = _images(12)
+        daemon = ServingDaemon(
+            ServeConfig(max_batch=12, max_wait_ms=500, queue_depth=32)
+        )
+        daemon.register("t0", str(artifact))
+
+        async def drive():
+            async with daemon:
+                return await daemon.submit_batch("t0", images)
+
+        logits = asyncio.run(drive())
+        tenant = daemon.snapshot()["tenants"]["t0"]
+        assert logits.shape == (12, 4)
+        assert tenant["batch_histogram"] == {"12": 1}
+        assert np.array_equal(logits, _oracle(artifact, images))
+
+    def test_blocks_and_singles_coalesce_bitexact(self, tmp_path):
+        """Mixed submit/submit_batch traffic flushes as one batch."""
+        artifact = _save_artifact(tmp_path, seed=3)
+        images = _images(7)
+        daemon = ServingDaemon(
+            ServeConfig(max_batch=7, max_wait_ms=500, queue_depth=32)
+        )
+        daemon.register("t0", str(artifact))
+
+        async def drive():
+            async with daemon:
+                return await asyncio.gather(
+                    daemon.submit_batch("t0", images[0:4]),
+                    daemon.submit("t0", images[4]),
+                    daemon.submit_batch("t0", images[5:7]),
+                )
+
+        block_a, single, block_b = asyncio.run(drive())
+        tenant = daemon.snapshot()["tenants"]["t0"]
+        assert tenant["batch_histogram"] == {"7": 1}
+        oracle = _oracle(artifact, images)
+        assert np.array_equal(block_a, oracle[0:4])
+        assert np.array_equal(single, oracle[4])
+        assert single.ndim == 1  # submit() still returns one row
+        assert np.array_equal(block_b, oracle[5:7])
+
+    def test_backpressure_counts_images_not_requests(self, tmp_path):
+        """queue_depth bounds admitted *images*: a 3-image block plus a
+        2-image block overflows a depth-4 lane."""
+        artifact = _save_artifact(tmp_path, seed=5)
+        images = _images(5)
+        daemon = ServingDaemon(
+            ServeConfig(max_batch=16, max_wait_ms=50, queue_depth=4)
+        )
+        daemon.register("t0", str(artifact))
+
+        async def drive():
+            async with daemon:
+                first = asyncio.ensure_future(
+                    daemon.submit_batch("t0", images[:3])
+                )
+                for _ in range(3):
+                    await asyncio.sleep(0)
+                with pytest.raises(QueueFullError, match="retry"):
+                    await daemon.submit_batch("t0", images[3:5])
+                return await first
+
+        block = asyncio.run(drive())
+        assert daemon.snapshot()["tenants"]["t0"]["rejected"] == 1
+        assert np.array_equal(block, _oracle(artifact, images[:3]))
+
+    def test_oversized_block_admitted_alone_on_idle_lane(self, tmp_path):
+        """A block larger than queue_depth must not livelock: an idle
+        lane admits it whole (all-or-nothing), a busy lane rejects it."""
+        artifact = _save_artifact(tmp_path, seed=5)
+        images = _images(6)
+        daemon = ServingDaemon(
+            ServeConfig(max_batch=8, max_wait_ms=20, queue_depth=4)
+        )
+        daemon.register("t0", str(artifact))
+
+        async def drive():
+            async with daemon:
+                oversized = asyncio.ensure_future(
+                    daemon.submit_batch("t0", images)
+                )
+                for _ in range(3):
+                    await asyncio.sleep(0)
+                # while it is in flight, the lane is over budget
+                with pytest.raises(QueueFullError):
+                    await daemon.submit_batch("t0", images[:1])
+                return await oversized
+
+        logits = asyncio.run(drive())
+        assert np.array_equal(logits, _oracle(artifact, images))
+
+    def test_invalid_blocks_rejected(self, tmp_path):
+        artifact = _save_artifact(tmp_path, seed=5)
+        daemon = ServingDaemon()
+        daemon.register("t0", str(artifact))
+
+        async def drive():
+            async with daemon:
+                with pytest.raises(ValueError, match="image block"):
+                    await daemon.submit_batch("t0", np.zeros(4))
+                with pytest.raises(ValueError, match="image block"):
+                    await daemon.submit_batch(
+                        "t0", np.zeros((0, 1, 8, 8))
+                    )
+
+        asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
 # Backpressure
 # ----------------------------------------------------------------------
 class TestBackpressure:

@@ -215,6 +215,27 @@ class TestPinsAndGc:
         assert list(store.blobs.keys()) == []
         assert store.manifest_hashes() == []
 
+    def test_gc_dry_run_predicts_without_deleting(self, artifact, tmp_path):
+        """``dry_run=True`` reports exactly what a real pass removes,
+        while leaving every blob and manifest on disk."""
+        store = ArtifactStore(tmp_path / "store")
+        store.import_artifact(artifact, name="v1")
+        keys = set(store.blobs.keys())
+        manifests = set(store.manifest_hashes())
+        store.remove("v1")
+
+        predicted = store.gc(dry_run=True)
+        assert set(predicted.removed_blobs) == keys
+        assert len(predicted.removed_manifests) == 1
+        # nothing was actually deleted
+        assert set(store.blobs.keys()) == keys
+        assert set(store.manifest_hashes()) == manifests
+
+        swept = store.gc()
+        assert swept.removed_blobs == predicted.removed_blobs
+        assert swept.removed_manifests == predicted.removed_manifests
+        assert list(store.blobs.keys()) == []
+
     def test_pinned_manifest_survives_gc_and_still_serves(
         self, artifact, tmp_path
     ):
