@@ -1,0 +1,367 @@
+"""Chaos soak: seeded fault injection against the store and a live fleet.
+
+The acceptance gate for the integrity layer (:mod:`repro.faults`,
+verify-on-read, CRC32 wire frames, unified retry + circuit breakers):
+under a seeded :class:`~repro.faults.FaultPlan` every injected fault
+must be *detected and contained* — never served as wrong bits.
+
+Two sections:
+
+* **store_integrity** — a deterministic schedule of blob bit-flips and
+  truncation, a torn-write publish crash, and a corrupted manifest,
+  driven through the real ``save_compressed_model`` /
+  ``load_compressed_model`` store paths.  Every fault the plan fires
+  must surface as a typed detection (``IntegrityError`` /
+  ``InjectedCrashError``) or an ``fsck`` finding; the headline is the
+  measured detection rate, which must be 1.0.
+
+* **fleet_chaos** — a 4-worker fleet under concurrent client load with
+  scheduled worker kills and wire-frame corruption (both directions).
+  Clients ride :meth:`FleetRouter.submit_retrying`; the gate is zero
+  wrong-bit responses (every completed block bit-identical to the
+  float-path oracle), availability above a floor, and every scheduled
+  kill visible as a worker death the router recovered from.
+
+Results land in ``BENCH_chaos.json``; ``BENCH_REDUCED=1`` shrinks the
+soak for CI.  When ``BENCH_ARTIFACT_DIR`` is set, the store section
+copies its quarantine directory there (``chaos-quarantine/``) so a CI
+failure ships the actual damaged bytes for diagnosis.
+"""
+
+import os
+import shutil
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from conftest import bench_reduced, update_bench_artifact
+
+from repro import faults
+from repro.bnn.reactnet import build_small_bnn
+from repro.deploy import load_compressed_model, save_compressed_model
+from repro.fleet import FleetConfig, FleetRouter, RetryPolicy
+from repro.serve import ServeConfig
+from repro.store import ArtifactStore, IntegrityError
+
+CHANNELS = (16, 32)
+IMAGE_SIZE = 8
+NUM_CLASSES = 10
+SEED = 0
+CHAOS_SEED = 1234
+
+WORKERS = 4
+BLOCK = 64
+CLIENTS = 4
+SERVE_WORKERS = 1
+
+FULL_BLOCKS = 96
+REDUCED_BLOCKS = 24
+
+#: the soak must keep at least this fraction of blocks completing
+AVAILABILITY_FLOOR = 0.9
+
+
+def _model(seed: int):
+    model = build_small_bnn(
+        in_channels=1, num_classes=NUM_CLASSES, image_size=IMAGE_SIZE,
+        channels=CHANNELS, seed=seed,
+    )
+    model.eval()
+    return model
+
+
+def _images(count: int, seed: int = SEED) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(
+        (count, 1, IMAGE_SIZE, IMAGE_SIZE)
+    ).astype(np.float32)
+
+
+def test_store_chaos_every_fault_detected(tmp_path):
+    """Seeded store faults: 100% detection, zero wrong-bit loads."""
+    store = ArtifactStore(tmp_path / "store")
+    ref = f"{store.root}#prod"
+    save_compressed_model(_model(SEED), ref)
+    images = _images(BLOCK)
+    oracle = load_compressed_model(ref).forward_batched(
+        images, batch_size=BLOCK
+    )
+
+    # The schedule, keyed by (site, invocation) while armed:
+    #   blob.get 0      first load attempt reads a bit-flipped blob
+    #   blob.put 0      the repair import's publish crashes mid-write
+    #   blob.get 1      the next load attempt reads a truncated blob
+    #   manifest 0      a new model version publishes a corrupt manifest
+    plan = faults.FaultPlan(
+        [
+            faults.FaultSpec("store.blob.get", 0, "bit_flip"),
+            faults.FaultSpec("store.blob.put", 0, "torn_write"),
+            faults.FaultSpec("store.blob.get", 1, "truncate"),
+            faults.FaultSpec("store.manifest.write", 0, "bit_flip"),
+        ],
+        seed=CHAOS_SEED,
+    )
+
+    def load_prod() -> np.ndarray:
+        return load_compressed_model(ref).forward_batched(
+            images, batch_size=BLOCK
+        )
+
+    detections = []
+    wrong_bits = 0
+    with plan.armed():
+        # 1: bit-flipped blob must raise, not serve wrong logits
+        try:
+            logits = load_prod()
+            wrong_bits += 0 if np.array_equal(logits, oracle) else 1
+        except IntegrityError:
+            detections.append("blob_bit_flip -> IntegrityError + quarantine")
+
+        # 2: repairing the quarantined blob hits the torn-write crash —
+        # the blob is NOT published and a stale .tmp is left behind
+        try:
+            save_compressed_model(_model(SEED), ref)
+        except faults.InjectedCrashError:
+            detections.append("torn_write -> InjectedCrashError, no publish")
+        repub = ArtifactStore(store.root)
+        assert repub.fsck().missing_blobs, (
+            "the torn write must not have published the blob"
+        )
+        assert repub._stale_tmp(), "the crash must strand a .tmp file"
+
+        # 3: second repair succeeds; the next load hits the truncation
+        save_compressed_model(_model(SEED), ref)
+        try:
+            logits = load_prod()
+            wrong_bits += 0 if np.array_equal(logits, oracle) else 1
+        except IntegrityError:
+            detections.append("blob_truncate -> IntegrityError + quarantine")
+
+        # 4: a new version's manifest is corrupted at publish time;
+        # loading it must fail verification, not build a wrong model
+        save_compressed_model(_model(SEED), ref)  # repair the truncation
+        cand = f"{store.root}#cand"
+        save_compressed_model(_model(SEED + 1), cand)
+        try:
+            load_compressed_model(cand)
+            wrong_bits += 1  # a corrupt manifest must never load
+        except (IntegrityError, ValueError, KeyError):
+            detections.append("manifest_bit_flip -> rejected at load")
+
+    fired = plan.summary()["fired"]
+    assert len(fired) == len(plan.specs), (
+        f"only {len(fired)}/{len(plan.specs)} planted faults fired: {fired}"
+    )
+    detection_rate = len(detections) / len(fired)
+
+    # fsck sees what the load path saw: the corrupt manifest, its
+    # dangling ref, and the stranded temp file
+    scan = ArtifactStore(store.root).fsck()
+    assert scan.corrupt_manifests, "fsck must flag the corrupt manifest"
+    assert "cand" in scan.dangling_refs, "fsck must flag the dangling ref"
+    assert scan.stale_tmp, "fsck must flag the stranded .tmp"
+
+    # repair quarantines the damage; the store comes back healthy and
+    # still serves the prod model bit-exactly
+    repaired = ArtifactStore(store.root).fsck(repair=True)
+    assert repaired.quarantined
+    clean = ArtifactStore(store.root).fsck()
+    assert clean.ok, f"store unhealthy after repair: {clean.to_dict()}"
+    assert not clean.stale_tmp
+    final = load_prod()
+    assert np.array_equal(final, oracle)
+
+    quarantine_files = sorted(
+        path.name for path in store.quarantine_root.iterdir()
+    )
+    artifact_dir = os.environ.get("BENCH_ARTIFACT_DIR")
+    if artifact_dir:
+        shutil.copytree(
+            store.quarantine_root,
+            Path(artifact_dir) / "chaos-quarantine",
+            dirs_exist_ok=True,
+        )
+
+    assert wrong_bits == 0, f"{wrong_bits} faults served wrong bits"
+    assert detection_rate == 1.0, (
+        f"detection rate {detection_rate:.2f}: fired={fired}, "
+        f"detected={detections}"
+    )
+    update_bench_artifact(
+        "chaos",
+        "store_integrity",
+        {
+            "seed": CHAOS_SEED,
+            "planted": [spec.to_dict() for spec in plan.specs],
+            "fired": fired,
+            "detections": detections,
+            "detection_rate": float(detection_rate),
+            "wrong_bit_loads": int(wrong_bits),
+            "fsck_findings": {
+                "corrupt_manifests": len(scan.corrupt_manifests),
+                "dangling_refs": len(scan.dangling_refs),
+                "stale_tmp": len(scan.stale_tmp),
+                "orphan_blobs": len(scan.orphan_blobs),
+            },
+            "quarantined_files": quarantine_files,
+            "clean_after_repair": bool(clean.ok),
+        },
+        headline="detection_rate",
+    )
+    print(
+        f"\nstore chaos: {len(fired)} faults fired, "
+        f"{len(detections)} detected ({detection_rate:.0%}), "
+        f"0 wrong-bit loads, {len(quarantine_files)} files quarantined, "
+        f"store clean after fsck --repair"
+    )
+
+
+def test_fleet_chaos_soak_zero_wrong_bits(tmp_path):
+    """Kills + corrupt frames under load: bit-exact or retried, never wrong."""
+    reduced = bench_reduced()
+    total_blocks = REDUCED_BLOCKS if reduced else FULL_BLOCKS
+
+    artifact = tmp_path / "model.npz"
+    save_compressed_model(_model(SEED), artifact)
+    images = _images(BLOCK)
+    oracle = load_compressed_model(artifact).forward_batched(
+        images, batch_size=BLOCK
+    )
+
+    # Dispatch invocations 0..2*WORKERS-1 are the warm-up; kills land in
+    # the soak range.  Wire invocations in the router are registers and
+    # results (heartbeats are effectively disabled below), so the
+    # planted frame corruption lands on live serve traffic.
+    warmup = 2 * WORKERS
+    kill_at = [warmup + 3, warmup + total_blocks // 2]
+    if not reduced:
+        kill_at.append(warmup + (3 * total_blocks) // 4)
+    specs = [
+        faults.FaultSpec("fleet.dispatch", invocation, "kill")
+        for invocation in kill_at
+    ]
+    specs.append(
+        faults.FaultSpec("wire.decode", WORKERS + warmup + 5, "bit_flip")
+    )
+    specs.append(
+        faults.FaultSpec("wire.encode", WORKERS + warmup + 9, "bit_flip")
+    )
+    plan = faults.FaultPlan(specs, seed=CHAOS_SEED)
+
+    config = FleetConfig(
+        workers=WORKERS,
+        serve=ServeConfig(
+            max_batch=BLOCK, max_wait_ms=1.0, queue_depth=4 * BLOCK,
+            workers=SERVE_WORKERS,
+        ),
+        # hands-off heartbeats: deaths in this soak come from the plan,
+        # and pings would make wire invocation counts load-dependent
+        heartbeat_interval_ms=30_000.0,
+        heartbeat_timeout_ms=120_000.0,
+        breaker_failures=3,
+        breaker_reset_ms=200.0,
+    )
+    policy = RetryPolicy(
+        max_attempts=200, base_delay_ms=1.0, max_delay_ms=50.0,
+        deadline_ms=120_000.0, seed=CHAOS_SEED,
+    )
+
+    completed = 0
+    failed = 0
+    wrong_bits = 0
+    lock = threading.Lock()
+
+    with FleetRouter(config) as fleet:
+        fleet.register("prod", str(artifact))
+
+        def warm(_):
+            return fleet.submit_retrying("prod", images, policy=policy)
+
+        with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+            list(pool.map(warm, range(warmup)))
+
+        with plan.armed():
+
+            def client(_) -> None:
+                nonlocal completed, failed, wrong_bits
+                try:
+                    logits = fleet.submit_retrying(
+                        "prod", images, policy=policy
+                    )
+                except Exception:
+                    with lock:
+                        failed += 1
+                    return
+                exact = np.array_equal(logits, oracle)
+                with lock:
+                    completed += 1
+                    if not exact:
+                        wrong_bits += 1
+
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                list(pool.map(client, range(total_blocks)))
+            soak_seconds = time.perf_counter() - start
+            fired = plan.summary()["fired"]
+
+        status = fleet.status(snapshots=False)
+
+    counters = status["counters"]
+    kills_fired = sum(1 for entry in fired if entry["kind"] == "kill")
+    availability = completed / total_blocks
+    breaker_opens = sum(
+        row["breaker"]["opens"] for row in status["workers"].values()
+    )
+
+    assert wrong_bits == 0, (
+        f"{wrong_bits}/{completed} completed blocks returned wrong bits"
+    )
+    assert kills_fired == len(kill_at), (
+        f"only {kills_fired}/{len(kill_at)} scheduled kills fired"
+    )
+    assert counters["worker_deaths"] >= kills_fired, (
+        f"{counters['worker_deaths']} deaths seen for {kills_fired} kills"
+    )
+    assert availability >= AVAILABILITY_FLOOR, (
+        f"availability {availability:.2f} below {AVAILABILITY_FLOOR}"
+    )
+    update_bench_artifact(
+        "chaos",
+        "fleet_chaos",
+        {
+            "seed": CHAOS_SEED,
+            "workers": WORKERS,
+            "block_size": BLOCK,
+            "clients": CLIENTS,
+            "blocks": int(total_blocks),
+            "planted": [spec.to_dict() for spec in plan.specs],
+            "fired": fired,
+            "completed": int(completed),
+            "failed": int(failed),
+            "wrong_bit_responses": int(wrong_bits),
+            "availability": float(availability),
+            "availability_floor": AVAILABILITY_FLOOR,
+            "soak_seconds": float(soak_seconds),
+            "images_per_second": (
+                completed * BLOCK / soak_seconds if soak_seconds else None
+            ),
+            "worker_deaths": counters["worker_deaths"],
+            "failovers": counters["failovers"],
+            "restarts": counters["restarts"],
+            "breaker_opens": int(breaker_opens),
+        },
+        headline="availability",
+    )
+    print(
+        f"\nfleet chaos soak: {total_blocks} blocks of {BLOCK} under "
+        f"{len(plan.specs)} planted faults ({kills_fired} kills) — "
+        f"{completed} completed bit-exact, {failed} failed "
+        f"(availability {availability:.1%}), "
+        f"{counters['worker_deaths']} worker deaths, "
+        f"{counters['failovers']} failovers, "
+        f"{counters['restarts']} restarts, "
+        f"{breaker_opens} breaker opens in {soak_seconds:.1f}s"
+    )

@@ -186,6 +186,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     import numpy as np
 
+    from .fleet import RetryPolicy
     from .serve import QueueFullError, ServeConfig, ServingDaemon
 
     config = ServeConfig(
@@ -193,6 +194,13 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         max_wait_ms=args.max_wait_ms,
         queue_depth=args.queue_depth,
         workers=args.workers,
+    )
+    # demo-load clients live under the unified policy: many cheap
+    # attempts with capped backoff, bounded by a hard deadline instead
+    # of spinning forever on a wedged daemon
+    retry = RetryPolicy(
+        max_attempts=10_000, base_delay_ms=0.5, max_delay_ms=20.0,
+        deadline_ms=120_000.0,
     )
     daemon = ServingDaemon(config)
     daemon.register(
@@ -206,13 +214,10 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     async def _one(index: int, gate: "asyncio.Semaphore") -> None:
         async with gate:
-            while True:
-                try:
-                    await daemon.submit(args.tenant, images[index])
-                    return
-                except QueueFullError:
-                    # retriable by contract: back off one tick
-                    await asyncio.sleep(0.001)
+            await retry.acall(
+                lambda: daemon.submit(args.tenant, images[index]),
+                retriable=(QueueFullError,),
+            )
 
     async def _drive() -> float:
         gate = asyncio.Semaphore(args.concurrency)
@@ -240,8 +245,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
 
     import numpy as np
 
-    from .fleet import FleetConfig, FleetRouter
-    from .serve import QueueFullError, ServeConfig
+    from .fleet import FleetConfig, FleetRouter, RetryPolicy
+    from .serve import ServeConfig
 
     config = FleetConfig(
         workers=args.workers,
@@ -264,12 +269,16 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             for index in range(0, args.requests, args.batch)
         ]
 
+        # fleet clients ride the router's unified retry machinery: the
+        # retriable classes (backpressure, exhausted failover, empty
+        # rotation) back off exponentially under a hard deadline
+        retry = RetryPolicy(
+            max_attempts=10_000, base_delay_ms=0.5, max_delay_ms=20.0,
+            deadline_ms=120_000.0,
+        )
+
         def _one(block):
-            while True:  # QueueFullError is retriable by contract
-                try:
-                    return fleet.submit(args.tenant, block)
-                except QueueFullError:
-                    time.sleep(0.001)
+            return fleet.submit_retrying(args.tenant, block, policy=retry)
 
         start = time.perf_counter()
         with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
@@ -385,6 +394,29 @@ def _cmd_store(args: argparse.Namespace) -> str:
                 for manifest_hash in result.removed_manifests
             )
             lines.extend(f"  blob {key}" for key in result.removed_blobs)
+        return "\n".join(lines)
+    if args.action == "fsck":
+        result = store.fsck(repair=args.repair)
+        lines = [
+            f"fsck{' (repair)' if args.repair else ''}: checked "
+            f"{result.checked_blobs} blobs, "
+            f"{result.checked_manifests} manifests — "
+            f"{'store is clean' if result.ok else 'PROBLEMS FOUND'}"
+        ]
+        for label, findings in (
+            ("corrupt blob", result.corrupt_blobs),
+            ("missing blob", result.missing_blobs),
+            ("corrupt manifest", result.corrupt_manifests),
+            ("dangling ref", result.dangling_refs),
+            ("orphan blob", result.orphan_blobs),
+            ("stale tmp", result.stale_tmp),
+        ):
+            lines.extend(f"  {label}: {item}" for item in findings)
+        if args.repair and result.quarantined:
+            lines.append(
+                f"quarantined {len(result.quarantined)} damaged files "
+                f"under {store.quarantine_root}"
+            )
         return "\n".join(lines)
     if not args.target:
         raise SystemExit(f"store {args.action} needs a model name or blob key")
@@ -737,7 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "store":
             sub.add_argument(
                 "action",
-                choices=("import", "ls", "gc", "pin", "unpin", "rm"),
+                choices=("import", "ls", "gc", "fsck", "pin", "unpin", "rm"),
                 help="store operation to perform",
             )
             sub.add_argument(
@@ -758,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--dry-run", action="store_true",
                 help="gc only: list what a sweep would remove without "
                      "deleting anything",
+            )
+            sub.add_argument(
+                "--repair", action="store_true",
+                help="fsck only: quarantine corrupt blobs/manifests, "
+                     "delete dangling refs, sweep stale temp files",
             )
         if name == "serve":
             sub.add_argument(

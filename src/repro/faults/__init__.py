@@ -1,0 +1,40 @@
+"""Seeded, deterministic fault injection for chaos engineering.
+
+See :mod:`repro.faults.plan` for the model: a :class:`FaultPlan` is a
+schedule of :class:`FaultSpec` entries keyed by (site, invocation
+count), armed process-wide via :func:`arm` / ``plan.armed()``.  Hook
+helpers threaded through the store, wire, and fleet layers are no-ops
+(one ``None`` check) when no plan is armed.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedFaultError,
+    active,
+    arm,
+    before_write,
+    damage_file,
+    disarm,
+    dispatch_faults,
+    perturb,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "KNOWN_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
+    "InjectedFaultError",
+    "active",
+    "arm",
+    "before_write",
+    "damage_file",
+    "disarm",
+    "dispatch_faults",
+    "perturb",
+]

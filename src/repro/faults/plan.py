@@ -1,0 +1,370 @@
+"""Deterministic fault injection: a seeded schedule of planted faults.
+
+A :class:`FaultPlan` is a *schedule*: each :class:`FaultSpec` names an
+injection **site** (a string like ``"store.blob.get"``), the
+**invocation count** at which it fires (the Nth time that site is hit,
+0-based), a fault **kind**, and a seed.  Code paths that opt into
+injection call one of the hook helpers (:func:`perturb`,
+:func:`damage_file`, :func:`before_write`, :func:`dispatch_faults`) at
+their site; when no plan is armed every hook is a single module-global
+``None`` check, so the production paths pay nothing.
+
+Determinism is the point.  Which byte a ``bit_flip`` flips, where a
+``truncate`` cuts, which invocation a fault lands on — all of it derives
+from the plan seed plus the spec's ``(site, invocation, seed)`` triple,
+never from wall-clock time or process state.  Two runs that hit a site
+in the same order inject byte-identical damage, so a chaos failure
+reproduces under the same plan.
+
+Fault kinds and what each site does with them:
+
+==============  ========================================================
+``bit_flip``    flip one deterministic bit of the payload (or on-disk
+                file, for read-side sites)
+``truncate``    cut the payload/file at a deterministic offset
+``torn_write``  write-side sites only: persist a *truncated* temp file
+                and raise :class:`InjectedCrashError` before the
+                publish rename — the simulated crash that leaves a
+                stale ``.tmp`` behind
+``delay``       sleep ``delay_ms`` at the site
+``exception``   raise :class:`InjectedFaultError` at the site
+``kill``        dispatch sites only: SIGKILL the target worker process
+==============  ========================================================
+
+The canonical sites threaded through the codebase are listed in
+:data:`KNOWN_SITES`; arbitrary site names are allowed so harnesses can
+add their own.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
+    "InjectedFaultError",
+    "KNOWN_SITES",
+    "active",
+    "arm",
+    "before_write",
+    "damage_file",
+    "disarm",
+    "dispatch_faults",
+    "perturb",
+]
+
+#: every fault kind a spec may carry
+FAULT_KINDS = (
+    "bit_flip", "truncate", "torn_write", "delay", "exception", "kill",
+)
+
+#: the injection sites wired into the production code paths
+KNOWN_SITES = (
+    "store.blob.put",      # BlobStore.put: bytes about to be written
+    "store.blob.get",      # BlobStore.get: on-disk file about to be read
+    "store.manifest.write",  # ArtifactStore manifest publish
+    "store.ref.write",     # ArtifactStore ref flip
+    "store.pins.write",    # ArtifactStore pins document
+    "wire.encode",         # encode_frame: outgoing frame bytes
+    "wire.decode",         # decode_frame: incoming frame bytes
+    "fleet.dispatch",      # FleetRouter: one serve-block dispatch
+)
+
+
+class InjectedFaultError(RuntimeError):
+    """An armed :class:`FaultPlan` fired an ``exception`` fault."""
+
+
+class InjectedCrashError(InjectedFaultError):
+    """A ``torn_write`` fault: the simulated crash mid-publish.
+
+    Raised *after* the truncated temp file is on disk and *before* the
+    atomic rename, so the site behaves exactly like a process that died
+    between ``write`` and ``os.replace`` — a stale ``.tmp`` remains and
+    the final name was never published."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planted fault: fire ``kind`` on invocation N of ``site``."""
+
+    site: str
+    invocation: int
+    kind: str
+    seed: int = 0
+    delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(FAULT_KINDS)})"
+            )
+        if self.invocation < 0:
+            raise ValueError(
+                f"invocation must be >= 0, got {self.invocation}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "site": self.site,
+            "invocation": self.invocation,
+            "kind": self.kind,
+            "seed": self.seed,
+            "delay_ms": self.delay_ms,
+        }
+
+    @staticmethod
+    def from_dict(document: Dict) -> "FaultSpec":
+        return FaultSpec(
+            site=document["site"],
+            invocation=int(document["invocation"]),
+            kind=document["kind"],
+            seed=int(document.get("seed", 0)),
+            delay_ms=float(document.get("delay_ms", 0.0)),
+        )
+
+
+class FaultPlan:
+    """A deterministic, thread-safe schedule of faults.
+
+    Usage::
+
+        plan = FaultPlan([
+            FaultSpec("store.blob.get", invocation=2, kind="bit_flip"),
+            FaultSpec("fleet.dispatch", invocation=7, kind="kill"),
+        ], seed=42)
+        with plan.armed():
+            ...  # exercised code paths hit the planted faults
+
+    ``fire`` advances a per-site invocation counter under a lock and
+    returns the specs planted at that count; the byte-level damage each
+    spec does is a pure function of ``(plan seed, site, invocation,
+    spec seed)``.  ``plan.fired`` logs every fault that actually landed,
+    so a harness can assert its detection coverage against exactly what
+    was injected.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._schedule: Dict[str, Dict[int, List[FaultSpec]]] = {}
+        for spec in self.specs:
+            self._schedule.setdefault(spec.site, {}).setdefault(
+                spec.invocation, []
+            ).append(spec)
+        self.fired: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every invocation counter and the fired log."""
+        with self._lock:
+            self._counts.clear()
+            self.fired = []
+
+    def fire(self, site: str) -> Tuple[FaultSpec, ...]:
+        """Advance ``site``'s invocation counter; return what fires now."""
+        with self._lock:
+            count = self._counts.get(site, 0)
+            self._counts[site] = count + 1
+            specs = tuple(self._schedule.get(site, {}).get(count, ()))
+            for spec in specs:
+                self.fired.append(
+                    {"site": site, "invocation": count, "kind": spec.kind}
+                )
+        return specs
+
+    def counts(self) -> Dict[str, int]:
+        """Invocations observed per site so far."""
+        with self._lock:
+            return dict(self._counts)
+
+    def summary(self) -> Dict:
+        """JSON-ready account: what was planted and what actually fired."""
+        with self._lock:
+            fired = list(self.fired)
+            counts = dict(self._counts)
+        by_kind: Dict[str, int] = {}
+        for entry in fired:
+            by_kind[entry["kind"]] = by_kind.get(entry["kind"], 0) + 1
+        return {
+            "seed": self.seed,
+            "planted": [spec.to_dict() for spec in self.specs],
+            "fired": fired,
+            "fired_by_kind": by_kind,
+            "site_invocations": counts,
+        }
+
+    # ------------------------------------------------------------------
+    # Deterministic damage
+    # ------------------------------------------------------------------
+    def _rng(self, spec: FaultSpec) -> random.Random:
+        return random.Random(
+            f"{self.seed}:{spec.site}:{spec.invocation}:{spec.seed}"
+        )
+
+    def _flip_bit(self, spec: FaultSpec, data: bytes) -> bytes:
+        if not data:
+            return data
+        rng = self._rng(spec)
+        buf = bytearray(data)
+        buf[rng.randrange(len(buf))] ^= 1 << rng.randrange(8)
+        return bytes(buf)
+
+    def _cut(self, spec: FaultSpec, length: int) -> int:
+        return self._rng(spec).randrange(length) if length else 0
+
+    # ------------------------------------------------------------------
+    # Site hooks (called through the module-level helpers)
+    # ------------------------------------------------------------------
+    def perturb(self, site: str, data) -> bytes:
+        """Byte-stream hook: wire frames and other in-memory payloads."""
+        specs = self.fire(site)
+        if not specs:
+            return data
+        out = bytes(data)
+        for spec in specs:
+            if spec.kind == "bit_flip":
+                out = self._flip_bit(spec, out)
+            elif spec.kind in ("truncate", "torn_write"):
+                out = out[: self._cut(spec, len(out))]
+            elif spec.kind == "delay":
+                time.sleep(spec.delay_ms / 1e3)
+            elif spec.kind == "exception":
+                raise InjectedFaultError(f"injected fault at {site}")
+            # "kill" is meaningless for a byte stream; ignored
+        return out
+
+    def before_write(self, site: str, data: bytes) -> Tuple[bytes, bool]:
+        """Write-side hook: ``(possibly damaged bytes, crash?)``.
+
+        A ``torn_write`` truncates the bytes *and* asks the caller to
+        crash after persisting them to the temp file — the caller raises
+        :class:`InjectedCrashError` at its crash point so the stale
+        ``.tmp`` is left exactly where a real crash would leave it.
+        """
+        specs = self.fire(site)
+        crash = False
+        for spec in specs:
+            if spec.kind == "bit_flip":
+                data = self._flip_bit(spec, data)
+            elif spec.kind == "truncate":
+                data = data[: self._cut(spec, len(data))]
+            elif spec.kind == "torn_write":
+                data = data[: self._cut(spec, len(data))]
+                crash = True
+            elif spec.kind == "delay":
+                time.sleep(spec.delay_ms / 1e3)
+            elif spec.kind == "exception":
+                raise InjectedFaultError(f"injected fault at {site}")
+        return data, crash
+
+    def damage_file(self, site: str, path) -> None:
+        """Read-side hook: sabotage the on-disk file about to be read."""
+        import os
+
+        specs = self.fire(site)
+        for spec in specs:
+            if spec.kind == "delay":
+                time.sleep(spec.delay_ms / 1e3)
+                continue
+            if spec.kind == "exception":
+                raise InjectedFaultError(f"injected fault at {site}")
+            if not os.path.exists(path):
+                continue
+            if spec.kind == "bit_flip":
+                with open(path, "r+b") as handle:
+                    data = handle.read()
+                    if not data:
+                        continue
+                    damaged = self._flip_bit(spec, data)
+                    handle.seek(0)
+                    handle.write(damaged)
+            elif spec.kind in ("truncate", "torn_write"):
+                size = os.path.getsize(path)
+                os.truncate(path, self._cut(spec, size))
+
+    def dispatch_faults(self, site: str) -> Tuple[FaultSpec, ...]:
+        """Dispatch hook: the caller interprets ``kill``/``delay`` specs."""
+        return self.fire(site)
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    @contextmanager
+    def armed(self):
+        """Arm this plan for the duration of the ``with`` block."""
+        arm(self)
+        try:
+            yield self
+        finally:
+            disarm()
+
+
+#: the armed plan, or None — every hook's zero-overhead fast path
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide (counters reset); returns it."""
+    global _ACTIVE
+    plan.reset()
+    _ACTIVE = plan
+    return plan
+
+
+def disarm() -> None:
+    """Disarm fault injection; hooks go back to zero-overhead no-ops."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The armed plan, or ``None``."""
+    return _ACTIVE
+
+
+# ----------------------------------------------------------------------
+# Module-level hooks: one None-check when disarmed
+# ----------------------------------------------------------------------
+def perturb(site: str, data):
+    """Damage an in-memory payload at ``site`` (no-op when disarmed)."""
+    plan = _ACTIVE
+    if plan is None:
+        return data
+    return plan.perturb(site, data)
+
+
+def damage_file(site: str, path) -> None:
+    """Sabotage the file about to be read at ``site`` (no-op disarmed)."""
+    plan = _ACTIVE
+    if plan is not None:
+        plan.damage_file(site, path)
+
+
+def before_write(site: str, data: bytes) -> Tuple[bytes, bool]:
+    """Write-side hook; ``(data, False)`` when disarmed."""
+    plan = _ACTIVE
+    if plan is None:
+        return data, False
+    return plan.before_write(site, data)
+
+
+def dispatch_faults(site: str) -> Tuple[FaultSpec, ...]:
+    """Dispatch-site hook; empty when disarmed."""
+    plan = _ACTIVE
+    if plan is None:
+        return ()
+    return plan.dispatch_faults(site)

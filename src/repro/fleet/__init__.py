@@ -18,6 +18,7 @@ floored hot-swaps (:meth:`FleetRouter.rollout`) that never mix model
 versions inside a batch.
 """
 
+from .resilience import CircuitBreaker, RetryPolicy
 from .router import (
     FleetClosedError,
     FleetConfig,
@@ -33,12 +34,14 @@ from .wire import decode_frame, encode_frame
 from .worker import worker_main
 
 __all__ = [
+    "CircuitBreaker",
     "FleetClosedError",
     "FleetConfig",
     "FleetError",
     "FleetRouter",
     "NoHealthyWorkersError",
     "RequestTimeoutError",
+    "RetryPolicy",
     "RolloutError",
     "RolloutResult",
     "WorkerFailedError",

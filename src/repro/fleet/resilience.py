@@ -1,0 +1,238 @@
+"""Unified resilience policy: retry with backoff, per-worker breakers.
+
+Before this module the stack's failure handling was scattered ad-hoc
+loops — ``while True: submit(); except QueueFullError: sleep(0.001)``
+in the CLI clients, a bare attempts counter in the router.  Both are
+replaced by two small, deterministic primitives:
+
+* :class:`RetryPolicy` — exponential backoff with bounded jitter,
+  budgeted against a per-request deadline.  The jitter RNG is seeded,
+  so a policy's delay schedule is reproducible; the deadline budget
+  means a retry loop can never sleep past the point where the caller
+  would have timed out anyway.
+* :class:`CircuitBreaker` — per-worker failure accounting.  ``N``
+  consecutive failures open the breaker (the worker stops receiving
+  dispatches); after a cool-down one half-open probe is admitted, and
+  its outcome decides between closing the breaker and re-opening it.
+  ``ready()`` is a side-effect-free availability check the router's
+  candidate filter can call freely; ``admit()`` is the mutating step
+  that actually consumes the half-open probe slot.
+
+Both are clock-injectable (``time.monotonic`` by default) so tests
+drive state transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Type
+
+__all__ = ["CircuitBreaker", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + jitter, budgeted against a deadline.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay_ms * multiplier**k``
+    capped at ``max_delay_ms``, plus up to ``jitter`` fractional spread
+    drawn from a seeded RNG.  ``deadline_ms`` bounds the *whole* loop:
+    once the budget is spent — or the next sleep would overdraw it —
+    the last retriable error is re-raised instead of sleeping into a
+    guaranteed timeout.
+    """
+
+    max_attempts: int = 8
+    base_delay_ms: float = 1.0
+    max_delay_ms: float = 250.0
+    multiplier: float = 2.0
+    jitter: float = 0.2
+    deadline_ms: Optional[float] = 30_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+
+    def delay_ms(self, attempt: int, rng: random.Random) -> float:
+        """The backoff before retry number ``attempt`` (0-based)."""
+        base = min(
+            self.base_delay_ms * (self.multiplier ** attempt),
+            self.max_delay_ms,
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full deterministic delay schedule, for tests and docs."""
+        rng = random.Random(self.seed)
+        return tuple(
+            self.delay_ms(attempt, rng)
+            for attempt in range(self.max_attempts - 1)
+        )
+
+    def call(
+        self,
+        fn: Callable,
+        retriable: Tuple[Type[BaseException], ...],
+        deadline_ms: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """Run ``fn()`` under this policy; returns its first success.
+
+        Only exceptions in ``retriable`` are retried — anything else
+        propagates immediately.  When attempts or the deadline budget
+        run out, the *last* retriable error is re-raised so the caller
+        sees the true terminal failure, not a synthetic one.
+        """
+        budget = self.deadline_ms if deadline_ms is None else deadline_ms
+        start = clock()
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retriable:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                delay = self.delay_ms(
+                    attempt, random.Random(f"{self.seed}:{attempt}")
+                )
+                if budget is not None:
+                    elapsed_ms = (clock() - start) * 1e3
+                    if elapsed_ms + delay >= budget:
+                        raise
+                sleep(delay / 1e3)
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    async def acall(
+        self,
+        fn: Callable,
+        retriable: Tuple[Type[BaseException], ...],
+        deadline_ms: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """Async twin of :meth:`call`: awaits ``fn()`` and sleeps on the
+        event loop instead of blocking it."""
+        budget = self.deadline_ms if deadline_ms is None else deadline_ms
+        start = clock()
+        for attempt in range(self.max_attempts):
+            try:
+                return await fn()
+            except retriable:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                delay = self.delay_ms(
+                    attempt, random.Random(f"{self.seed}:{attempt}")
+                )
+                if budget is not None:
+                    elapsed_ms = (clock() - start) * 1e3
+                    if elapsed_ms + delay >= budget:
+                        raise
+                await asyncio.sleep(delay / 1e3)
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def to_dict(self) -> Dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_ms": self.base_delay_ms,
+            "max_delay_ms": self.max_delay_ms,
+            "multiplier": self.multiplier,
+            "jitter": self.jitter,
+            "deadline_ms": self.deadline_ms,
+        }
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    States: ``closed`` (traffic flows; failures are counted and any
+    success resets the count), ``open`` (``failure_threshold``
+    consecutive failures seen — no traffic until ``reset_after_ms``
+    elapses), ``half_open`` (cool-down expired — exactly one probe
+    dispatch is admitted; its success closes the breaker, its failure
+    re-opens it for another full cool-down).
+
+    The availability check is split in two on purpose: ``ready()`` is
+    pure, so a scheduler can filter candidates without consuming the
+    half-open probe slot; ``admit()`` mutates, and is called only for
+    the worker actually chosen.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_ms: float = 2_000.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_ms <= 0:
+            raise ValueError("reset_after_ms must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after_ms = reset_after_ms
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self.opens = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half_open"
+        elapsed_ms = (self._clock() - self._opened_at) * 1e3
+        return "half_open" if elapsed_ms >= self.reset_after_ms else "open"
+
+    def ready(self) -> bool:
+        """Side-effect-free: could a dispatch be admitted right now?"""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False  # the one probe slot is already in flight
+        elapsed_ms = (self._clock() - self._opened_at) * 1e3
+        return elapsed_ms >= self.reset_after_ms
+
+    def admit(self) -> bool:
+        """Consume an admission; half-open admits exactly one probe."""
+        if self._opened_at is None:
+            return True
+        if not self.ready():
+            return False
+        self._probing = True
+        self.probes += 1
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._probing or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._probing = False
+            self.opens += 1
+
+    def to_dict(self) -> Dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._failures,
+            "failure_threshold": self.failure_threshold,
+            "reset_after_ms": self.reset_after_ms,
+            "opens": self.opens,
+            "probes": self.probes,
+        }

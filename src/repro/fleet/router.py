@@ -58,8 +58,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..serve import QueueFullError, ServeConfig
 from ..store import ArtifactStore, StoreRef
+from .resilience import CircuitBreaker, RetryPolicy
 from .wire import decode_frame, encode_frame
 from .worker import worker_main
 
@@ -132,6 +134,13 @@ class FleetConfig:
     max_restarts: int = 5
     #: multiprocessing start method; spawn inherits no locks/loops
     start_method: str = "spawn"
+    #: backoff policy used by :meth:`FleetRouter.submit_retrying` and
+    #: the CLI client paths
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: consecutive failures that open a worker's circuit breaker
+    breaker_failures: int = 5
+    #: cool-down before an open breaker admits its half-open probe
+    breaker_reset_ms: float = 2000.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -144,6 +153,15 @@ class FleetConfig:
             raise ValueError(
                 "availability_floor must be within [0, 1], got "
                 f"{self.availability_floor}"
+            )
+        if self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_reset_ms <= 0:
+            raise ValueError(
+                f"breaker_reset_ms must be positive, got "
+                f"{self.breaker_reset_ms}"
             )
 
     @property
@@ -192,7 +210,7 @@ class _Pending:
 class _WorkerHandle:
     """Router-side state of one worker process."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, breaker: CircuitBreaker) -> None:
         self.name = name
         self.process = None
         self.conn = None
@@ -202,6 +220,7 @@ class _WorkerHandle:
         self.draining = False
         self.restarts = 0
         self.last_pong = 0.0
+        self.breaker = breaker
         self.tenants: Dict[str, str] = {}   # tenant -> registered artifact
         self.outstanding: Dict[str, int] = {}  # tenant -> images in flight
 
@@ -272,7 +291,13 @@ class FleetRouter:
         self._context = multiprocessing.get_context(self.config.start_method)
         self._lock = threading.Lock()
         self._workers: List[_WorkerHandle] = [
-            _WorkerHandle(f"w{index}")
+            _WorkerHandle(
+                f"w{index}",
+                CircuitBreaker(
+                    failure_threshold=self.config.breaker_failures,
+                    reset_after_ms=self.config.breaker_reset_ms,
+                ),
+            )
             for index in range(self.config.workers)
         ]
         self._tenants: Dict[str, _TenantSpec] = {}
@@ -465,6 +490,31 @@ class FleetRouter:
                 else:
                     self._tenant_inflight.pop(tenant, None)
 
+    def submit_retrying(
+        self,
+        tenant: str,
+        images: np.ndarray,
+        policy: Optional[RetryPolicy] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """:meth:`submit` under the fleet's unified retry policy.
+
+        Retries exactly the retriable failure classes — backpressure
+        (:class:`~repro.serve.daemon.QueueFullError`), exhausted
+        failover (:class:`WorkerFailedError`), and a momentarily empty
+        rotation (:class:`NoHealthyWorkersError`) — with exponential
+        backoff, never sleeping past ``deadline_ms``.  Fatal errors and
+        :class:`FleetClosedError` propagate immediately.
+        """
+        policy = policy or self.config.retry
+        return policy.call(
+            lambda: self.submit(tenant, images),
+            retriable=(
+                QueueFullError, NoHealthyWorkersError, WorkerFailedError,
+            ),
+            deadline_ms=deadline_ms,
+        )
+
     def _submit_admitted(
         self, tenant: str, images: np.ndarray, count: int
     ) -> np.ndarray:
@@ -502,6 +552,14 @@ class FleetRouter:
                 # the worker died under us: the death handler re-queues
                 # this pending; fall through to the shared wait
                 self._on_worker_death(handle)
+            for spec in faults.dispatch_faults("fleet.dispatch"):
+                # chaos harness: kill the worker this block just landed
+                # on (or stall the dispatcher); the death/redispatch
+                # machinery under test must recover without wrong bits
+                if spec.kind == "kill" and handle.process is not None:
+                    handle.process.kill()
+                elif spec.kind == "delay":
+                    time.sleep(spec.delay_ms / 1e3)
             if not pending.event.wait(timeout):
                 with self._lock:
                     self._pending.pop(ident, None)
@@ -515,6 +573,7 @@ class FleetRouter:
                 raise pending.error
             reply = pending.reply or {}
             if reply.get("ok"):
+                pending.handle.breaker.record_success()
                 return pending.arrays["logits"]
             if reply.get("kind") == "queue_full":
                 rejected_by.append(pending.handle.name)
@@ -528,6 +587,9 @@ class FleetRouter:
                 rejected_by.append(pending.handle.name)
                 last_rejection = reply.get("error")
                 continue
+            # fatal serve reply: the worker is up but failing requests —
+            # exactly what the breaker's consecutive-failure count is for
+            pending.handle.breaker.record_failure()
             raise FleetError(
                 f"worker {pending.handle.name} failed tenant {tenant!r} "
                 f"block: {reply.get('error', 'unknown error')}"
@@ -536,14 +598,22 @@ class FleetRouter:
     def _pick_worker(
         self, tenant: str, exclude: List[str]
     ) -> Optional[_WorkerHandle]:
-        """Least-outstanding healthy worker for ``tenant`` (lock held)."""
+        """Least-outstanding healthy worker for ``tenant`` (lock held).
+
+        The candidate filter consults ``breaker.ready()`` (pure — it
+        never consumes a half-open probe); only the worker actually
+        chosen pays ``breaker.admit()``, so one open breaker's probe
+        slot is spent on a real dispatch, never on being considered.
+        """
         candidates = [
             handle for handle in self._workers
-            if handle.available and handle.name not in exclude
+            if handle.available
+            and handle.name not in exclude
+            and handle.breaker.ready()
         ]
         if not candidates:
             return None
-        return min(
+        chosen = min(
             candidates,
             key=lambda handle: (
                 handle.outstanding.get(tenant, 0),
@@ -551,6 +621,8 @@ class FleetRouter:
                 handle.name,
             ),
         )
+        chosen.breaker.admit()
+        return chosen
 
     def _forget_outstanding(self, pending: _Pending) -> None:
         """Drop a pending's load accounting (lock held)."""
@@ -675,6 +747,7 @@ class FleetRouter:
                 self._pending.pop(pending.ident, None)
                 self._forget_outstanding(pending)
             self.counters["worker_deaths"] += 1
+            handle.breaker.record_failure()
             stopping = self._stopping
         try:
             handle.conn.close()
@@ -743,6 +816,10 @@ class FleetRouter:
             except FleetError:
                 # it died again already; the monitor will come back
                 return
+        # a fresh, fully re-registered process earned a clean slate —
+        # without this an open breaker would bench the healthy restart
+        # for a full cool-down
+        handle.breaker.record_success()
         handle.draining = False
 
     # ------------------------------------------------------------------
@@ -910,6 +987,7 @@ class FleetRouter:
                     "restarts": handle.restarts,
                     "outstanding": dict(sorted(handle.outstanding.items())),
                     "tenants": dict(sorted(handle.tenants.items())),
+                    "breaker": handle.breaker.to_dict(),
                     "last_pong_age_ms": (
                         (time.monotonic() - handle.last_pong) * 1e3
                         if handle.alive else None
@@ -949,5 +1027,8 @@ class FleetRouter:
                 "max_inflight": self.config.tenant_inflight_bound,
                 "max_retries": self.config.max_retries,
                 "availability_floor": self.config.availability_floor,
+                "breaker_failures": self.config.breaker_failures,
+                "breaker_reset_ms": self.config.breaker_reset_ms,
+                "retry": self.config.retry.to_dict(),
             },
         }

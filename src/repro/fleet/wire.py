@@ -1,9 +1,9 @@
-"""Length-prefixed message frames: JSON header + raw array payloads.
+"""Length-prefixed message frames: JSON header + payloads + CRC32 trailer.
 
 The fleet's wire format, shared by the router and every worker.  One
 frame is::
 
-    u32 header_len | header JSON (utf-8) | array payloads, in table order
+    u32 header_len | header JSON (utf-8) | array payloads | u32 crc32
 
 The header is an arbitrary JSON-safe message dictionary; when arrays
 ride along, the encoder records an ``arrays`` table (name/dtype/shape,
@@ -16,6 +16,14 @@ the format works unchanged over raw stream sockets; across
 default transport) ``send_bytes``/``recv_bytes`` carry one frame per
 call.
 
+The trailing CRC32 (little-endian, :func:`zlib.crc32` over everything
+before it) is the transport-independent integrity check: a bit flip
+anywhere in the header *or* the payload bytes fails decode with
+``ValueError`` instead of reaching the decoder as wrong weights or
+wrong logits.  The router treats a worker that emits an undecodable
+frame exactly like a dead worker — its in-flight blocks are
+re-dispatched elsewhere.
+
 Decoded arrays are read-only views into the received buffer — consumers
 that need ownership copy explicitly, exactly like
 :func:`~repro.store.blobs.unpack_blob` consumers.
@@ -24,15 +32,21 @@ that need ownership copy explicitly, exactly like
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional, Tuple
+import zlib
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
+
+from repro import faults
 
 __all__ = ["encode_frame", "decode_frame"]
 
 #: sanity bound on the header table; a corrupt length prefix fails fast
 #: instead of attempting a multi-gigabyte allocation
 _MAX_HEADER_BYTES = 1 << 24
+
+#: hard ceiling on one array payload; rejects overflowed shape tables
+_MAX_ARRAY_BYTES = 1 << 40
 
 
 def encode_frame(
@@ -59,20 +73,63 @@ def encode_frame(
     header = json.dumps(
         message, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
-    return b"".join(
+    body = b"".join(
         [len(header).to_bytes(4, "little"), header, *payloads]
     )
+    frame = body + zlib.crc32(body).to_bytes(4, "little")
+    if faults.active() is not None:
+        frame = faults.perturb("wire.encode", frame)
+    return frame
+
+
+def _checked_nbytes(spec: Dict, dtype: np.dtype, seen: Set[str]) -> int:
+    """Validate one shape-table entry; return its exact payload size.
+
+    The count is computed in Python ints so an adversarial or corrupt
+    table can neither overflow into a small positive number nor smuggle
+    a negative dim past the overrun check as a negative byte count.
+    """
+    name = spec.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError("corrupt frame: array table entry without a name")
+    if name in seen:
+        raise ValueError(f"corrupt frame: duplicate array name {name!r}")
+    seen.add(name)
+    shape = spec.get("shape")
+    if not isinstance(shape, list):
+        raise ValueError(f"corrupt frame: array {name!r} has no shape list")
+    count = 1
+    for dim in shape:
+        if not isinstance(dim, int) or isinstance(dim, bool) or dim < 0:
+            raise ValueError(
+                f"corrupt frame: array {name!r} has invalid dim {dim!r}"
+            )
+        count *= dim
+    nbytes = count * dtype.itemsize
+    if nbytes > _MAX_ARRAY_BYTES:
+        raise ValueError(
+            f"corrupt frame: array {name!r} claims {nbytes} bytes"
+        )
+    return nbytes
 
 
 def decode_frame(buf) -> Tuple[Dict, Dict[str, np.ndarray]]:
     """Inverse of :func:`encode_frame`: ``(message, arrays)``.
 
-    Arrays are zero-copy read-only views into ``buf``; the ``arrays``
-    table is consumed from the returned message.
+    Raises ``ValueError`` on any framing or integrity violation — short
+    buffer, CRC mismatch, header overrun, malformed shape table, payload
+    overrun.  Arrays are zero-copy read-only views into ``buf``; the
+    ``arrays`` table is consumed from the returned message.
     """
+    if faults.active() is not None:
+        buf = faults.perturb("wire.decode", bytes(buf))
     view = memoryview(buf)
-    if len(view) < 4:
+    if len(view) < 8:
         raise ValueError(f"truncated frame ({len(view)} bytes)")
+    expected = int.from_bytes(view[-4:], "little")
+    if zlib.crc32(view[:-4]) != expected:
+        raise ValueError("corrupt frame: CRC32 mismatch")
+    view = view[:-4]
     header_len = int.from_bytes(view[:4], "little")
     if header_len > _MAX_HEADER_BYTES or 4 + header_len > len(view):
         raise ValueError(
@@ -82,10 +139,10 @@ def decode_frame(buf) -> Tuple[Dict, Dict[str, np.ndarray]]:
     message = json.loads(bytes(view[4:4 + header_len]))
     offset = 4 + header_len
     arrays: Dict[str, np.ndarray] = {}
+    seen: Set[str] = set()
     for spec in message.pop("arrays", ()):
         dtype = np.dtype(spec["dtype"])
-        count = int(np.prod(spec["shape"])) if spec["shape"] else 1
-        nbytes = count * dtype.itemsize
+        nbytes = _checked_nbytes(spec, dtype, seen)
         if offset + nbytes > len(view):
             raise ValueError(
                 f"corrupt frame: array {spec['name']!r} overruns the buffer"

@@ -152,7 +152,15 @@ async def _run(conn, name: str, config: ServeConfig) -> None:
             except (EOFError, OSError):
                 drain = False  # router vanished: abort, don't linger
                 break
-            message, arrays = decode_frame(data)
+            try:
+                message, arrays = decode_frame(data)
+            except ValueError:
+                # a frame that fails CRC or framing checks cannot be
+                # trusted, and neither can anything after it: die
+                # cleanly so the router's death path re-dispatches our
+                # in-flight blocks to healthy workers
+                drain = False
+                break
             op = message["op"]
             if op == "serve":
                 task = loop.create_task(

@@ -45,15 +45,25 @@ into a store, and every artifact-path API (``InferencePlan``,
 ``<store-dir>#<name>`` ref string wherever it accepts an ``.npz`` path.
 """
 
-from .blobs import BlobStore, StoreRef, pack_blob, unpack_blob
-from .store import ArtifactStore, GcResult, ShardedArrays
+from .blobs import (
+    BlobStore,
+    IntegrityError,
+    StoreRef,
+    durable_write,
+    pack_blob,
+    unpack_blob,
+)
+from .store import ArtifactStore, FsckResult, GcResult, ShardedArrays
 
 __all__ = [
     "ArtifactStore",
     "BlobStore",
+    "FsckResult",
     "GcResult",
+    "IntegrityError",
     "ShardedArrays",
     "StoreRef",
+    "durable_write",
     "pack_blob",
     "unpack_blob",
 ]

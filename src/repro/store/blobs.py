@@ -16,6 +16,17 @@ then each field's C-contiguous bytes in sorted name order.  Identical
 arrays always pack to identical bytes, so model versions sharing a
 layer automatically share its blob — the store's deduplication falls
 out of the addressing scheme rather than being bolted on.
+
+Integrity model: content addressing makes every blob self-verifying —
+the filename *is* the expected SHA-256 of the bytes.  ``get`` re-hashes
+each blob on its first fault-in per store handle and raises
+:class:`IntegrityError` on mismatch, moving the damaged file into a
+``quarantine/`` sibling so the next read (or a re-import) sees a clean
+miss instead of the same poison.  Writes go through
+:func:`durable_write` — fsync the temp file, atomic rename, fsync the
+parent directory — so a crash at any instant leaves either the old
+state or the complete new bytes under the final name, never a torn
+blob published under a valid content key.
 """
 
 from __future__ import annotations
@@ -24,16 +35,85 @@ import hashlib
 import json
 import mmap
 import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Set, Union
 
 import numpy as np
 
-__all__ = ["BlobStore", "StoreRef", "pack_blob", "unpack_blob"]
+from repro import faults
+
+__all__ = [
+    "BlobStore",
+    "IntegrityError",
+    "StoreRef",
+    "durable_write",
+    "pack_blob",
+    "unpack_blob",
+]
 
 #: 8-byte magic heading every packed layer blob
 _BLOB_MAGIC = b"RPROBLB1"
+
+#: hard ceiling on one field's payload — rejects overflowed shape tables
+#: long before np.frombuffer could be asked for an absurd element count
+_MAX_FIELD_BYTES = 1 << 40
+
+
+class IntegrityError(RuntimeError):
+    """Stored or transmitted bytes failed their integrity check.
+
+    Raised instead of serving the damaged content: a blob whose bytes no
+    longer hash to their content key, a manifest that fails to parse, a
+    wire frame whose CRC32 trailer does not match.  Callers treat it as
+    "this copy is poison" — re-fetch, re-import, or fail the request,
+    but never decode the bytes.
+    """
+
+
+def _validate_field_table(table) -> None:
+    """Reject malformed shape tables before any byte-count arithmetic.
+
+    Negative dims would produce a negative byte count that slips past
+    downstream overrun checks; oversized dims would overflow them.  Both
+    are the signature of corrupt or adversarial headers, so they raise
+    ``ValueError`` here rather than propagating into numpy.
+    """
+    seen: Set[str] = set()
+    for spec in table:
+        name = spec.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("field table entry is missing a name")
+        if name in seen:
+            raise ValueError(f"duplicate field name {name!r} in header")
+        seen.add(name)
+        shape = spec.get("shape")
+        if not isinstance(shape, list):
+            raise ValueError(f"field {name!r} has a non-list shape")
+        for dim in shape:
+            if not isinstance(dim, int) or isinstance(dim, bool):
+                raise ValueError(
+                    f"field {name!r} has a non-integer dim {dim!r}"
+                )
+            if dim < 0:
+                raise ValueError(
+                    f"field {name!r} has a negative dim {dim}"
+                )
+
+
+def _field_nbytes(spec: Dict, dtype: np.dtype) -> int:
+    """Element count x item size in exact Python ints (no int64 overflow)."""
+    count = 1
+    for dim in spec["shape"]:
+        count *= dim
+    nbytes = count * dtype.itemsize
+    if nbytes > _MAX_FIELD_BYTES:
+        raise ValueError(
+            f"field {spec['name']!r} claims {nbytes} bytes "
+            f"(limit {_MAX_FIELD_BYTES})"
+        )
+    return nbytes
 
 
 def pack_blob(fields: Dict[str, np.ndarray]) -> bytes:
@@ -80,19 +160,86 @@ def unpack_blob(buf) -> Dict[str, np.ndarray]:
     offset = len(_BLOB_MAGIC)
     header_len = int.from_bytes(view[offset:offset + 4], "little")
     offset += 4
+    if offset + header_len > len(view):
+        raise ValueError("blob header overruns the buffer")
     header = json.loads(bytes(view[offset:offset + header_len]))
     offset += header_len
+    _validate_field_table(header["fields"])
     fields: Dict[str, np.ndarray] = {}
     for spec in header["fields"]:
         dtype = np.dtype(spec["dtype"])
-        count = int(np.prod(spec["shape"])) if spec["shape"] else 1
-        nbytes = count * dtype.itemsize
+        nbytes = _field_nbytes(spec, dtype)
+        if offset + nbytes > len(view):
+            raise ValueError(
+                f"field {spec['name']!r} overruns the blob buffer"
+            )
         array = np.frombuffer(
             view[offset:offset + nbytes], dtype=dtype
         ).reshape(spec["shape"])
         fields[spec["name"]] = array
         offset += nbytes
     return fields
+
+
+def durable_write(path: Union[str, Path], data: bytes,
+                  site: Optional[str] = None) -> None:
+    """Crash-durably publish ``data`` at ``path``.
+
+    The full ordering: write to a uniquely-named temp file in the same
+    directory, fsync the temp, atomically rename over the final name,
+    fsync the parent directory.  A crash at any point leaves either the
+    previous state or the complete new bytes — never a torn file under
+    the final name (the rename only happens after the bytes are on
+    stable media, and the rename itself only survives once the directory
+    entry is synced).
+
+    ``site`` names a fault-injection site: an armed :class:`FaultPlan`
+    may corrupt the bytes or simulate a crash between the temp write and
+    the rename (``torn_write``), leaving a stale ``.tmp`` exactly as a
+    real mid-publish crash would.
+    """
+    path = Path(path)
+    crash = False
+    if site is not None:
+        data, crash = faults.before_write(site, data)
+    fd, temp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if crash:
+                # simulated crash: the (possibly torn) temp stays behind
+                # and the final name is never published
+                raise faults.InjectedCrashError(
+                    f"injected torn-write crash at {site}"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except faults.InjectedCrashError:
+        raise
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _is_shard_dir(path: Path) -> bool:
+    """True for the two-hex-character fan-out dirs (not quarantine etc.)."""
+    name = path.name
+    return (
+        len(name) == 2
+        and all(c in "0123456789abcdef" for c in name)
+        and path.is_dir()
+    )
 
 
 @dataclass(frozen=True)
@@ -134,20 +281,31 @@ class StoreRef:
 class BlobStore:
     """Sharded on-disk blob storage keyed by SHA-256 of the blob bytes.
 
-    ``put`` is idempotent (same bytes, same key, one file) and atomic;
-    ``get`` returns an mmap-backed read-only buffer so large packed
-    layers are paged in on demand.  The read/write counters feed the
+    ``put`` is idempotent (same bytes, same key, one file), atomic, and
+    crash-durable; ``get`` returns an mmap-backed read-only buffer so
+    large packed layers are paged in on demand, and re-verifies each
+    blob's SHA-256 against its content key on the first fault-in per
+    handle (mismatches raise :class:`IntegrityError` and the damaged
+    file is moved into quarantine).  The read/write counters feed the
     store benchmark and the laziness tests — they count *media* traffic,
     which tier-1 caching exists to minimise.
     """
 
-    def __init__(self, root: Union[str, Path], create: bool = True) -> None:
+    def __init__(self, root: Union[str, Path], create: bool = True,
+                 quarantine_root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root)
+        self.quarantine_root = (
+            Path(quarantine_root) if quarantine_root is not None
+            else self.root / "quarantine"
+        )
         if create:
             self.root.mkdir(parents=True, exist_ok=True)
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
+        self.verifications = 0
+        self.quarantined: List[str] = []
+        self._verified: Set[str] = set()
 
     def path(self, key: str) -> Path:
         """On-disk location of one blob (two-hex-character fan-out)."""
@@ -157,24 +315,68 @@ class BlobStore:
         return self.path(key).exists()
 
     def put(self, data: bytes) -> str:
-        """Store ``data`` under its content key; returns the key."""
+        """Durably store ``data`` under its content key; returns the key.
+
+        The key is always the SHA-256 of the caller's bytes — if an
+        armed fault plan corrupts the write, the damage lands *under*
+        the honest key, which is exactly what verify-on-read exists to
+        catch.
+        """
         key = hashlib.sha256(data).hexdigest()
         path = self.path(key)
         if not path.exists():
             path.parent.mkdir(parents=True, exist_ok=True)
-            temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            temp.write_bytes(data)
-            os.replace(temp, path)
+            durable_write(path, data, site="store.blob.put")
             self.writes += 1
         return key
 
-    def get(self, key: str):
-        """The blob's bytes as an mmap-backed read-only buffer."""
+    def quarantine(self, key: str) -> None:
+        """Move a damaged blob out of the addressable tree.
+
+        The file lands in ``quarantine/`` under its original name so an
+        operator can inspect it; the content key becomes a clean miss
+        for subsequent reads and re-imports.
+        """
         path = self.path(key)
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, self.quarantine_root / path.name)
+        except OSError:
+            pass
+        self.quarantined.append(key)
+        self._verified.discard(key)
+
+    def get(self, key: str):
+        """The blob's bytes as an mmap-backed read-only buffer.
+
+        The first fault-in of each key per store handle re-hashes the
+        mapped bytes against the content key; a mismatch (bit rot, torn
+        write, tampering) moves the file to ``quarantine/`` and raises
+        :class:`IntegrityError` instead of serving poisoned layers.
+        """
+        path = self.path(key)
+        faults.damage_file("store.blob.get", path)
         if not path.exists():
             raise KeyError(f"blob {key} is not in the store at {self.root}")
         with open(path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size == 0:
+                self.quarantine(key)
+                raise IntegrityError(
+                    f"blob {key} is empty on disk; quarantined"
+                )
             mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        if key not in self._verified:
+            self.verifications += 1
+            digest = hashlib.sha256(mapped).hexdigest()
+            if digest != key:
+                mapped.close()
+                self.quarantine(key)
+                raise IntegrityError(
+                    f"blob {key} failed verification "
+                    f"(stored bytes hash to {digest}); quarantined"
+                )
+            self._verified.add(key)
         self.reads += 1
         self.bytes_read += len(mapped)
         return memoryview(mapped)
@@ -187,21 +389,53 @@ class BlobStore:
         path = self.path(key)
         if path.exists():
             path.unlink()
+        self._verified.discard(key)
+        # sweep temp files a crashed writer left next to this blob
+        if path.parent.exists():
+            for stale in path.parent.glob(f".{path.name}.*.tmp"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
 
     def keys(self) -> Iterator[str]:
-        """Every stored content key (unordered)."""
+        """Every stored content key (unordered; quarantine excluded)."""
         if not self.root.exists():
             return
         for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
+            if not _is_shard_dir(shard):
                 continue
             for path in sorted(shard.glob("*.bin")):
                 yield path.stem
 
-    def stats(self) -> Dict[str, int]:
+    def tmp_files(self) -> List[Path]:
+        """Stale ``.tmp`` files left behind by crashed writers."""
+        if not self.root.exists():
+            return []
+        stale: List[Path] = []
+        for shard in sorted(self.root.iterdir()):
+            if not _is_shard_dir(shard):
+                continue
+            stale.extend(sorted(shard.glob(".*.tmp")))
+        return stale
+
+    def sweep_tmp(self, dry_run: bool = False) -> List[Path]:
+        """Remove (or just report) stale writer temp files."""
+        stale = self.tmp_files()
+        if not dry_run:
+            for path in stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return stale
+
+    def stats(self) -> Dict:
         """JSON-ready traffic counters (media reads/writes, bytes read)."""
         return {
             "reads": self.reads,
             "writes": self.writes,
             "bytes_read": self.bytes_read,
+            "verifications": self.verifications,
+            "quarantined": len(self.quarantined),
         }

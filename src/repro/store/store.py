@@ -43,9 +43,16 @@ from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
-from .blobs import BlobStore, StoreRef, pack_blob, unpack_blob
+from .blobs import (
+    BlobStore,
+    IntegrityError,
+    StoreRef,
+    durable_write,
+    pack_blob,
+    unpack_blob,
+)
 
-__all__ = ["ArtifactStore", "GcResult", "ShardedArrays"]
+__all__ = ["ArtifactStore", "FsckResult", "GcResult", "ShardedArrays"]
 
 
 class ShardedArrays:
@@ -100,6 +107,7 @@ class GcResult:
 
     removed_blobs: List[str] = field(default_factory=list)
     removed_manifests: List[str] = field(default_factory=list)
+    removed_tmp: List[str] = field(default_factory=list)
     kept_blobs: int = 0
     pinned_blobs: int = 0
 
@@ -107,8 +115,62 @@ class GcResult:
         return {
             "removed_blobs": list(self.removed_blobs),
             "removed_manifests": list(self.removed_manifests),
+            "removed_tmp": list(self.removed_tmp),
             "kept_blobs": self.kept_blobs,
             "pinned_blobs": self.pinned_blobs,
+        }
+
+
+@dataclass(frozen=True)
+class FsckResult:
+    """What one full-store integrity scan found (and, if asked, fixed).
+
+    ``corrupt_blobs`` covers both bit rot and truncation — either way
+    the file's SHA-256 no longer matches its content key.  Manifests are
+    written as their own canonical hash-addressed bytes, so the same
+    check applies to them; a manifest that fails to parse *or* to hash
+    is ``corrupt_manifests``.  ``orphan_blobs`` and ``stale_tmp`` are
+    advisory (GC territory); the other classes make the store unhealthy.
+    """
+
+    corrupt_blobs: List[str] = field(default_factory=list)
+    missing_blobs: List[str] = field(default_factory=list)
+    orphan_blobs: List[str] = field(default_factory=list)
+    corrupt_manifests: List[str] = field(default_factory=list)
+    dangling_refs: List[str] = field(default_factory=list)
+    stale_tmp: List[str] = field(default_factory=list)
+    checked_blobs: int = 0
+    checked_manifests: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    repaired: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing integrity-breaking was found.
+
+        Orphan blobs and stale temp files are untidy, not unsafe — they
+        can never be served to a reader — so they do not fail the scan.
+        """
+        return not (
+            self.corrupt_blobs
+            or self.missing_blobs
+            or self.corrupt_manifests
+            or self.dangling_refs
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "corrupt_blobs": list(self.corrupt_blobs),
+            "missing_blobs": list(self.missing_blobs),
+            "orphan_blobs": list(self.orphan_blobs),
+            "corrupt_manifests": list(self.corrupt_manifests),
+            "dangling_refs": list(self.dangling_refs),
+            "stale_tmp": list(self.stale_tmp),
+            "checked_blobs": self.checked_blobs,
+            "checked_manifests": self.checked_manifests,
+            "quarantined": list(self.quarantined),
+            "repaired": self.repaired,
         }
 
 
@@ -132,7 +194,16 @@ class ArtifactStore:
             self._refs.mkdir(parents=True, exist_ok=True)
         elif not self.root.exists():
             raise FileNotFoundError(f"no artifact store at {self.root}")
-        self.blobs = BlobStore(self.root / "blobs", create=create)
+        self.blobs = BlobStore(
+            self.root / "blobs",
+            create=create,
+            quarantine_root=self.root / "quarantine",
+        )
+
+    @property
+    def quarantine_root(self) -> Path:
+        """Where damaged files land when verification rejects them."""
+        return self.blobs.quarantine_root
 
     # ------------------------------------------------------------------
     # Publishing
@@ -190,7 +261,9 @@ class ArtifactStore:
         manifest_hash = hashlib.sha256(data).hexdigest()
         path = self._manifests / f"{manifest_hash}.json"
         if not path.exists():
-            path.write_text(data.decode("utf-8"))
+            # canonical bytes under their own hash: manifests are as
+            # self-verifying as blobs, and fsck checks them the same way
+            durable_write(path, data, site="store.manifest.write")
         return manifest_hash
 
     # ------------------------------------------------------------------
@@ -203,7 +276,8 @@ class ArtifactStore:
         return {
             path.name: path.read_text().strip()
             for path in sorted(self._refs.iterdir())
-            if path.is_file()
+            # dotfiles are in-flight durable_write temps, not refs
+            if path.is_file() and not path.name.startswith(".")
         }
 
     def set_ref(self, name: str, manifest_hash: str) -> None:
@@ -211,10 +285,11 @@ class ArtifactStore:
         if not (self._manifests / f"{manifest_hash}.json").exists():
             raise KeyError(f"manifest {manifest_hash} is not in the store")
         self._refs.mkdir(parents=True, exist_ok=True)
-        path = self._refs / name
-        temp = path.with_name(f".{name}.tmp")
-        temp.write_text(manifest_hash + "\n")
-        temp.replace(path)
+        durable_write(
+            self._refs / name,
+            (manifest_hash + "\n").encode("utf-8"),
+            site="store.ref.write",
+        )
 
     def remove(self, name: str) -> None:
         """Drop a ref; blobs/manifest linger until :meth:`gc`."""
@@ -236,11 +311,22 @@ class ArtifactStore:
         )
 
     def manifest(self, name: str) -> Dict:
-        """The resolved manifest document for a ref name or hash."""
+        """The resolved manifest document for a ref name or hash.
+
+        Manifests are stored as their own canonical hash-addressed
+        bytes, so reads re-verify them like blobs: a flipped bit that
+        still parses as JSON would otherwise silently rebuild a wrong
+        model.  Mismatches raise :class:`~repro.store.IntegrityError`.
+        """
         manifest_hash = self.resolve(name)
-        return json.loads(
-            (self._manifests / f"{manifest_hash}.json").read_text()
-        )
+        data = (self._manifests / f"{manifest_hash}.json").read_bytes()
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != manifest_hash:
+            raise IntegrityError(
+                f"manifest {manifest_hash} failed verification "
+                f"(stored bytes hash to {digest}); run store fsck"
+            )
+        return json.loads(data)
 
     def arrays(self, name: str) -> ShardedArrays:
         """Lazy array mapping over one model's blobs."""
@@ -264,10 +350,10 @@ class ArtifactStore:
         }
 
     def _save_pins(self, pins: Dict[str, List[str]]) -> None:
-        # write-to-temp + rename, like refs and blobs: readers polling
-        # pins() mid-rollout must never see a half-written document
-        temp = self._pins_path.with_name(f".pins.{os.getpid()}.tmp")
-        temp.write_text(
+        # durable write-to-temp + rename, like refs and blobs: readers
+        # polling pins() mid-rollout must never see a half-written
+        # document, and a crash must never lose the previous one
+        payload = (
             json.dumps(
                 {key: sorted(set(value)) for key, value in pins.items()},
                 indent=2,
@@ -275,7 +361,9 @@ class ArtifactStore:
             )
             + "\n"
         )
-        os.replace(temp, self._pins_path)
+        durable_write(
+            self._pins_path, payload.encode("utf-8"), site="store.pins.write"
+        )
 
     def pins(self) -> Dict[str, List[str]]:
         """The GC roots beyond the refs: pinned manifests and blobs."""
@@ -383,11 +471,133 @@ class ArtifactStore:
                 if not dry_run:
                     (self._manifests / f"{manifest_hash}.json").unlink()
                 removed_manifests.append(manifest_hash)
+        # crashed writers leave .tmp files behind; gc is where they die
+        removed_tmp = [str(path) for path in self._stale_tmp()]
+        if not dry_run:
+            self._sweep_tmp()
         return GcResult(
             removed_blobs=sorted(removed_blobs),
             removed_manifests=sorted(removed_manifests),
+            removed_tmp=sorted(removed_tmp),
             kept_blobs=len(keep & set(self.blobs.keys())),
             pinned_blobs=len(pinned_blobs),
+        )
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def _stale_tmp(self) -> List[Path]:
+        """Every writer temp file a crash may have stranded, store-wide."""
+        stale = list(self.blobs.tmp_files())
+        for directory in (self._manifests, self._refs, self.root):
+            if directory.exists():
+                stale.extend(
+                    sorted(
+                        path
+                        for path in directory.glob(".*.tmp")
+                        if path.is_file()
+                    )
+                )
+        return stale
+
+    def _sweep_tmp(self) -> None:
+        for path in self._stale_tmp():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def fsck(self, repair: bool = False) -> FsckResult:
+        """Full-store integrity scan; optionally quarantine/clean findings.
+
+        Every blob is re-hashed against its content key (catching bit
+        rot and truncation alike), every manifest is re-hashed against
+        its filename and parsed, refs are checked against the surviving
+        manifests, and blob reachability is computed from the valid
+        manifests.  With ``repair=True`` corrupt blobs and manifests are
+        moved into ``quarantine/``, dangling refs deleted, and stale
+        temp files swept; missing and orphan blobs are reported only
+        (re-import restores the former, :meth:`gc` owns the latter).
+        """
+        corrupt_blobs: List[str] = []
+        ondisk_blobs: List[str] = []
+        for key in self.blobs.keys():
+            ondisk_blobs.append(key)
+            path = self.blobs.path(key)
+            try:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            except OSError:
+                digest = ""
+            if digest != key:
+                corrupt_blobs.append(key)
+
+        corrupt_manifests: List[str] = []
+        valid_manifests: Dict[str, Dict] = {}
+        for manifest_hash in self.manifest_hashes():
+            path = self._manifests / f"{manifest_hash}.json"
+            try:
+                data = path.read_bytes()
+            except OSError:
+                corrupt_manifests.append(manifest_hash)
+                continue
+            if hashlib.sha256(data).hexdigest() != manifest_hash:
+                corrupt_manifests.append(manifest_hash)
+                continue
+            try:
+                valid_manifests[manifest_hash] = json.loads(data)
+            except ValueError:
+                corrupt_manifests.append(manifest_hash)
+
+        referenced: set = set()
+        for document in valid_manifests.values():
+            for entry in document.get("layers", ()):
+                key = entry.get("content_key")
+                if key:
+                    referenced.add(key)
+        healthy = set(ondisk_blobs) - set(corrupt_blobs)
+        missing_blobs = sorted(referenced - healthy)
+        pinned_blobs = set(self._load_pins()["blobs"])
+        orphan_blobs = sorted(
+            set(ondisk_blobs) - referenced - pinned_blobs
+        )
+
+        dangling_refs = sorted(
+            name
+            for name, manifest_hash in self.refs().items()
+            if manifest_hash not in valid_manifests
+        )
+
+        stale_tmp = [str(path) for path in self._stale_tmp()]
+
+        quarantined: List[str] = []
+        if repair:
+            for key in corrupt_blobs:
+                if self.blobs.path(key).exists():
+                    self.blobs.quarantine(key)
+                    quarantined.append(key)
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            for manifest_hash in corrupt_manifests:
+                path = self._manifests / f"{manifest_hash}.json"
+                if path.exists():
+                    os.replace(path, self.quarantine_root / path.name)
+                    quarantined.append(manifest_hash)
+            for name in dangling_refs:
+                ref_path = self._refs / name
+                if ref_path.exists():
+                    ref_path.unlink()
+            self._sweep_tmp()
+
+        return FsckResult(
+            corrupt_blobs=sorted(corrupt_blobs),
+            missing_blobs=missing_blobs,
+            orphan_blobs=orphan_blobs,
+            corrupt_manifests=sorted(corrupt_manifests),
+            dangling_refs=dangling_refs,
+            stale_tmp=sorted(stale_tmp),
+            checked_blobs=len(ondisk_blobs),
+            checked_manifests=len(valid_manifests) + len(corrupt_manifests),
+            quarantined=sorted(quarantined),
+            repaired=repair,
         )
 
     # ------------------------------------------------------------------

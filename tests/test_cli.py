@@ -328,6 +328,57 @@ class TestStoreCommand:
         out = capsys.readouterr().out
         assert "images/sec" in out
 
+    def test_fsck_clean_store(self, capsys, artifact, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(
+            ["store", "import", str(artifact), "--store", store,
+             "--name", "v1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "fsck", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "store is clean" in out
+        assert "checked" in out and "manifests" in out
+        assert "corrupt" not in out
+
+    def test_fsck_reports_and_repairs_corruption(
+        self, capsys, artifact, tmp_path
+    ):
+        from repro.store import ArtifactStore
+
+        store = str(tmp_path / "store")
+        assert main(
+            ["store", "import", str(artifact), "--store", store,
+             "--name", "v1"]
+        ) == 0
+        capsys.readouterr()
+        handle = ArtifactStore(store)
+        key = next(iter(handle.blobs.keys()))
+        blob_path = handle.blobs.path(key)
+        raw = bytearray(blob_path.read_bytes())
+        raw[0] ^= 0x01
+        blob_path.write_bytes(bytes(raw))
+        (handle.root / "refs" / ".v1.7.tmp").write_text("junk")
+
+        assert main(["store", "fsck", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "PROBLEMS FOUND" in out
+        assert f"corrupt blob: {key}" in out
+        assert "stale tmp:" in out
+
+        assert main(["store", "fsck", "--store", store, "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "fsck (repair)" in out
+        assert "quarantined 1 damaged files" in out
+        # damaged blob is out of the tree; a re-import heals the store
+        assert main(
+            ["store", "import", str(artifact), "--store", store,
+             "--name", "v1"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "fsck", "--store", store]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
 
 class TestSimulateCommand:
     def test_parser_defaults(self):

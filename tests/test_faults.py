@@ -1,0 +1,693 @@
+"""Integrity + fault-injection layer: plan, store, wire, resilience.
+
+Covers the chaos subsystem end to end at unit/integration scale (the
+full soak lives in ``benchmarks/bench_chaos.py``): deterministic
+:class:`FaultPlan` scheduling, verify-on-read + quarantine in the blob
+store, crash-durable write ordering, fsck across every fault class the
+injector can plant, CRC32 wire integrity with strict shape-table
+validation, the :class:`RetryPolicy` deadline budget, circuit-breaker
+state transitions, and one live-fleet test proving a corrupt reply
+frame ends in a worker death plus a bit-exact redispatch — never wrong
+logits.
+"""
+
+import faulthandler
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.bnn.reactnet import build_small_bnn
+from repro.deploy import load_compressed_model, save_compressed_model
+from repro.fleet import (
+    CircuitBreaker,
+    FleetConfig,
+    FleetRouter,
+    RetryPolicy,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve import QueueFullError, ServeConfig
+from repro.store import (
+    ArtifactStore,
+    BlobStore,
+    IntegrityError,
+    durable_write,
+    pack_blob,
+    unpack_blob,
+)
+
+WATCHDOG_SECONDS = 180
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    faulthandler.dump_traceback_later(WATCHDOG_SECONDS, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    # no test may leak an armed plan into the next
+    yield
+    faults.disarm()
+
+
+IMAGE_SIZE = 8
+
+
+def _build_model(seed: int = 0):
+    model = build_small_bnn(
+        in_channels=1, num_classes=10, image_size=IMAGE_SIZE,
+        channels=(8, 16), seed=seed,
+    )
+    model.eval()
+    return model
+
+
+def _images(count: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(
+        (count, 1, IMAGE_SIZE, IMAGE_SIZE)
+    ).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan scheduling
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_fires_at_exact_invocation(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("site.a", 2, "bit_flip")]
+        )
+        assert plan.fire("site.a") == ()
+        assert plan.fire("site.a") == ()
+        (spec,) = plan.fire("site.a")
+        assert spec.kind == "bit_flip"
+        assert plan.fire("site.a") == ()
+        assert plan.counts() == {"site.a": 4}
+        assert plan.summary()["fired"] == [
+            {"site": "site.a", "invocation": 2, "kind": "bit_flip"}
+        ]
+
+    def test_sites_count_independently(self):
+        plan = faults.FaultPlan(
+            [
+                faults.FaultSpec("site.a", 0, "delay"),
+                faults.FaultSpec("site.b", 1, "delay"),
+            ]
+        )
+        assert len(plan.fire("site.a")) == 1
+        assert plan.fire("site.b") == ()
+        assert len(plan.fire("site.b")) == 1
+
+    def test_deterministic_corruption(self):
+        data = bytes(range(256)) * 4
+        spec = faults.FaultSpec("s", 0, "bit_flip")
+        one = faults.FaultPlan([spec], seed=7).perturb("s", data)
+        two = faults.FaultPlan([spec], seed=7).perturb("s", data)
+        other_seed = faults.FaultPlan([spec], seed=8).perturb("s", data)
+        assert one == two
+        assert one != data
+        assert other_seed != one  # the plan seed moves the damage
+
+    def test_arm_disarm_and_zero_overhead_path(self):
+        data = b"payload"
+        assert faults.perturb("any.site", data) is data  # disarmed: no-op
+        plan = faults.FaultPlan([faults.FaultSpec("any.site", 0, "exception")])
+        with plan.armed():
+            assert faults.active() is plan
+            with pytest.raises(faults.InjectedFaultError):
+                faults.perturb("any.site", data)
+        assert faults.active() is None
+        assert faults.perturb("any.site", data) is data
+
+    def test_arming_resets_counters(self):
+        plan = faults.FaultPlan([faults.FaultSpec("s", 0, "truncate")])
+        with plan.armed():
+            assert len(faults.perturb("s", b"abcdef")) < 6
+        with plan.armed():  # re-arm: invocation 0 fires again
+            assert len(faults.perturb("s", b"abcdef")) < 6
+
+    def test_unknown_kind_and_negative_invocation_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultSpec("s", 0, "meltdown")
+        with pytest.raises(ValueError, match="invocation"):
+            faults.FaultSpec("s", -1, "delay")
+
+    def test_spec_round_trips_through_dict(self):
+        spec = faults.FaultSpec("s", 3, "torn_write", seed=9, delay_ms=1.5)
+        assert faults.FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+# ----------------------------------------------------------------------
+# Blob store integrity
+# ----------------------------------------------------------------------
+class TestStoreIntegrity:
+    def _blob(self, seed: int = 0) -> bytes:
+        rng = np.random.default_rng(seed)
+        return pack_blob({"w": rng.standard_normal((4, 4)).astype(np.float32)})
+
+    def test_bit_flip_detected_and_quarantined(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        key = blobs.put(self._blob())
+        path = blobs.path(key)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x10
+        path.write_bytes(bytes(raw))
+        fresh = BlobStore(tmp_path / "blobs")
+        with pytest.raises(IntegrityError, match="failed verification"):
+            fresh.get(key)
+        assert not path.exists()  # moved out of the addressable tree
+        assert (fresh.quarantine_root / f"{key}.bin").exists()
+        assert fresh.stats()["quarantined"] == 1
+        with pytest.raises(KeyError):
+            fresh.get(key)  # now a clean miss, not repeated poison
+
+    def test_truncation_and_empty_file_detected(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        key = blobs.put(self._blob())
+        os.truncate(blobs.path(key), 5)
+        with pytest.raises(IntegrityError):
+            BlobStore(tmp_path / "blobs").get(key)
+        key2 = blobs.put(self._blob(1))
+        os.truncate(blobs.path(key2), 0)
+        with pytest.raises(IntegrityError, match="empty"):
+            BlobStore(tmp_path / "blobs").get(key2)
+
+    def test_verification_runs_once_per_handle(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        key = blobs.put(self._blob())
+        blobs.get(key)
+        blobs.get(key)
+        assert blobs.stats()["verifications"] == 1
+        assert blobs.stats()["reads"] == 2
+
+    def test_quarantine_dir_never_pollutes_keys(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        key = blobs.put(self._blob())
+        path = blobs.path(key)
+        path.write_bytes(b"garbage")
+        with pytest.raises(IntegrityError):
+            BlobStore(tmp_path / "blobs").get(key)
+        assert list(BlobStore(tmp_path / "blobs").keys()) == []
+
+    def test_durable_write_fsyncs_file_and_directory(
+        self, tmp_path, monkeypatch
+    ):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        durable_write(tmp_path / "out.bin", b"data")
+        assert len(synced) == 2  # the temp file, then the parent dir
+        assert (tmp_path / "out.bin").read_bytes() == b"data"
+        assert not list(tmp_path.glob(".*.tmp"))
+
+    def test_torn_write_leaves_tmp_and_never_publishes(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        data = self._blob()
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("store.blob.put", 0, "torn_write")]
+        )
+        with plan.armed():
+            with pytest.raises(faults.InjectedCrashError):
+                blobs.put(data)
+        assert len(blobs.tmp_files()) == 1
+        assert list(blobs.keys()) == []  # the final name never appeared
+        key = blobs.put(data)  # retry publishes cleanly
+        assert blobs.get(key) is not None
+
+    def test_delete_and_sweep_remove_stale_tmp(self, tmp_path):
+        blobs = BlobStore(tmp_path / "blobs")
+        key = blobs.put(self._blob())
+        shard = blobs.path(key).parent
+        stale = shard / f".{key}.bin.999.tmp"
+        stale.write_bytes(b"partial")
+        blobs.delete(key)
+        assert not stale.exists()
+        other = BlobStore(tmp_path / "blobs")
+        key2 = other.put(self._blob(1))
+        junk = other.path(key2).parent / f".{key2}.bin.1.tmp"
+        junk.write_bytes(b"x")
+        assert other.sweep_tmp(dry_run=True) == [junk]
+        assert junk.exists()
+        other.sweep_tmp()
+        assert not junk.exists()
+
+    def test_unpack_blob_rejects_malformed_tables(self):
+        good = pack_blob({"w": np.zeros((2, 2), dtype=np.float32)})
+        assert set(unpack_blob(good)) == {"w"}
+
+        def forged(mutate):
+            view = memoryview(good)
+            header_len = int.from_bytes(view[8:12], "little")
+            header = json.loads(bytes(view[12:12 + header_len]))
+            mutate(header)
+            raw = json.dumps(header, sort_keys=True,
+                             separators=(",", ":")).encode()
+            return b"".join(
+                [bytes(view[:8]), len(raw).to_bytes(4, "little"), raw,
+                 bytes(view[12 + header_len:])]
+            )
+
+        def set_shape(header, shape):
+            header["fields"][0]["shape"] = shape
+
+        with pytest.raises(ValueError, match="negative dim"):
+            unpack_blob(forged(lambda h: set_shape(h, [-1])))
+        with pytest.raises(ValueError, match="claims"):
+            unpack_blob(forged(lambda h: set_shape(h, [1 << 62, 1 << 62])))
+        with pytest.raises(ValueError, match="duplicate"):
+            unpack_blob(
+                forged(lambda h: h["fields"].append(dict(h["fields"][0])))
+            )
+
+
+# ----------------------------------------------------------------------
+# fsck
+# ----------------------------------------------------------------------
+class TestFsck:
+    def _store_with_model(self, tmp_path) -> ArtifactStore:
+        store = ArtifactStore(tmp_path / "store")
+        save_compressed_model(_build_model(), f"{store.root}#prod")
+        return store
+
+    def test_clean_store_is_ok(self, tmp_path):
+        store = self._store_with_model(tmp_path)
+        result = store.fsck()
+        assert result.ok
+        assert result.checked_blobs > 0
+        assert result.checked_manifests == 1
+        assert result.to_dict()["ok"] is True
+
+    def test_detects_every_fault_class(self, tmp_path):
+        store = self._store_with_model(tmp_path)
+        save_compressed_model(_build_model(seed=1), f"{store.root}#cand")
+        store = ArtifactStore(store.root)
+        prod_keys = [
+            entry["content_key"]
+            for entry in store.manifest("prod")["layers"]
+            if entry.get("content_key")
+        ]
+        # corrupt one referenced blob, delete another (-> missing);
+        # prod's manifest stays valid so both stay "referenced"
+        flip_path = store.blobs.path(prod_keys[0])
+        raw = bytearray(flip_path.read_bytes())
+        raw[0] ^= 0x01
+        flip_path.write_bytes(bytes(raw))
+        store.blobs.path(prod_keys[1]).unlink()
+        # orphan: a blob no manifest references
+        orphan_key = store.blobs.put(b"loose bytes")
+        # corrupt the candidate manifest; its ref now dangles
+        cand_hash = store.resolve("cand")
+        cand_path = store.root / "manifests" / f"{cand_hash}.json"
+        cand_path.write_text(cand_path.read_text() + " ")
+        # stale tmp from a crashed writer
+        (store.root / "refs" / ".prod.999.tmp").write_text("junk")
+
+        result = ArtifactStore(store.root).fsck()
+        assert not result.ok
+        assert result.corrupt_blobs == [prod_keys[0]]
+        assert prod_keys[1] in result.missing_blobs
+        assert orphan_key in result.orphan_blobs
+        assert result.corrupt_manifests == [cand_hash]
+        assert result.dangling_refs == ["cand"]
+        assert len(result.stale_tmp) == 1
+
+    def test_repair_quarantines_and_cleans(self, tmp_path):
+        store = self._store_with_model(tmp_path)
+        keys = list(store.blobs.keys())
+        path = store.blobs.path(keys[0])
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x80
+        path.write_bytes(bytes(raw))
+        (store.root / "refs" / ".x.1.tmp").write_text("junk")
+
+        repaired = ArtifactStore(store.root).fsck(repair=True)
+        assert repaired.repaired
+        assert repaired.quarantined == [keys[0]]
+        assert (store.quarantine_root / f"{keys[0]}.bin").exists()
+        after = ArtifactStore(store.root).fsck()
+        # the quarantined blob is now missing (re-import restores it),
+        # but nothing corrupt remains on the addressable paths
+        assert after.corrupt_blobs == []
+        assert after.stale_tmp == []
+        assert keys[0] in after.missing_blobs
+        save_compressed_model(_build_model(), f"{store.root}#prod")
+        assert ArtifactStore(store.root).fsck().ok
+
+    def test_gc_sweeps_stale_tmp(self, tmp_path):
+        store = self._store_with_model(tmp_path)
+        stale = store.root / "manifests" / ".m.1.tmp"
+        stale.write_text("junk")
+        dry = store.gc(dry_run=True)
+        assert dry.removed_tmp and stale.exists()
+        wet = store.gc()
+        assert wet.removed_tmp == dry.removed_tmp
+        assert not stale.exists()
+
+    def test_corrupt_manifest_read_raises_not_wrong_model(self, tmp_path):
+        store = self._store_with_model(tmp_path)
+        manifest_hash = store.resolve("prod")
+        manifest_path = store.root / "manifests" / f"{manifest_hash}.json"
+        document = json.loads(manifest_path.read_text())
+        document["layers"] = document["layers"][:-1]  # still valid JSON
+        manifest_path.write_text(
+            json.dumps(document, sort_keys=True, separators=(",", ":"))
+        )
+        with pytest.raises(IntegrityError, match="manifest"):
+            ArtifactStore(store.root).manifest("prod")
+        with pytest.raises(IntegrityError):
+            load_compressed_model(f"{store.root}#prod")
+
+    def test_corrupted_blob_load_raises_not_wrong_logits(self, tmp_path):
+        store = self._store_with_model(tmp_path)
+        ref = f"{store.root}#prod"
+        images = _images(4)
+        oracle = load_compressed_model(ref).forward_batched(
+            images, batch_size=4
+        )
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("store.blob.get", 0, "bit_flip")], seed=3
+        )
+        with plan.armed():
+            with pytest.raises(IntegrityError):
+                load_compressed_model(ref).forward_batched(
+                    images, batch_size=4
+                )
+        assert store.quarantine_root.exists()
+        save_compressed_model(_build_model(), ref)  # restore
+        again = load_compressed_model(ref).forward_batched(
+            images, batch_size=4
+        )
+        assert np.array_equal(again, oracle)
+
+
+# ----------------------------------------------------------------------
+# Wire integrity
+# ----------------------------------------------------------------------
+class TestWireIntegrity:
+    def _frame(self):
+        return encode_frame(
+            {"op": "serve", "id": 7, "tenant": "t"},
+            {"images": np.arange(48, dtype=np.float32).reshape(2, 2, 2, 6)},
+        )
+
+    def test_round_trip_and_crc_present(self):
+        frame = self._frame()
+        message, arrays = decode_frame(frame)
+        assert message["op"] == "serve"
+        assert arrays["images"].shape == (2, 2, 2, 6)
+        body, crc = frame[:-4], frame[-4:]
+        assert int.from_bytes(crc, "little") == zlib.crc32(body)
+
+    @pytest.mark.parametrize(
+        "position", [0, 3, 10, 40, 80, -5, -1]
+    )
+    def test_single_bit_flip_anywhere_fails_decode(self, position):
+        frame = bytearray(self._frame())
+        frame[position] ^= 0x04
+        with pytest.raises(ValueError):
+            decode_frame(bytes(frame))
+
+    @pytest.mark.parametrize("length", [0, 2, 7])
+    def test_short_frames_fail(self, length):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_frame(self._frame()[:length])
+
+    def test_truncated_payload_fails_crc(self):
+        frame = self._frame()
+        with pytest.raises(ValueError):
+            decode_frame(frame[:-20])
+
+    def _forge(self, message, payload=b""):
+        """A frame with a *valid* CRC around an adversarial header."""
+        header = json.dumps(
+            message, sort_keys=True, separators=(",", ":")
+        ).encode()
+        body = len(header).to_bytes(4, "little") + header + payload
+        return body + zlib.crc32(body).to_bytes(4, "little")
+
+    def test_negative_dim_rejected_despite_valid_crc(self):
+        frame = self._forge(
+            {"op": "x", "arrays": [
+                {"name": "a", "dtype": "float32", "shape": [-1]}
+            ]}
+        )
+        with pytest.raises(ValueError, match="invalid dim"):
+            decode_frame(frame)
+
+    def test_overflowing_dims_rejected(self):
+        frame = self._forge(
+            {"op": "x", "arrays": [
+                {"name": "a", "dtype": "float32",
+                 "shape": [1 << 62, 1 << 62]}
+            ]}
+        )
+        with pytest.raises(ValueError, match="claims"):
+            decode_frame(frame)
+
+    def test_duplicate_array_names_rejected(self):
+        spec = {"name": "a", "dtype": "float32", "shape": []}
+        frame = self._forge(
+            {"op": "x", "arrays": [spec, dict(spec)]},
+            payload=b"\x00" * 8,  # both scalars fit: the dup check fires
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            decode_frame(frame)
+
+    def test_fault_hook_corrupts_encode_deterministically(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("wire.encode", 0, "bit_flip")], seed=11
+        )
+        with plan.armed():
+            corrupt = encode_frame({"op": "ping"})
+        with faults.FaultPlan(
+            [faults.FaultSpec("wire.encode", 0, "bit_flip")], seed=11
+        ).armed():
+            corrupt_again = encode_frame({"op": "ping"})
+        assert corrupt == corrupt_again
+        with pytest.raises(ValueError):
+            decode_frame(corrupt)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy + CircuitBreaker
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_returns_first_success_and_backs_off(self):
+        sleeps = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 4:
+                raise QueueFullError("busy")
+            return "done"
+
+        policy = RetryPolicy(
+            max_attempts=8, base_delay_ms=2.0, multiplier=2.0, jitter=0.0,
+        )
+        result = policy.call(
+            flaky, retriable=(QueueFullError,), sleep=sleeps.append,
+        )
+        assert result == "done"
+        assert len(calls) == 4
+        assert sleeps == [0.002, 0.004, 0.008]  # exponential, jitter off
+
+    def test_reraises_last_error_when_attempts_exhausted(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=0.0)
+        with pytest.raises(QueueFullError, match="always"):
+            policy.call(
+                lambda: (_ for _ in ()).throw(QueueFullError("always")),
+                retriable=(QueueFullError,),
+                sleep=lambda s: None,
+            )
+
+    def test_non_retriable_errors_propagate_immediately(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise RuntimeError("fatal")
+
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=0.0)
+        with pytest.raises(RuntimeError):
+            policy.call(fatal, retriable=(QueueFullError,))
+        assert len(calls) == 1
+
+    def test_deadline_budget_stops_sleeping_into_timeout(self):
+        clock = {"now": 0.0}
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=100, base_delay_ms=40.0, max_delay_ms=40.0,
+            jitter=0.0, deadline_ms=100.0,
+        )
+        calls = []
+
+        def always_busy():
+            calls.append(1)
+            raise QueueFullError("busy")
+
+        with pytest.raises(QueueFullError):
+            policy.call(
+                always_busy, retriable=(QueueFullError,),
+                sleep=fake_sleep, clock=lambda: clock["now"],
+            )
+        # 40ms backoff against a 100ms budget: attempts at 0/40/80ms,
+        # then the next sleep would cross the deadline and we re-raise
+        assert len(calls) == 3
+
+    def test_schedule_is_deterministic_per_seed(self):
+        policy = RetryPolicy(seed=5)
+        assert policy.schedule() == policy.schedule()
+        assert RetryPolicy(seed=6).schedule() != policy.schedule()
+
+    def test_acall_retries_async(self):
+        import asyncio
+
+        calls = []
+
+        async def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise QueueFullError("busy")
+            return 42
+
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=0.1, jitter=0.0)
+        assert asyncio.run(
+            policy.acall(flaky, retriable=(QueueFullError,))
+        ) == 42
+        assert len(calls) == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_ms=0.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, reset_ms=1000.0):
+        return CircuitBreaker(
+            failure_threshold=threshold, reset_after_ms=reset_ms,
+            clock=lambda: clock["now"],
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = {"now": 0.0}
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.ready()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.ready()
+        assert not breaker.admit()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_count(self):
+        clock = {"now": 0.0}
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = {"now": 0.0}
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock["now"] = 1.5  # past the 1000ms cool-down
+        assert breaker.state == "half_open"
+        assert breaker.ready()
+        assert breaker.admit()       # the probe
+        assert not breaker.ready()   # second caller is refused
+        assert not breaker.admit()
+        assert breaker.probes == 1
+
+    def test_probe_outcome_decides(self):
+        clock = {"now": 0.0}
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock["now"] = 1.5
+        breaker.admit()
+        breaker.record_failure()     # failed probe: re-open, new cool-down
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        clock["now"] = 3.0
+        breaker.admit()
+        breaker.record_success()     # good probe: fully closed
+        assert breaker.state == "closed"
+        assert breaker.ready() and breaker.admit()
+
+    def test_ready_never_mutates(self):
+        clock = {"now": 0.0}
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock["now"] = 1.5
+        for _ in range(10):
+            assert breaker.ready()
+        assert breaker.probes == 0  # ready() consumed nothing
+        snapshot = breaker.to_dict()
+        assert snapshot["state"] == "half_open"
+        assert snapshot["opens"] == 1
+
+
+# ----------------------------------------------------------------------
+# Fleet integration: corrupt reply -> death -> bit-exact redispatch
+# ----------------------------------------------------------------------
+class TestFleetIntegrity:
+    def test_corrupt_reply_kills_worker_and_redispatches_bit_exact(
+        self, tmp_path
+    ):
+        artifact = tmp_path / "model.npz"
+        save_compressed_model(_build_model(), artifact)
+        images = _images(16)
+        oracle = load_compressed_model(artifact).forward_batched(
+            images, batch_size=16
+        )
+        config = FleetConfig(
+            workers=2,
+            serve=ServeConfig(
+                max_batch=16, max_wait_ms=1.0, queue_depth=4096,
+            ),
+            # no pings: router-side wire invocations stay deterministic
+            heartbeat_interval_ms=60_000.0,
+            heartbeat_timeout_ms=120_000.0,
+        )
+        with FleetRouter(config) as fleet:
+            fleet.register("t", str(artifact))
+            first = fleet.submit_retrying("t", images)
+            assert np.array_equal(first, oracle)
+            # Router-side decode counts while armed: the next serve
+            # reply is invocation 0 — flip a bit in it.  The receiver
+            # must declare the worker dead and redispatch the block.
+            plan = faults.FaultPlan(
+                [faults.FaultSpec("wire.decode", 0, "bit_flip")], seed=2
+            )
+            with plan.armed():
+                second = fleet.submit_retrying("t", images)
+            assert np.array_equal(second, oracle)
+            assert plan.summary()["fired"], "the planted flip never fired"
+            status = fleet.status(snapshots=False)
+        assert status["counters"]["worker_deaths"] >= 1
+        assert status["counters"]["failovers"] >= 1
+        for row in status["workers"].values():
+            assert row["breaker"]["state"] in ("closed", "open", "half_open")
