@@ -7,13 +7,18 @@ at least 10x the per-image float reference forward in images/sec, with
 logits bit-identical to the reference at the same minibatching.  A
 second section serves straight from a deploy artifact (on-demand stream
 decode + LRU kernel cache) and tracks its throughput next to the
-model-backed plan.
+model-backed plan.  A third section gates the threaded tiled
+contraction engine: on a >= 4-core host a threaded plan must clear
+2.5x the single-threaded plan at batch >= 32 (reduced mode and smaller
+hosts only record the ratio), and its logits must stay bit-identical
+to the float oracle — threading must never change a single bit.
 
 Results land in ``BENCH_infer.json`` (see ``benchmarks/conftest.py``) so
 the serving-perf trajectory is tracked across PRs.  ``BENCH_REDUCED=1``
 shrinks the workload for CI smoke runs and relaxes the speedup floor.
 """
 
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -37,8 +42,13 @@ FULL_BATCH = 64
 REDUCED_BATCH = 32
 
 #: acceptance floors (reduced mode amortises fixed costs over less work)
-FULL_FLOOR = 10.0
-REDUCED_FLOOR = 3.0
+FULL_FLOOR = 12.0
+REDUCED_FLOOR = 6.0
+
+#: threaded-contraction gate: only enforced where threads can help
+THREADED_MIN_CORES = 4
+THREADED_FULL_FLOOR = 2.5
+THREADED_REDUCED_FLOOR = 1.3
 
 
 def _serving_model():
@@ -117,6 +127,80 @@ def test_batched_engine_speedup_over_per_image_reference():
         f"batched engine is only {speedup:.1f}x over the per-image "
         f"reference (acceptance floor is {floor:.0f}x at batch {batch})"
     )
+
+
+def test_threaded_contraction_speedup():
+    """Threaded tiles >= 2.5x serial on >= 4 cores, bit-identical always."""
+    reduced = bench_reduced()
+    images = REDUCED_IMAGES if reduced else FULL_IMAGES
+    batch = REDUCED_BATCH if reduced else FULL_BATCH
+    cores = os.cpu_count() or 1
+    threads = max(2, min(cores, 8))
+
+    model = _serving_model()
+    x = _images(images)
+    serial_plan = InferencePlan.from_model(model, strategy="popcount")
+    threaded_plan = InferencePlan.from_model(
+        model, strategy="popcount", threads=threads
+    )
+
+    def best_of(plan, rounds=3):
+        plan.run_batch(x[:batch])  # pack kernels / warm the pool
+        seconds = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            logits = plan.run_batch(x, batch_size=batch)
+            seconds = min(seconds, time.perf_counter() - start)
+        return logits, seconds
+
+    serial_logits, serial_seconds = best_of(serial_plan)
+    threaded_logits, threaded_seconds = best_of(threaded_plan)
+
+    # exactness first: fan-out across the pool must not move one bit
+    oracle = model.forward_batched(x, batch_size=batch)
+    assert np.array_equal(serial_logits, oracle)
+    assert np.array_equal(threaded_logits, oracle)
+
+    stats = threaded_plan.contraction_stats()["popcount"]
+    assert stats["threaded_calls"] > 0
+    assert stats["max_threads"] == threads
+
+    speedup = serial_seconds / threaded_seconds
+    gated = cores >= THREADED_MIN_CORES
+    floor = (
+        (THREADED_REDUCED_FLOOR if reduced else THREADED_FULL_FLOOR)
+        if gated
+        else None
+    )
+    update_bench_artifact(
+        "infer",
+        "threaded_contraction",
+        {
+            "images": int(images),
+            "batch": int(batch),
+            "cores": int(cores),
+            "threads": int(threads),
+            "serial_seconds": float(serial_seconds),
+            "threaded_seconds": float(threaded_seconds),
+            "serial_images_per_second": float(images / serial_seconds),
+            "threaded_images_per_second": float(images / threaded_seconds),
+            "speedup": float(speedup),
+            "floor": floor,
+            "tiles": stats["tiles"],
+            "threaded_calls": stats["threaded_calls"],
+        },
+        headline="speedup",
+    )
+    print(
+        f"\nthreaded contraction ({threads} threads on {cores} cores): "
+        f"serial {images / serial_seconds:.0f} img/s, threaded "
+        f"{images / threaded_seconds:.0f} img/s -> {speedup:.2f}x"
+    )
+    if floor is not None:
+        assert speedup >= floor, (
+            f"threaded contraction is only {speedup:.2f}x over serial "
+            f"(acceptance floor is {floor}x on {cores} cores)"
+        )
 
 
 def test_artifact_plan_serving_throughput():

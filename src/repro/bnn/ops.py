@@ -22,6 +22,12 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from .contraction import (
+    ContractionTelemetry,
+    contract_packed_patches,
+    pack_input_patches,
+    resolve_strategy,
+)
 from .packing import pack_bits, pack_kernel_channels, packed_dot, unpack_bits
 
 __all__ = [
@@ -46,8 +52,17 @@ PackedOperand = Tuple[np.ndarray, int]
 #: ``gemm`` evaluates the *same* Eq. 2 dot product as a BLAS contraction
 #: over {+1, -1} bit planes.  Every intermediate of both strategies is a
 #: small exact integer, so their outputs are bit-identical — ``gemm`` is
-#: simply how a CPU without a vector popcount serves fastest.
-CONTRACTION_STRATEGIES = ("popcount", "gemm")
+#: simply how a CPU without a vector popcount serves fastest.  The
+#: ``*-threaded`` aliases run the same contraction tiled over the shared
+#: worker pool (``batch x out_channel`` tiles, see
+#: :mod:`repro.bnn.contraction`); tiling cannot change the integers, so
+#: every strategy/thread combination stays bit-identical.
+CONTRACTION_STRATEGIES = (
+    "popcount",
+    "gemm",
+    "popcount-threaded",
+    "gemm-threaded",
+)
 
 
 def bit_signs(bits: np.ndarray) -> np.ndarray:
@@ -187,6 +202,8 @@ def binary_conv2d_packed(
     strategy: str = "popcount",
     kernel_size: Optional[int] = None,
     kernel_signs: Optional[np.ndarray] = None,
+    threads: Optional[int] = None,
+    telemetry: Optional[ContractionTelemetry] = None,
 ) -> np.ndarray:
     """Bit-packed binary convolution (the daBNN execution model).
 
@@ -202,9 +219,12 @@ def binary_conv2d_packed(
     :data:`CONTRACTION_STRATEGIES`): ``popcount`` is the xnor+popcount
     word loop the hardware model mirrors; ``gemm`` computes the same
     exact integers through a BLAS bit-plane contraction (the fast
-    serving path).  ``out_channel_chunk`` bounds the popcount
-    strategy's xor intermediate, mirroring how a real kernel tiles over
-    output channels.
+    serving path); the ``*-threaded`` aliases tile the same contraction
+    over the shared worker pool.  ``out_channel_chunk`` bounds the
+    popcount strategy's xor intermediate, mirroring how a real kernel
+    tiles over output channels.  ``threads`` pins the tile fan-out (a
+    positive value threads even a base strategy; ``None`` leaves base
+    strategies serial and sizes ``*-threaded`` automatically).
 
     ``kernel_size`` (prepacked operands only) cross-checks the operand's
     geometry against the input instead of inferring it from the bit
@@ -212,10 +232,15 @@ def binary_conv2d_packed(
     {+1, -1} weight matrix precomputed by the caller, hoisting the
     per-call unpack+convert out of the serving hot path; it must match
     the packed words — the plan engine caches it per weight version.
+    ``telemetry`` collects tile/timing counters per strategy.
     """
-    if strategy not in CONTRACTION_STRATEGIES:
+    # validate knobs before any operand conversion work
+    base_strategy, threads = resolve_strategy(
+        strategy, threads, CONTRACTION_STRATEGIES
+    )
+    if out_channel_chunk <= 0:
         raise ValueError(
-            f"unknown strategy {strategy!r}; valid: {CONTRACTION_STRATEGIES}"
+            f"out_channel_chunk must be positive, got {out_channel_chunk}"
         )
     x_bits = np.asarray(x_bits, dtype=np.uint8)
     flat_bits: Optional[np.ndarray] = None
@@ -236,12 +261,11 @@ def binary_conv2d_packed(
         flat_bits = kernel_arr.transpose(0, 2, 3, 1).reshape(out_ch, -1)
         kernel_num_bits = flat_bits.shape[-1]
         w_words = None
-    patches = im2col_bits(x_bits, kh, stride, padding)
-    batch, out_h, out_w, num_bits = patches.shape
+    patch_words, num_bits = pack_input_patches(x_bits, kh, stride, padding)
     if kernel_num_bits != num_bits:
         raise AssertionError("kernel/patch bit count mismatch")
 
-    if strategy == "gemm":
+    if base_strategy == "gemm":
         if kernel_signs is None:
             if flat_bits is None:
                 flat_bits = unpack_bits(w_words, kernel_num_bits)
@@ -251,26 +275,21 @@ def binary_conv2d_packed(
                 f"kernel_signs shape {kernel_signs.shape} does not match "
                 f"the operand's ({out_ch}, {kernel_num_bits})"
             )
-        dots = bit_signs(patches) @ kernel_signs.T
-        return dots.astype(np.int32).transpose(0, 3, 1, 2)
-
-    if out_channel_chunk <= 0:
-        raise ValueError(
-            f"out_channel_chunk must be positive, got {out_channel_chunk}"
-        )
-    if w_words is None:
+    elif w_words is None:
         w_words = pack_bits(flat_bits)
-    x_words = pack_bits(patches)  # (N, oh, ow, words)
+    out = contract_packed_patches(
+        patch_words,
+        w_words,
+        num_bits,
+        base_strategy,
+        threads,
+        out_channel_chunk,
+        kernel_signs=kernel_signs,
+        telemetry=telemetry,
+    )
     # accumulate position-major and hand back a transposed view: the same
     # memory layout the float reference produces, so downstream float ops
     # iterate both paths in the same order (bit-identical plan logits)
-    out = np.empty((batch, out_h, out_w, out_ch), dtype=np.int32)
-    x_expanded = x_words[:, :, :, None, :]  # (N, oh, ow, 1, words)
-    for start in range(0, out_ch, out_channel_chunk):
-        stop = min(start + out_channel_chunk, out_ch)
-        out[..., start:stop] = packed_dot(
-            w_words[start:stop], x_expanded, num_bits
-        )
     return out.transpose(0, 3, 1, 2)
 
 
@@ -292,18 +311,25 @@ def binary_dense_packed(
     weight_bits: Union[np.ndarray, PackedOperand],
     strategy: str = "popcount",
     weight_signs: Optional[np.ndarray] = None,
+    threads: Optional[int] = None,
+    out_channel_chunk: int = 64,
+    telemetry: Optional[ContractionTelemetry] = None,
 ) -> np.ndarray:
     """Bit-packed binary dense layer; same semantics as the reference.
 
     ``weight_bits`` is either an ``(out, features)`` bit tensor or a
     prepacked ``(words, num_bits)`` pair from
     :func:`~repro.bnn.packing.pack_bits`, which skips per-call weight
-    packing.  ``strategy`` and ``weight_signs`` behave exactly as
-    ``strategy`` / ``kernel_signs`` in :func:`binary_conv2d_packed`.
+    packing.  ``strategy``, ``weight_signs``, ``threads``,
+    ``out_channel_chunk`` and ``telemetry`` behave exactly as their
+    namesakes in :func:`binary_conv2d_packed`.
     """
-    if strategy not in CONTRACTION_STRATEGIES:
+    base_strategy, threads = resolve_strategy(
+        strategy, threads, CONTRACTION_STRATEGIES
+    )
+    if out_channel_chunk <= 0:
         raise ValueError(
-            f"unknown strategy {strategy!r}; valid: {CONTRACTION_STRATEGIES}"
+            f"out_channel_chunk must be positive, got {out_channel_chunk}"
         )
     x_bits = np.asarray(x_bits, dtype=np.uint8)
     num_bits = x_bits.shape[-1]
@@ -319,7 +345,7 @@ def binary_dense_packed(
         raise ValueError(
             f"feature mismatch: {num_bits} vs {weight_num_bits}"
         )
-    if strategy == "gemm":
+    if base_strategy == "gemm":
         if weight_signs is None:
             if flat_bits is None:
                 flat_bits = unpack_bits(w_words, weight_num_bits)
@@ -329,9 +355,16 @@ def binary_dense_packed(
                 f"weight_signs feature count {weight_signs.shape[-1]} does "
                 f"not match the operand's {weight_num_bits}"
             )
-        dots = bit_signs(x_bits) @ weight_signs.T
-        return dots.astype(np.int32)
-    if w_words is None:
+    elif w_words is None:
         w_words = pack_bits(flat_bits)
-    x_words = pack_bits(x_bits)[..., None, :]
-    return packed_dot(w_words, x_words, num_bits).astype(np.int32)
+    x_words = pack_bits(x_bits)
+    return contract_packed_patches(
+        x_words,
+        w_words,
+        num_bits,
+        base_strategy,
+        threads,
+        out_channel_chunk,
+        kernel_signs=weight_signs,
+        telemetry=telemetry,
+    )

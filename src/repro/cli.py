@@ -19,6 +19,7 @@ aligned text report used in EXPERIMENTS.md:
    python -m repro store ls --store ./models               # inventory
    python -m repro store gc --store ./models --dry-run     # audit a sweep
    python -m repro store gc --store ./models               # sweep blobs
+   python -m repro bench trend     # render BENCH_*.json perf history
    python -m repro fig3            # top-16 frequency head
    python -m repro mix             # code-length mix (Sec. VI)
    python -m repro model           # whole-model ratio
@@ -89,6 +90,8 @@ def _cmd_coders(args: argparse.Namespace) -> str:
 
 def _cmd_backends(args: argparse.Namespace) -> str:
     from .analysis.report import render_table
+    from .bnn.contraction import default_threads, resolve_strategy
+    from .bnn.ops import CONTRACTION_STRATEGIES
     from .sim.backends import registered_backends
     from .sim.scenario import available_models, get_model
 
@@ -101,12 +104,24 @@ def _cmd_backends(args: argparse.Namespace) -> str:
         spec = get_model(name)
         runnable = "yes" if spec.builder is not None else "no"
         model_rows.append((name, runnable, spec.description))
+    strategy_rows = []
+    for name in CONTRACTION_STRATEGIES:
+        base, threads = resolve_strategy(name, None, CONTRACTION_STRATEGIES)
+        strategy_rows.append((name, base, str(threads)))
     return "\n\n".join(
         [
             render_table(
                 ("backend", "paper mapping"),
                 backend_rows,
                 title="Simulation backends",
+            ),
+            render_table(
+                ("strategy", "kernel", "threads"),
+                strategy_rows,
+                title=(
+                    "Contraction strategies "
+                    f"(default pool width {default_threads()})"
+                ),
             ),
             render_table(
                 ("model", "runnable", "description"),
@@ -127,7 +142,10 @@ def _cmd_infer(args: argparse.Namespace) -> str:
     rng = np.random.default_rng(args.seed)
     if args.artifact is not None:
         plan = InferencePlan.from_artifact(
-            args.artifact, cache_size=args.cache_size
+            args.artifact,
+            cache_size=args.cache_size,
+            strategy=args.strategy,
+            threads=args.threads,
         )
         model = None
         if args.engine == "reference":
@@ -146,7 +164,9 @@ def _cmd_infer(args: argparse.Namespace) -> str:
                 "pass --artifact or a runnable --model"
             )
         model = spec.builder(args.seed)
-        plan = InferencePlan.from_model(model)
+        plan = InferencePlan.from_model(
+            model, strategy=args.strategy, threads=args.threads
+        )
         source = f"model {args.model!r}"
         input_shape = spec.input_shape
 
@@ -177,6 +197,15 @@ def _cmd_infer(args: argparse.Namespace) -> str:
             f"{stats['hits']} hits, {stats['misses']} misses, "
             f"{stats['evictions']} evictions"
         )
+    if args.engine == "packed":
+        for strategy, counters in sorted(plan.contraction_stats().items()):
+            lines.append(
+                f"contraction[{strategy}]: {counters['calls']} calls, "
+                f"{counters['tiles']} tiles, "
+                f"{counters['threaded_calls']} threaded "
+                f"(max {counters['max_threads']} threads), "
+                f"{counters['seconds'] * 1e3:.1f} ms"
+            )
     return "\n".join(lines)
 
 
@@ -194,6 +223,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         max_wait_ms=args.max_wait_ms,
         queue_depth=args.queue_depth,
         workers=args.workers,
+        threads=args.threads,
     )
     # demo-load clients live under the unified policy: many cheap
     # attempts with capped backoff, bounded by a hard deadline instead
@@ -254,6 +284,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             queue_depth=args.queue_depth,
+            threads=args.threads,
         ),
     )
     input_shape = _artifact_input_shape(args.artifact)
@@ -298,7 +329,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
 
     with FleetRouter(config) as fleet:
         document["artifact"] = fleet.register(
-            args.tenant, args.artifact, cache_size=args.cache_size
+            args.tenant, args.artifact, cache_size=args.cache_size,
+            threads=args.threads,
         )
         if args.action in ("run", "rollout"):
             _drive(fleet)
@@ -430,6 +462,63 @@ def _cmd_store(args: argparse.Namespace) -> str:
         store.remove(args.target)
         return f"removed ref {args.target} (blobs remain until gc)"
     raise SystemExit(f"unknown store action {args.action!r}")
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    """Render the committed ``BENCH_*.json`` perf trajectories."""
+    import os
+    from pathlib import Path
+
+    from .analysis.report import render_table
+
+    if args.action != "trend":
+        raise SystemExit(f"unknown bench action {args.action!r}")
+    directory = Path(
+        args.dir or os.environ.get("BENCH_ARTIFACT_DIR") or "."
+    )
+    paths = sorted(directory.glob("BENCH_*.json"))
+    if args.only:
+        wanted = set(args.only)
+        paths = [
+            path for path in paths
+            if path.stem[len("BENCH_"):] in wanted
+        ]
+    if not paths:
+        raise SystemExit(f"no BENCH_*.json artifacts under {directory}")
+    rows = []
+    for path in paths:
+        name = path.stem[len("BENCH_"):]
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            rows.append((name, "(unreadable)", "-", "-", "-", "-"))
+            continue
+        for section, payload in sorted(document.items()):
+            history = (payload or {}).get("history") or []
+            if not history:
+                rows.append((name, section, "-", "-", "-", "-"))
+                continue
+            for entry in history[-args.last:]:
+                value = entry.get("value")
+                rows.append(
+                    (
+                        name,
+                        section,
+                        str(entry.get("at", "-")),
+                        "yes" if entry.get("reduced") else "no",
+                        str(entry.get("metric", "-")),
+                        f"{value:.2f}" if isinstance(value, float)
+                        else str(value),
+                    )
+                )
+    return render_table(
+        ("artifact", "section", "at", "reduced", "metric", "value"),
+        rows,
+        title=(
+            f"perf trajectory ({len(paths)} artifacts, "
+            f"last {args.last} entries per section)"
+        ),
+    )
 
 
 def _cmd_fig3(args: argparse.Namespace) -> str:
@@ -588,6 +677,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
     "store": _cmd_store,
+    "bench": _cmd_bench,
     "fig3": _cmd_fig3,
     "mix": _cmd_mix,
     "model": _cmd_model,
@@ -620,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("serve", "drive the dynamic-batching daemon; print metrics JSON"),
         ("fleet", "multi-process serving fleet: run/rollout/status"),
         ("store", "content-addressed artifact store: import/ls/gc/pin"),
+        ("bench", "render the committed BENCH_*.json perf trajectories"),
         ("fig3", "Fig. 3: top-16 bit-sequence frequencies"),
         ("mix", "Sec. VI: share of channels per code length"),
         ("model", "Sec. VI: whole-model compression ratio"),
@@ -710,6 +801,19 @@ def build_parser() -> argparse.ArgumentParser:
                 default="packed",
                 help="packed plan engine or the float reference forward",
             )
+            from .bnn.ops import CONTRACTION_STRATEGIES
+
+            sub.add_argument(
+                "--strategy", choices=CONTRACTION_STRATEGIES,
+                default="gemm",
+                help="packed contraction strategy (default gemm; the "
+                     "*-threaded aliases fan tiles across the pool)",
+            )
+            sub.add_argument(
+                "--threads", type=int, default=None,
+                help="contraction-engine thread count (default: strategy "
+                     "decides; REPRO_THREADS pins the pool width)",
+            )
             sub.add_argument(
                 "--cache-size", type=int, default=8,
                 help="decoded-kernel LRU capacity for artifact plans",
@@ -766,6 +870,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--cache-size", type=int, default=8,
                 help="decoded-kernel LRU capacity of each worker's plan",
             )
+            sub.add_argument(
+                "--threads", type=int, default=None,
+                help="contraction-engine thread count on every worker "
+                     "(default: strategy decides)",
+            )
         if name == "store":
             sub.add_argument(
                 "action",
@@ -796,6 +905,24 @@ def build_parser() -> argparse.ArgumentParser:
                 help="fsck only: quarantine corrupt blobs/manifests, "
                      "delete dangling refs, sweep stale temp files",
             )
+        if name == "bench":
+            sub.add_argument(
+                "action", choices=("trend",),
+                help="bench operation to perform",
+            )
+            sub.add_argument(
+                "--dir", default=None,
+                help="directory holding BENCH_*.json (default: "
+                     "$BENCH_ARTIFACT_DIR or the current directory)",
+            )
+            sub.add_argument(
+                "--only", nargs="*", default=None,
+                help="restrict to these artifact names (e.g. infer rtl)",
+            )
+            sub.add_argument(
+                "--last", type=int, default=5,
+                help="history entries shown per section (default 5)",
+            )
         if name == "serve":
             sub.add_argument(
                 "--artifact", required=True,
@@ -825,6 +952,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--cache-size", type=int, default=8,
                 help="decoded-kernel LRU capacity of the tenant's plan",
+            )
+            sub.add_argument(
+                "--threads", type=int, default=None,
+                help="contraction-engine thread count for registered "
+                     "tenants (default: strategy decides)",
             )
             sub.add_argument(
                 "--requests", type=int, default=64,

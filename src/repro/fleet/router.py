@@ -177,6 +177,7 @@ class _TenantSpec:
     source: str            # what the caller registered (may be a mutable ref)
     cache_size: int = 8
     strategy: str = "gemm"
+    threads: Optional[int] = None
 
 
 class _Pending:
@@ -404,19 +405,21 @@ class FleetRouter:
         artifact: str,
         cache_size: int = 8,
         strategy: str = "gemm",
+        threads: Optional[int] = None,
     ) -> str:
         """Register a tenant on every worker; returns the pinned artifact.
 
         Store refs are resolved to their manifest hash *here*, once, so
         all workers provably serve the same version and later ref flips
-        go through :meth:`rollout`, never through a race.
+        go through :meth:`rollout`, never through a race.  ``threads``
+        pins the contraction-engine thread count on every worker.
         """
         if not self._started:
             raise FleetError("start() the router before registering tenants")
         pinned, _, _ = _pin_artifact(artifact)
         spec = _TenantSpec(
             artifact=pinned, source=str(artifact),
-            cache_size=cache_size, strategy=strategy,
+            cache_size=cache_size, strategy=strategy, threads=threads,
         )
         with self._lock:
             self._tenants[tenant] = spec
@@ -435,6 +438,7 @@ class FleetRouter:
             {
                 "op": "register", "tenant": tenant, "artifact": artifact,
                 "cache_size": spec.cache_size, "strategy": spec.strategy,
+                "threads": spec.threads,
             },
             timeout=self.config.request_timeout_ms / 1e3,
         )
@@ -902,6 +906,7 @@ class FleetRouter:
                 self._tenants[tenant] = _TenantSpec(
                     artifact=new_pinned, source=str(artifact),
                     cache_size=spec.cache_size, strategy=spec.strategy,
+                    threads=spec.threads,
                 )
         except Exception as error:
             # roll back every worker no longer on the old artifact —

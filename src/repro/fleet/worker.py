@@ -174,6 +174,7 @@ async def _run(conn, name: str, config: ServeConfig) -> None:
                     message["artifact"],
                     cache_size=message.get("cache_size", 8),
                     strategy=message.get("strategy", "gemm"),
+                    threads=message.get("threads"),
                 )
                 replies.send(
                     {"op": "result", "id": message["id"], "ok": True}

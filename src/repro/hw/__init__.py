@@ -33,7 +33,7 @@ from .microkernel import (
 )
 from .pipeline import InOrderPipeline, Instruction, PipelineStats
 from .rtl import RtlDecodeStats, RtlDecodingUnit
-from .rtl_fast import ReplayUnsupportedError, replay_run, replay_supported
+from .rtl_fast import replay_run, replay_supported
 from .perf import (
     LayerTiming,
     LayerWorkload,
@@ -66,7 +66,6 @@ __all__ = [
     "TraceRecord",
     "PerfModel",
     "PipelineStats",
-    "ReplayUnsupportedError",
     "RtlDecodeStats",
     "RtlDecodingUnit",
     "SystemConfig",

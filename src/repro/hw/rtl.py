@@ -22,12 +22,13 @@ Two execution engines share this model:
   (microseconds of Python per simulated cycle).
 * **replay (the default)** — :mod:`repro.hw.rtl_fast` reproduces the
   FSM's outputs *and* cycle accounting exactly with whole-stream array
-  passes (LUT decode, analytic chunk-arrival cycles, one
-  ``np.maximum.accumulate`` per parse slot, numpy pack), which is what
-  makes full-model cycle-accurate coverage affordable.  ``engine="auto"``
-  (the default) uses the replay whenever its exactness envelope holds
-  and silently falls back to the FSM otherwise; ``engine="replay"`` /
-  ``engine="fsm"`` force one side, e.g. for the equivalence suite in
+  passes (LUT decode, analytic chunk-arrival cycles or the exact
+  windowed event loop for wide parse configurations, numpy pack),
+  which is what makes full-model cycle-accurate coverage affordable.
+  The replay is universal — every parse configuration is cycle-exact —
+  so ``engine="auto"`` (the default) and ``engine="replay"`` are
+  equivalent and never tick the FSM; ``engine="fsm"`` forces the
+  per-cycle reference, e.g. for the equivalence suite in
   ``tests/test_rtl_replay.py``.
 
 Tests drive both models on the same stream and assert that (a) the
@@ -85,9 +86,10 @@ class RtlDecodingUnit:
     DRAM-resident); ``parse_rate`` is how many sequences the parser can
     emit per cycle (1 for a single-ported length table, 2 for the banked
     layout of Table IV).  ``engine`` selects the execution strategy:
-    ``"fsm"`` ticks the per-cycle reference, ``"replay"`` forces the
-    vectorised replay of :mod:`repro.hw.rtl_fast`, and ``"auto"`` (the
-    default) replays when exact and falls back to the FSM otherwise.
+    ``"fsm"`` ticks the per-cycle reference, while ``"replay"`` and
+    ``"auto"`` (the default) run the vectorised replay of
+    :mod:`repro.hw.rtl_fast`, which is cycle-exact for every parse
+    configuration — the FSM is the golden oracle only.
     """
 
     ENGINES = ("auto", "replay", "fsm")
@@ -125,19 +127,15 @@ class RtlDecodingUnit:
         equivalence property suite keeps it that way.
         """
         if self.engine != "fsm":
-            from .rtl_fast import ReplayUnsupportedError, replay_run
+            from .rtl_fast import replay_run
 
-            try:
-                return replay_run(
-                    stream,
-                    self.config,
-                    self.register_bits,
-                    self.memory_latency,
-                    self.parse_rate,
-                )
-            except ReplayUnsupportedError:
-                if self.engine == "replay":
-                    raise
+            return replay_run(
+                stream,
+                self.config,
+                self.register_bits,
+                self.memory_latency,
+                self.parse_rate,
+            )
         return self.run_fsm(stream)
 
     def run_fsm(self, stream: CompressedKernel) -> Tuple[np.ndarray, List[int], RtlDecodeStats]:

@@ -25,15 +25,23 @@ ticking, in three vectorised stages:
    and retired through :func:`~repro.bnn.packing.pack_bits`, replacing
    the FSM's 9 x ``register_bits`` per-bit Python loop.
 
-Exactness envelope: the FSM refills its parse window only while it holds
-<= 24 bits, so a refill tops it up to at least 25 bits whenever bytes
-are buffered.  One cycle consumes at most ``parse_rate`` codes of at
-most ``max_length`` bits each, so the replay is cycle-exact iff
-``parse_rate * max_length <= 25`` — outside that envelope (degenerate
-many-node layouts) :func:`replay_run` raises
-:class:`ReplayUnsupportedError` and the caller falls back to the FSM.
-The property suite in ``tests/test_rtl_replay.py`` pins the two engines
-to identical ``(decoded, packed_words, stats)`` across random streams.
+The replay is **universal**: every parse configuration is cycle-exact
+and ``engine="auto"`` never ticks the FSM (the FSM remains the golden
+oracle only).  Timing resolves through one of two schedulers.  The FSM
+refills its parse window only while it holds <= 24 bits, so a refill
+tops it up to at least 25 bits whenever bytes are buffered; when
+``parse_rate * max_length <= 25`` no cycle can starve mid-window and
+the fully analytic schedule of :func:`_parse_cycle_schedule` applies
+(one ``np.maximum.accumulate`` per parse slot).  Wider configurations
+track the byte-granular window occupancy exactly in
+:func:`_windowed_schedule` — a lean event loop that mirrors the FSM's
+per-cycle order (fetch-issue check, landing, refill, parse) but skips
+every stall run in one jump, including the FSM's livelock condition
+(a refilled window can hold at most 32 bits; a code needing more than
+the refill ceiling never parses and the FSM spins forever).  The
+property suite in ``tests/test_rtl_replay.py`` pins the two engines to
+identical ``(decoded, packed_words, stats)`` across random streams on
+both sides of the scheduler split.
 """
 
 from __future__ import annotations
@@ -49,7 +57,7 @@ from ..core.streams import CompressedKernel
 from .config import DecoderConfig
 from .rtl import RtlDecodeStats
 
-__all__ = ["ReplayUnsupportedError", "replay_supported", "replay_run"]
+__all__ = ["replay_supported", "replay_run"]
 
 #: the FSM refills its parse window while it holds <= 24 bits, so any
 #: cycle that finds bytes buffered starts with at least this many bits
@@ -59,16 +67,15 @@ _WINDOW_GUARANTEE_BITS = 25
 _NEVER = np.iinfo(np.int64).max // 4
 
 
-class ReplayUnsupportedError(ValueError):
-    """The configuration lies outside the replay engine's exact envelope."""
-
-
 def replay_supported(parse_rate: int, max_length: int) -> bool:
-    """True when the replay is cycle-exact for this parse configuration.
+    """True when the closed-form analytic scheduler is cycle-exact.
 
     One cycle parses up to ``parse_rate`` codes of up to ``max_length``
     bits; the refilled window guarantees only 25 bits, so anything wider
-    could starve mid-cycle in ways only the FSM models.
+    can starve mid-cycle on window occupancy.  The replay engine covers
+    both regimes — this predicate only selects between the analytic
+    schedule and the exact windowed event loop, it no longer gates
+    replay availability.
     """
     return parse_rate * max_length <= _WINDOW_GUARANTEE_BITS
 
@@ -83,19 +90,12 @@ def replay_run(
     """Replay one FSM run without ticking.
 
     Returns ``(sequences, packed_words, stats)`` bit- and cycle-identical
-    to :meth:`repro.hw.rtl.RtlDecodingUnit.run_fsm` on the same stream.
-    Raises :class:`ReplayUnsupportedError` when
-    :func:`replay_supported` is false.
+    to :meth:`repro.hw.rtl.RtlDecodingUnit.run_fsm` on the same stream,
+    for every parse configuration.
     """
     tree = stream.rebuild_tree()
     symbols_lut, lengths_lut = tree._decode_lut()
     max_length = int(max(tree.layout.code_lengths))
-    if not replay_supported(parse_rate, max_length):
-        raise ReplayUnsupportedError(
-            f"parse_rate={parse_rate} x {max_length}-bit codes exceeds the "
-            f"{_WINDOW_GUARANTEE_BITS}-bit per-cycle window guarantee; "
-            "use the FSM engine"
-        )
 
     count = stream.num_sequences
     stats = RtlDecodeStats()
@@ -109,16 +109,27 @@ def replay_run(
     positions, lengths, decoded = _decode_stream(
         payload, bit_length, count, symbols_lut, lengths_lut, max_length
     )
-    cycles, fetch_requests = _parse_cycle_schedule(
-        positions,
-        positions + lengths,
-        bit_length,
-        total_bytes,
-        config,
-        memory_latency,
-        parse_rate,
-        max_length,
-    )
+    if replay_supported(parse_rate, max_length):
+        cycles, fetch_requests = _parse_cycle_schedule(
+            positions,
+            positions + lengths,
+            bit_length,
+            total_bytes,
+            config,
+            memory_latency,
+            parse_rate,
+            max_length,
+        )
+    else:
+        cycles, fetch_requests = _windowed_schedule(
+            lengths,
+            bit_length,
+            total_bytes,
+            config,
+            memory_latency,
+            parse_rate,
+            max_length,
+        )
     packed_words = _pack_stream(decoded, register_bits)
 
     stats.cycles = int(cycles[-1])
@@ -449,6 +460,110 @@ def _gated_schedule(
     requests = int(
         np.count_nonzero(np.asarray(issue_cycles) <= int(cycles[-1]))
     )
+    return cycles, requests
+
+
+def _windowed_schedule(
+    lengths: np.ndarray,
+    bit_length: int,
+    total_bytes: int,
+    config: DecoderConfig,
+    memory_latency: int,
+    parse_rate: int,
+    max_length: int,
+) -> Tuple[np.ndarray, int]:
+    """Exact schedule for wide windows (``parse_rate * max_length > 25``).
+
+    Outside the analytic envelope the number of codes a cycle can parse
+    depends on the byte-granular occupancy of the 32-bit shift window,
+    so this scheduler tracks the FSM's architectural state directly —
+    ``(window bits, bytes pulled, bytes landed, in-flight fetch)`` —
+    and applies the FSM's per-cycle event order: fetch-issue check
+    (prior-cycle buffer level), landing, refill while <= 24 bits,
+    then up to ``parse_rate`` parses.  Unlike the FSM it never *ticks*
+    through a stall: when a cycle parses nothing the state can only
+    change at the pending landing, so the loop jumps straight there.
+    Total work is O(codes + chunks) scalar steps against the FSM's
+    O(cycles x register_bits) — the stall runs (memory latency, buffer
+    drain) cost one iteration each instead of hundreds.
+
+    Livelock is detected exactly: a refill stops as soon as the window
+    exceeds 24 bits, so it can never hold more than 32; once the window
+    is past the refill threshold but still narrower than the next
+    code's ``need``, no future event widens it and the FSM would spin
+    to its cycle cap — raise its ``RuntimeError`` without the spin.
+    """
+    count = lengths.size
+    lengths_list = lengths.tolist()
+    chunk = config.fetch_chunk_bytes
+    capacity = config.input_buffer_bytes
+
+    cycles = np.empty(count, dtype=np.int64)
+    cycle = 0
+    window_bits = 0
+    pulled = 0  # bytes moved from the input buffer into the window
+    landed = 0  # bytes landed in the input buffer
+    next_fetch = 0  # bytes requested so far
+    in_flight = 0  # size of the pending fetch (0: none)
+    land_cycle = 0
+    fetch_requests = 0
+    bit_position = 0
+    code = 0
+
+    while code < count:
+        cycle += 1
+
+        # fetch-issue check: uses the buffer level left by the previous
+        # cycle's refill, and a landing this cycle does not free the slot
+        if not in_flight and next_fetch < total_bytes:
+            if capacity - (landed - pulled) >= chunk:
+                in_flight = min(chunk, total_bytes - next_fetch)
+                next_fetch += in_flight
+                land_cycle = cycle + memory_latency - 1
+                fetch_requests += 1
+
+        if in_flight and cycle >= land_cycle:
+            landed += in_flight
+            in_flight = 0
+
+        # refill while the window holds <= 24 bits and bytes are buffered
+        if window_bits <= 24 and pulled < landed:
+            pull = min((32 - window_bits) // 8, landed - pulled)
+            pulled += pull
+            window_bits += 8 * pull
+
+        produced = 0
+        while produced < parse_rate and code < count:
+            need = min(max_length, bit_length - bit_position)
+            if window_bits < need:
+                break
+            length = lengths_list[code]
+            window_bits -= length
+            bit_position += length
+            cycles[code] = cycle
+            code += 1
+            produced += 1
+
+        if produced or code >= count:
+            continue
+        if window_bits > 24:
+            # refill refuses a window past 24 bits, so it is capped at
+            # 32 and can only shrink: this parse can never be satisfied
+            raise RuntimeError("FSM failed to converge (livelock?)")
+        if in_flight:
+            # pure stall: only the landing changes anything — jump to it
+            # (issue is blocked by the in-flight slot until then)
+            cycle = max(cycle, land_cycle - 1)
+            continue
+        if next_fetch >= total_bytes and pulled >= landed:
+            # every byte fetched and pulled yet the parser still starves
+            raise RuntimeError("FSM failed to converge (livelock?)")
+        if next_fetch < total_bytes and capacity - (landed - pulled) < chunk:
+            # the buffer can never drain below the issue threshold while
+            # the parser is starved: the fetch gate never reopens
+            raise RuntimeError("FSM failed to converge (livelock?)")
+
+    requests = int(fetch_requests)
     return cycles, requests
 
 

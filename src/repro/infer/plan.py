@@ -33,9 +33,20 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..bnn.binarize import binarize_bits
+from ..bnn.contraction import (
+    ContractionTelemetry,
+    contract_packed_patches,
+    resolve_strategy,
+    threshold_pack_patches,
+)
 from ..bnn.layers import BinaryConv2d, BinaryDense, Layer, RSign
 from ..bnn.model import Sequential
-from ..bnn.ops import binary_conv2d_packed, binary_dense_packed, bit_signs
+from ..bnn.ops import (
+    CONTRACTION_STRATEGIES,
+    _as_packed_kernel,
+    binary_dense_packed,
+    bit_signs,
+)
 from ..bnn.packing import pack_kernel_channels, unpack_bits
 from ..deploy import ArtifactReader
 from .cache import LruCache
@@ -150,10 +161,16 @@ class PackedConvStep(PlanStep):
 
     ``shift`` is the preceding RSign's per-channel threshold (``None``
     for a bare binary conv, whose {+1, -1} input contract makes the
-    threshold zero).  The kernel operand comes from ``source`` — either
-    a live layer's :meth:`~repro.bnn.layers.BinaryConv2d.prepare` or an
-    artifact plan's LRU-cached decode — so channel packing is hoisted
-    out of the per-call path.
+    threshold zero).  The threshold lowers *directly* into packed patch
+    words via :func:`~repro.bnn.contraction.threshold_pack_patches` —
+    one ``x >= shift`` comparison, no ``x - shift`` float intermediate
+    and no full {0, 1} uint8 patch tensor.  The kernel operand comes
+    from ``source`` — either a live layer's
+    :meth:`~repro.bnn.layers.BinaryConv2d.prepare` or an artifact
+    plan's LRU-cached decode — so channel packing is hoisted out of the
+    per-call path.  ``threads`` fans the contraction out over the
+    shared tile pool; ``telemetry`` accumulates per-strategy tile and
+    timing counters for :meth:`InferencePlan.contraction_stats`.
     """
 
     kind = "packed_conv"
@@ -168,7 +185,12 @@ class PackedConvStep(PlanStep):
         strategy: str = "gemm",
         kernel_size: Optional[int] = None,
         label: str = "BinaryConv2d",
+        threads: Optional[int] = None,
     ) -> None:
+        # validate the strategy/threads combination at compile time
+        self.base_strategy, self.threads = resolve_strategy(
+            strategy, threads, CONTRACTION_STRATEGIES
+        )
         self.source = source
         self.stride = stride
         self.padding = padding
@@ -177,25 +199,31 @@ class PackedConvStep(PlanStep):
         self.strategy = strategy
         self.kernel_size = kernel_size
         self.label = label
+        self.telemetry = ContractionTelemetry()
 
     def run(self, x: np.ndarray) -> np.ndarray:
-        if self.shift is not None:
-            x = x - self.shift[None, :, None, None]
-        bits = binarize_bits(x)
         entry = self.source()
-        out = binary_conv2d_packed(
-            bits,
-            entry.operand,
-            self.stride,
-            self.padding,
-            out_channel_chunk=self.out_channel_chunk,
-            strategy=self.strategy,
-            kernel_size=self.kernel_size,
-            kernel_signs=(
-                entry.signs() if self.strategy == "gemm" else None
-            ),
+        w_words, num_bits, _, kernel = _as_packed_kernel(
+            entry.operand, x.shape[1], self.kernel_size
         )
-        return out.astype(np.float32)
+        patch_words, patch_bits = threshold_pack_patches(
+            x, self.shift, kernel, self.stride, self.padding
+        )
+        if patch_bits != num_bits:
+            raise AssertionError("kernel/patch bit count mismatch")
+        out = contract_packed_patches(
+            patch_words,
+            w_words,
+            num_bits,
+            self.base_strategy,
+            self.threads,
+            self.out_channel_chunk,
+            kernel_signs=(
+                entry.signs() if self.base_strategy == "gemm" else None
+            ),
+            telemetry=self.telemetry,
+        )
+        return out.transpose(0, 3, 1, 2).astype(np.float32)
 
 
 class PackedDenseStep(PlanStep):
@@ -208,20 +236,27 @@ class PackedDenseStep(PlanStep):
         source: KernelSource,
         strategy: str = "gemm",
         label: str = "BinaryDense",
+        threads: Optional[int] = None,
     ) -> None:
+        self.base_strategy, self.threads = resolve_strategy(
+            strategy, threads, CONTRACTION_STRATEGIES
+        )
         self.source = source
         self.strategy = strategy
         self.label = label
+        self.telemetry = ContractionTelemetry()
 
     def run(self, x: np.ndarray) -> np.ndarray:
         entry = self.source()
         return binary_dense_packed(
             binarize_bits(x),
             entry.operand,
-            strategy=self.strategy,
+            strategy=self.base_strategy,
             weight_signs=(
-                entry.signs() if self.strategy == "gemm" else None
+                entry.signs() if self.base_strategy == "gemm" else None
             ),
+            threads=self.threads,
+            telemetry=self.telemetry,
         ).astype(np.float32)
 
 
@@ -269,6 +304,7 @@ class InferencePlan:
         model: Sequential,
         out_channel_chunk: int = 64,
         strategy: str = "gemm",
+        threads: Optional[int] = None,
     ) -> "InferencePlan":
         """Lower a live model into a packed plan.
 
@@ -294,6 +330,7 @@ class InferencePlan:
                         shift=layer.params["shift"],
                         out_channel_chunk=out_channel_chunk,
                         strategy=strategy,
+                        threads=threads,
                     )
                 )
                 layer.eval()
@@ -306,6 +343,7 @@ class InferencePlan:
                         shift=None,
                         out_channel_chunk=out_channel_chunk,
                         strategy=strategy,
+                        threads=threads,
                     )
                 )
                 layer.eval()
@@ -315,6 +353,7 @@ class InferencePlan:
                     PackedDenseStep(
                         _LayerKernelSource(layer.prepare),
                         strategy=strategy,
+                        threads=threads,
                         label=(
                             f"BinaryDense {layer.in_features}"
                             f"->{layer.out_features}"
@@ -334,6 +373,7 @@ class InferencePlan:
         shift: Optional[np.ndarray],
         out_channel_chunk: int,
         strategy: str,
+        threads: Optional[int] = None,
     ) -> PackedConvStep:
         label = (
             f"BinaryConv2d {conv.in_channels}->{conv.out_channels} "
@@ -348,6 +388,7 @@ class InferencePlan:
             strategy=strategy,
             kernel_size=conv.kernel_size,
             label=label,
+            threads=threads,
         )
 
     @classmethod
@@ -357,6 +398,7 @@ class InferencePlan:
         cache_size: int = 8,
         out_channel_chunk: int = 64,
         strategy: str = "gemm",
+        threads: Optional[int] = None,
     ) -> "InferencePlan":
         """Lower a deploy artifact straight into a serving plan.
 
@@ -397,14 +439,15 @@ class InferencePlan:
                 steps.append(
                     cls._artifact_conv_step(
                         reader, cache, successor, shift,
-                        out_channel_chunk, strategy,
+                        out_channel_chunk, strategy, threads,
                     )
                 )
                 index += 2
             elif entry["type"] == "BinaryConv2d":
                 steps.append(
                     cls._artifact_conv_step(
-                        reader, cache, entry, None, out_channel_chunk, strategy,
+                        reader, cache, entry, None,
+                        out_channel_chunk, strategy, threads,
                     )
                 )
                 index += 1
@@ -421,6 +464,7 @@ class InferencePlan:
         shift: Optional[np.ndarray],
         out_channel_chunk: int,
         strategy: str,
+        threads: Optional[int] = None,
     ) -> PackedConvStep:
         config = entry["config"]
         layer_index = entry["index"]
@@ -447,6 +491,7 @@ class InferencePlan:
             strategy=strategy,
             kernel_size=config["kernel_size"],
             label=label,
+            threads=threads,
         )
 
     # ------------------------------------------------------------------
@@ -511,3 +556,18 @@ class InferencePlan:
         if self.kernel_cache is None:
             return None
         return self.kernel_cache.stats()
+
+    def contraction_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-strategy contraction telemetry, merged across steps.
+
+        ``{strategy: {calls, tiles, threaded_calls, max_threads,
+        seconds}}`` — the tile-engine twin of :meth:`fetch_stats`, and
+        surfaced per tenant by the serving daemon the same way.
+        """
+        return ContractionTelemetry.merge(
+            [
+                step.telemetry.snapshot()
+                for step in self.steps
+                if isinstance(step, (PackedConvStep, PackedDenseStep))
+            ]
+        )

@@ -59,6 +59,10 @@ class ServeConfig:
     workers: int = 2
     #: latency reservoir size per tenant (see ServingMetrics)
     latency_window: int = 8192
+    #: default contraction-engine thread count for registered tenants
+    #: (``None`` = strategy decides: serial for the base strategies,
+    #: ``default_threads()`` for the ``*-threaded`` aliases)
+    threads: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -73,6 +77,8 @@ class ServeConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.threads is not None and self.threads < 0:
+            raise ValueError(f"threads must be >= 0, got {self.threads}")
 
 
 class _Request:
@@ -162,10 +168,21 @@ class ServingDaemon:
         artifact: str,
         cache_size: int = 8,
         strategy: str = "gemm",
+        threads: Optional[int] = None,
     ) -> Tenant:
-        """Register (or replace) a tenant namespace; compiles lazily."""
+        """Register (or replace) a tenant namespace; compiles lazily.
+
+        ``threads=None`` inherits the daemon-wide
+        :attr:`ServeConfig.threads` default.
+        """
+        if threads is None:
+            threads = self.config.threads
         return self.registry.register(
-            name, artifact, cache_size=cache_size, strategy=strategy
+            name,
+            artifact,
+            cache_size=cache_size,
+            strategy=strategy,
+            threads=threads,
         )
 
     # ------------------------------------------------------------------
@@ -411,6 +428,7 @@ class ServingDaemon:
             "max_wait_ms": self.config.max_wait_ms,
             "queue_depth": self.config.queue_depth,
             "workers": self.config.workers,
+            "threads": self.config.threads,
         }
         snapshot["registry"] = self.registry.describe()
         return snapshot

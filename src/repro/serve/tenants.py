@@ -80,11 +80,13 @@ class Tenant:
         artifact: str,
         cache_size: int = 8,
         strategy: str = "gemm",
+        threads: Optional[int] = None,
     ) -> None:
         self.name = name
         self.artifact = str(artifact)
         self.cache_size = cache_size
         self.strategy = strategy
+        self.threads = threads
         self._lock = threading.RLock()
         self._plan: Optional[InferencePlan] = None
         self._pinned_version: Optional[VersionToken] = None
@@ -138,6 +140,7 @@ class Tenant:
                     self.artifact,
                     cache_size=self.cache_size,
                     strategy=self.strategy,
+                    threads=self.threads,
                 )
                 self._pinned_version = version
                 self._forced_stale = False
@@ -159,6 +162,10 @@ class Tenant:
         :meth:`InferencePlan.fetch_stats
         <repro.infer.plan.InferencePlan.fetch_stats>` — ``None`` for
         monolithic ``.npz`` tenants, whose reader loads eagerly.
+        Compiled tenants also report ``contraction``: the plan's
+        per-strategy tile/thread telemetry
+        (:meth:`InferencePlan.contraction_stats
+        <repro.infer.plan.InferencePlan.contraction_stats>`).
         """
         with self._lock:
             compiled = self._plan is not None
@@ -166,6 +173,7 @@ class Tenant:
                 "artifact": self.artifact,
                 "cache_size": self.cache_size,
                 "strategy": self.strategy,
+                "threads": self.threads,
                 "compiled": compiled,
                 "swaps": self.swaps,
                 "version": self._pinned_version,
@@ -175,6 +183,9 @@ class Tenant:
                 ),
                 "store": (
                     self._plan.fetch_stats() if compiled else None
+                ),
+                "contraction": (
+                    self._plan.contraction_stats() if compiled else None
                 ),
             }
 
@@ -192,6 +203,7 @@ class TenantRegistry:
         artifact: str,
         cache_size: int = 8,
         strategy: str = "gemm",
+        threads: Optional[int] = None,
     ) -> Tenant:
         """Create (or replace) a tenant namespace.
 
@@ -200,7 +212,11 @@ class TenantRegistry:
         the namespace wholesale, dropping any compiled plan.
         """
         tenant = Tenant(
-            name, artifact, cache_size=cache_size, strategy=strategy
+            name,
+            artifact,
+            cache_size=cache_size,
+            strategy=strategy,
+            threads=threads,
         )
         with self._lock:
             self._tenants[name] = tenant

@@ -101,6 +101,16 @@ class TestBackendsCommand:
         assert "small-bnn" in out
         assert "Fig. 6" in out  # paper mapping column is populated
 
+    def test_lists_contraction_strategies(self, capsys):
+        from repro.bnn.ops import CONTRACTION_STRATEGIES
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "Contraction strategies" in out
+        for strategy in CONTRACTION_STRATEGIES:
+            assert strategy in out
+        assert "gemm-threaded" in out
+
 
 class TestInferCommand:
     def test_parser_defaults(self):
@@ -143,6 +153,29 @@ class TestInferCommand:
              "--engine", "reference"]
         ) == 0
         assert "reference" in capsys.readouterr().out
+
+    def test_threaded_strategy_reports_telemetry(self, capsys):
+        assert main(
+            ["infer", "--images", "8", "--batch", "4",
+             "--strategy", "popcount-threaded", "--threads", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "contraction[popcount]" in out
+        assert "max 2 threads" in out
+
+    def test_parser_strategy_choices(self):
+        from repro.bnn.ops import CONTRACTION_STRATEGIES
+
+        args = build_parser().parse_args(["infer"])
+        assert args.strategy == "gemm"
+        assert args.threads is None
+        for strategy in CONTRACTION_STRATEGIES:
+            parsed = build_parser().parse_args(
+                ["infer", "--strategy", strategy]
+            )
+            assert parsed.strategy == strategy
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["infer", "--strategy", "simd"])
 
 
 class TestServeCommand:
@@ -447,3 +480,85 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "sweep over 2 scenarios" in out
         assert "hw speedup" in out
+
+
+class TestBenchCommand:
+    @staticmethod
+    def _artifact(tmp_path, name, sections):
+        path = tmp_path / f"BENCH_{name}.json"
+        path.write_text(json.dumps(sections))
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "trend"])
+        assert args.action == "trend"
+        assert args.dir is None
+        assert args.only is None
+        assert args.last == 5
+
+    def test_trend_renders_history_rows(self, capsys, tmp_path):
+        self._artifact(
+            tmp_path,
+            "infer",
+            {
+                "threaded_contraction": {
+                    "speedup": 2.7,
+                    "history": [
+                        {"at": "2026-08-01T00:00:00+00:00",
+                         "reduced": False, "metric": "speedup",
+                         "value": 2.5},
+                        {"at": "2026-08-07T00:00:00+00:00",
+                         "reduced": True, "metric": "speedup",
+                         "value": 2.7},
+                    ],
+                },
+                "no_history_yet": {"speedup": 1.0, "history": []},
+            },
+        )
+        assert main(["bench", "trend", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perf trajectory" in out
+        assert "threaded_contraction" in out
+        assert "2026-08-01T00:00:00+00:00" in out
+        assert "2.50" in out and "2.70" in out
+        # a section with no history still shows up as a placeholder row
+        assert "no_history_yet" in out
+
+    def test_trend_last_bounds_rows(self, capsys, tmp_path):
+        history = [
+            {"at": f"2026-08-0{day}T00:00:00+00:00", "reduced": False,
+             "metric": "speedup", "value": float(day)}
+            for day in range(1, 8)
+        ]
+        self._artifact(
+            tmp_path, "rtl", {"replay": {"history": history}}
+        )
+        assert main(
+            ["bench", "trend", "--dir", str(tmp_path), "--last", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "6.00" in out and "7.00" in out
+        assert "5.00" not in out
+
+    def test_trend_only_filters_artifacts(self, capsys, tmp_path):
+        for name in ("infer", "rtl"):
+            self._artifact(tmp_path, name, {"section": {"history": []}})
+        assert main(
+            ["bench", "trend", "--dir", str(tmp_path), "--only", "rtl"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rtl" in out
+        assert "infer" not in out
+
+    def test_trend_empty_dir_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no BENCH"):
+            main(["bench", "trend", "--dir", str(tmp_path)])
+
+    def test_trend_on_committed_artifacts(self, capsys):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        if not list(repo.glob("BENCH_*.json")):
+            pytest.skip("no committed artifacts")
+        assert main(["bench", "trend", "--dir", str(repo)]) == 0
+        assert "perf trajectory" in capsys.readouterr().out

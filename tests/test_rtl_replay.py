@@ -5,8 +5,11 @@ The replay engine (:mod:`repro.hw.rtl_fast`) is only useful if it is a
 equality of ``(decoded, packed_words, cycles, stall_cycles,
 fetch_requests, active_cycles)`` across random streams, parse rates,
 register widths, memory latencies and buffer geometries — including the
-capacity-gated fetch regime (low latency + small buffer) and the
-wavefront decode path (large streams).
+capacity-gated fetch regime (low latency + small buffer), the wavefront
+decode path (large streams), and parse configurations *outside* the old
+``parse_rate * max_length <= 25`` analytic envelope, where the exact
+windowed event loop tracks the FSM's byte-granular shift window
+(including its livelock condition).
 """
 
 import numpy as np
@@ -19,7 +22,7 @@ from repro.core.streams import CompressedKernel
 from repro.hw.config import DecoderConfig
 from repro.hw.rtl import RtlDecodingUnit
 from repro.hw.rtl_fast import (
-    ReplayUnsupportedError,
+    _windowed_schedule,
     replay_run,
     replay_supported,
 )
@@ -133,6 +136,111 @@ def test_single_sequence_stream_matches():
     assert stats.sequences_decoded == 1
 
 
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(1, 400),
+    concentration=st.floats(0.0, 0.95),
+    parse_rate=st.sampled_from([3, 4, 5, 7]),
+    memory_latency=st.sampled_from([1, 2, 7, 40, 150]),
+)
+def test_replay_matches_fsm_outside_envelope(
+    seed, count, concentration, parse_rate, memory_latency
+):
+    """The newly covered regime: ``parse_rate * max_length > 25``.
+
+    Here the per-cycle parse count depends on the byte-granular window
+    occupancy, so these runs exercise the exact windowed event loop
+    rather than the analytic schedule.
+    """
+    stream, sequences = build_stream(seed, count, concentration)
+    max_length = int(max(stream.rebuild_tree().layout.code_lengths))
+    assert not replay_supported(parse_rate, max_length)
+    assert_engines_agree(
+        stream,
+        sequences,
+        memory_latency=memory_latency,
+        parse_rate=parse_rate,
+    )
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(32, 400),
+    parse_rate=st.sampled_from([3, 5]),
+    memory_latency=st.sampled_from([1, 2, 3]),
+    geometry=st.sampled_from([(64, 64), (64, 32), (96, 32)]),
+)
+def test_outside_envelope_with_buffer_gated_fetch(
+    seed, count, parse_rate, memory_latency, geometry
+):
+    """Wide parse windows combined with the fetch/parse feedback loop."""
+    buffer_bytes, chunk_bytes = geometry
+    stream, sequences = build_stream(seed, count, 0.5)
+    config = DecoderConfig(
+        input_buffer_bytes=buffer_bytes, fetch_chunk_bytes=chunk_bytes
+    )
+    assert_engines_agree(
+        stream,
+        sequences,
+        config=config,
+        memory_latency=memory_latency,
+        parse_rate=parse_rate,
+    )
+
+
+class TestWindowedSchedule:
+    """Direct checks of the wide-window scheduler's FSM state tracking.
+
+    Driven with synthetic code-length arrays so the >25-bit-code corner
+    cases are reachable without building a ``2^26``-entry decode LUT.
+    """
+
+    @staticmethod
+    def _schedule(lengths, max_length, parse_rate=1, latency=3, **cfg):
+        lengths = np.asarray(lengths, dtype=np.int64)
+        bit_length = int(lengths.sum())
+        config = DecoderConfig(**cfg)
+        return _windowed_schedule(
+            lengths,
+            bit_length,
+            (bit_length + 7) // 8,
+            config,
+            latency,
+            parse_rate,
+            max_length,
+        )
+
+    def test_livelock_when_code_exceeds_refilled_window(self):
+        # after the 7-bit code the refilled window holds 32 - 7 = 25
+        # bits: a 26-bit code can never parse and the FSM would spin
+        with pytest.raises(RuntimeError, match="livelock"):
+            self._schedule([7, 26], max_length=26)
+
+    def test_aligned_wide_code_parses(self):
+        # from an aligned window (32 bits) the same 26-bit code is fine
+        cycles, fetches = self._schedule([26], max_length=26, latency=4)
+        assert cycles.tolist() == [4]
+        assert fetches == 1
+
+    def test_wide_code_after_full_byte_consumption(self):
+        # 8+26: the first code drains exactly one byte, so the refill
+        # tops back up to 32 bits and the 26-bit code still parses
+        cycles, _ = self._schedule([8, 26], max_length=26, latency=1)
+        assert cycles.size == 2
+        assert (np.diff(cycles) >= 0).all()
+
+    def test_stall_runs_are_skipped_not_ticked(self):
+        # long memory latency: the schedule must still report the
+        # landing-gated cycles exactly (chunk 0 lands at cycle 100)
+        cycles, fetches = self._schedule(
+            [12] * 8, max_length=12, parse_rate=5, latency=100
+        )
+        assert int(cycles[0]) == 100
+        assert fetches >= 1
+
+
 class TestEngineSelection:
     def test_auto_equals_forced_replay(self):
         stream, sequences = build_stream(11, 200, 0.4)
@@ -146,28 +254,34 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="engine"):
             RtlDecodingUnit(engine="verilog")
 
-    def test_supported_envelope(self):
+    def test_scheduler_split_predicate(self):
+        """``replay_supported`` now only picks the analytic fast path."""
         assert replay_supported(parse_rate=1, max_length=12)
         assert replay_supported(parse_rate=2, max_length=12)
         assert not replay_supported(parse_rate=3, max_length=12)
         assert not replay_supported(parse_rate=1, max_length=26)
 
-    def test_forced_replay_raises_outside_envelope(self):
-        stream, _ = build_stream(5, 64, 0.5)
-        unit = RtlDecodingUnit(
-            memory_latency=3, parse_rate=3, engine="replay"
+    def test_forced_replay_succeeds_outside_envelope(self):
+        """The replay engine no longer has an exactness envelope."""
+        stream, sequences = build_stream(5, 64, 0.5)
+        stats = assert_engines_agree(
+            stream, sequences, memory_latency=3, parse_rate=3
         )
-        with pytest.raises(ReplayUnsupportedError):
-            unit.run(stream)
+        assert stats.sequences_decoded == 64
 
-    def test_auto_falls_back_to_fsm_outside_envelope(self):
+    def test_auto_never_ticks_fsm_outside_envelope(self, monkeypatch):
         stream, sequences = build_stream(5, 64, 0.5)
         auto = RtlDecodingUnit(
             memory_latency=3, parse_rate=3, engine="auto"
         )
         fsm = RtlDecodingUnit(memory_latency=3, parse_rate=3, engine="fsm")
-        auto_out = auto.run(stream)
         fsm_out = fsm.run(stream)
+
+        def forbid_fsm(self, stream):
+            raise AssertionError("auto must not tick the FSM")
+
+        monkeypatch.setattr(RtlDecodingUnit, "run_fsm", forbid_fsm)
+        auto_out = auto.run(stream)
         assert np.array_equal(auto_out[0], sequences)
         assert auto_out[1] == fsm_out[1]
         assert auto_out[2] == fsm_out[2]
